@@ -1,0 +1,110 @@
+// Microbenchmarks of the reader's per-query DSP budget: the operations a
+// Caraoke reader runs for every 1 ms query cycle (FFT, peak detection,
+// Goertzel channel probes, coherent combining) and the heavier estimators.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/counter.hpp"
+#include "core/spectrum_analysis.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/linalg.hpp"
+#include "dsp/peaks.hpp"
+#include "phy/cfo.hpp"
+#include "phy/ook.hpp"
+
+using namespace caraoke;
+
+namespace {
+
+dsp::CVec collision(std::size_t m, Rng& rng) {
+  phy::SamplingParams sampling;
+  phy::UniformCfoModel cfoModel;
+  dsp::CVec sum(sampling.responseSamples(), dsp::cdouble{});
+  for (std::size_t i = 0; i < m; ++i) {
+    const double cfo = cfoModel.drawCarrierHz(rng) - phy::kCarrierMinHz;
+    const auto wave = phy::modulateResponse(
+        phy::Packet::encode(phy::Packet::randomId(rng)), sampling, cfo,
+        rng.phase());
+    for (std::size_t t = 0; t < sum.size(); ++t) sum[t] += wave[t];
+  }
+  return sum;
+}
+
+void BM_ResponseFft2048(benchmark::State& state) {
+  Rng rng(1);
+  const dsp::CVec buf = collision(5, rng);
+  for (auto _ : state) {
+    dsp::CVec copy = buf;
+    dsp::fftInPlace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_ResponseFft2048);
+
+void BM_SpikeDetection(benchmark::State& state) {
+  Rng rng(2);
+  const dsp::CVec buf = collision(static_cast<std::size_t>(state.range(0)),
+                                  rng);
+  core::SpectrumAnalyzer analyzer;
+  const auto mag = analyzer.magnitudeSpectrum(buf);
+  for (auto _ : state) {
+    auto spikes = analyzer.detectSpikes(mag);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+}
+BENCHMARK(BM_SpikeDetection)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_GoertzelChannelProbe(benchmark::State& state) {
+  Rng rng(3);
+  const dsp::CVec buf = collision(5, rng);
+  for (auto _ : state) {
+    auto v = dsp::goertzel(buf, 123.4);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_GoertzelChannelProbe);
+
+void BM_FullAnalyze(benchmark::State& state) {
+  Rng rng(4);
+  const std::vector<dsp::CVec> antennas{collision(5, rng), collision(5, rng),
+                                        collision(5, rng)};
+  core::SpectrumAnalyzer analyzer;
+  for (auto _ : state) {
+    auto obs = analyzer.analyze(antennas);
+    benchmark::DoNotOptimize(obs.data());
+  }
+}
+BENCHMARK(BM_FullAnalyze);
+
+void BM_SingleShotCount(benchmark::State& state) {
+  Rng rng(5);
+  const dsp::CVec buf = collision(static_cast<std::size_t>(state.range(0)),
+                                  rng);
+  core::TransponderCounter counter;
+  for (auto _ : state) {
+    auto result = counter.count(buf);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_SingleShotCount)->Arg(5)->Arg(20);
+
+void BM_HermitianEig(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  dsp::CMatrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      b(r, c) = dsp::cdouble(rng.gaussian(0, 1), rng.gaussian(0, 1));
+  dsp::CMatrix a = b;
+  a.addScaled(b.hermitian(), 1.0);
+  for (auto _ : state) {
+    auto eig = dsp::eigHermitian(a);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_HermitianEig)->Arg(8)->Arg(16)->Arg(36);
+
+}  // namespace
+
+BENCHMARK_MAIN();

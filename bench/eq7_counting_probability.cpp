@@ -1,0 +1,57 @@
+// Reproduces the §5 counting-probability analysis:
+//  - Eq. 7: P(no missed transponder) for naive peak counting:
+//    98% / 93% / 73% for m = 5 / 10 / 20 (N = 615 bins).
+//  - Eq. 9: with pair detection, the lower bound becomes
+//    99.9% / 99.9% / 99.7%.
+// Both are validated against an exact occupancy computation and
+// Monte-Carlo simulation.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/counting_analysis.hpp"
+
+using namespace caraoke;
+
+int main() {
+  printBanner("Eq. 7 / Eq. 9 — probability of a correct count (N = 615)");
+  const std::size_t bins = 615;
+  const std::size_t trials = 200000;
+  Rng rng(7);
+
+  Table table({"m", "Eq.7 naive", "MC naive", "Eq.9 bound", "exact no-triple",
+               "MC pair-rule", "paper Eq.7", "paper Eq.9"});
+  struct PaperRow {
+    std::size_t m;
+    const char* naive;
+    const char* pair;
+  };
+  const PaperRow paper[] = {{5, "98%", ">=99.9%"},
+                            {10, "93%", ">=99.9%"},
+                            {20, "73%", ">=99.7%"}};
+  for (const PaperRow& row : paper) {
+    const double eq7 = core::pAllDistinct(row.m, bins);
+    const double mcNaive = core::mcNaiveCorrect(row.m, bins, trials, rng);
+    const double eq9 = core::pNoTripleLowerBound(row.m, bins);
+    const double exact = core::pNoTripleExact(row.m, bins);
+    const double mcPair = core::mcPairRuleCorrect(row.m, bins, trials, rng);
+    table.addRow({std::to_string(row.m), Table::num(eq7 * 100, 2) + "%",
+                  Table::num(mcNaive * 100, 2) + "%",
+                  Table::num(eq9 * 100, 2) + "%",
+                  Table::num(exact * 100, 2) + "%",
+                  Table::num(mcPair * 100, 2) + "%", row.naive, row.pair});
+  }
+  table.print();
+
+  std::cout << "\nExtended sweep (pair-detection rule):\n";
+  Table sweep({"m", "Eq.9 bound", "exact", "MC"});
+  for (std::size_t m = 5; m <= 50; m += 5) {
+    sweep.addRow({std::to_string(m),
+                  Table::num(core::pNoTripleLowerBound(m, bins) * 100, 2) + "%",
+                  Table::num(core::pNoTripleExact(m, bins) * 100, 2) + "%",
+                  Table::num(core::mcPairRuleCorrect(m, bins, trials, rng) *
+                             100, 2) + "%"});
+  }
+  sweep.print();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Fig 4: the Fourier transform of a collision of five e-toll
+// transponders shows five CFO spikes in the 0..1.2 MHz span.
+//
+// Output: an ASCII rendering of the collision's magnitude spectrum over
+// the CFO span plus the detected spike list (paper: "there are five peaks,
+// each corresponds to one of five colliding transponders").
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/counter.hpp"
+#include "core/spectrum_analysis.hpp"
+#include "phy/cfo.hpp"
+#include "scenes.hpp"
+
+using namespace caraoke;
+
+int main() {
+  printBanner("Fig 4 — collision spectrum of five transponders");
+  Rng rng(404);
+  const sim::ReaderNode reader = bench::makeReader(0.0);
+  sim::MultipathConfig multipath;
+
+  // Five transponders at spread-out CFOs, as in the figure.
+  const std::vector<double> cfosKHz{140, 330, 620, 840, 1080};
+  std::vector<sim::Transponder> devices;
+  for (double kHzOffset : cfosKHz)
+    devices.emplace_back(phy::Packet::randomId(rng),
+                         phy::kCarrierMinHz + kHzOffset * 1e3, rng.fork());
+  std::vector<sim::ActiveDevice> active;
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    active.push_back({&devices[i],
+                      phy::Vec3{-12.0 + 6.0 * static_cast<double>(i),
+                                rng.uniform(2.0, 8.0), 1.2}});
+
+  // One measurement window: a burst of 10 queries (§10), the production
+  // pipeline's unit of work.
+  std::vector<dsp::CVec> burst;
+  for (int q = 0; q < 10; ++q) {
+    std::vector<sim::ActiveDevice> again = active;
+    burst.push_back(sim::captureCollision(reader, again, multipath, rng)
+                        .antennaSamples.front());
+  }
+
+  core::SpectrumAnalyzer analyzer;
+  std::vector<double> mag = analyzer.magnitudeSpectrum(burst.front());
+  for (std::size_t q = 1; q < burst.size(); ++q) {
+    const auto next = analyzer.magnitudeSpectrum(burst[q]);
+    for (std::size_t i = 0; i < mag.size(); ++i) mag[i] += next[i];
+  }
+  for (double& v : mag) v /= static_cast<double>(burst.size());
+
+  core::MultiQueryCounter counter;
+  const core::CountResult counted = counter.count(burst);
+  struct Spike {
+    std::size_t bin;
+    double magnitude;
+  };
+  std::vector<Spike> spikes;
+  for (std::size_t bin : counted.bins) spikes.push_back({bin, mag[bin]});
+  const auto mapper = analyzer.binMapper();
+
+  // ASCII spectrum, 64 columns over 0..1.2 MHz, normalized.
+  const std::size_t span = analyzer.config().sampling.cfoBins();
+  const double peakMax = *std::max_element(mag.begin(), mag.begin() +
+                                           static_cast<long>(span));
+  std::cout << "\nPower spectrum over the CFO span (x: 0..1200 kHz):\n";
+  const std::size_t columns = 64;
+  for (int row = 7; row >= 0; --row) {
+    std::string line(columns, ' ');
+    for (std::size_t c = 0; c < columns; ++c) {
+      double columnMax = 0.0;
+      for (std::size_t b = c * span / columns; b < (c + 1) * span / columns;
+           ++b)
+        columnMax = std::max(columnMax, mag[b]);
+      if (columnMax / peakMax * 8.0 > row) line[c] = '#';
+    }
+    std::cout << "  |" << line << "|\n";
+  }
+  std::cout << "   0 kHz" << std::string(columns - 14, ' ') << "1200 kHz\n\n";
+
+  Table table({"spike", "true CFO (kHz)", "detected CFO (kHz)",
+               "magnitude (rel)"});
+  for (std::size_t i = 0; i < spikes.size(); ++i) {
+    const double detected = mapper.binToFreq(
+        static_cast<double>(spikes[i].bin)) / 1e3;
+    table.addRow({std::to_string(i + 1),
+                  i < cfosKHz.size() ? Table::num(cfosKHz[i], 1) : "-",
+                  Table::num(detected, 1),
+                  Table::num(spikes[i].magnitude / peakMax, 3)});
+  }
+  table.print();
+  std::cout << "\nPaper: 5 peaks for 5 colliding transponders."
+            << "  Measured: " << spikes.size() << " peaks.\n";
+  return spikes.size() == 5 ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Reproduces Fig 8: decoding a transponder out of a five-way collision by
+// coherent combining. Before averaging the signal "looks random and
+// undecodable"; after 8 averages structure emerges; after 16 the bits are
+// decodable.
+//
+// We report, as a function of the number of combined collisions: the bit
+// error count against the known transmitted packet, the mean Manchester
+// decision margin, and whether the CRC passes — the quantitative version
+// of the waveforms in the figure.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/decoder.hpp"
+#include "phy/ook.hpp"
+#include "scenes.hpp"
+
+using namespace caraoke;
+
+int main() {
+  printBanner("Fig 8 — decoding by coherent combining (5-way collision)");
+  Rng rng(808);
+  const sim::ReaderNode reader = bench::makeReader(0.0);
+  sim::MultipathConfig multipath;
+  phy::EmpiricalCfoModel cfoModel;
+
+  std::vector<sim::Transponder> devices;
+  std::vector<phy::Vec3> positions;
+  for (int i = 0; i < 5; ++i) {
+    devices.push_back(sim::Transponder::random(cfoModel, rng));
+    positions.push_back({rng.uniform(-15.0, 15.0), rng.uniform(2.0, 10.0),
+                         1.2});
+  }
+  const phy::BitVec truth = devices.front().packetBits();
+  const double targetCfo =
+      devices.front().carrierHz() - reader.frontEnd.sampling.loFrequencyHz;
+
+  core::DecoderConfig config;
+  core::CollisionDecoder decoder(config);
+  decoder.reset(targetCfo);
+
+  Table table({"collisions combined", "bit errors / 256", "mean margin",
+               "CRC", "paper (Fig 8)"});
+  const phy::SamplingParams sampling;
+  bool decodedAt16 = false;
+  for (int k = 1; k <= 24; ++k) {
+    std::vector<sim::ActiveDevice> active;
+    for (std::size_t i = 0; i < devices.size(); ++i)
+      active.push_back({&devices[i], positions[i]});
+    const auto collision =
+        sim::captureCollision(reader, active, multipath, rng)
+            .antennaSamples.front();
+    decoder.addCollision(collision);
+
+    if (k == 1 || k == 4 || k == 8 || k == 12 || k == 16 || k == 24) {
+      const phy::BitVec bits = phy::demodulateOok(decoder.combined(),
+                                                  sampling);
+      std::size_t errors = 0;
+      for (std::size_t b = 0; b < truth.size(); ++b)
+        if (bits[b] != truth[b]) ++errors;
+      const auto margins = phy::ookBitMargins(decoder.combined(), sampling);
+      double meanMargin = 0;
+      for (double m : margins) meanMargin += m;
+      meanMargin /= static_cast<double>(margins.size());
+      const bool crc = phy::Packet::checksumOk(bits);
+      if (k == 16 && crc) decodedAt16 = true;
+      const char* paperNote = k == 1    ? "looks random"
+                              : k == 8  ? "structure emerging"
+                              : k == 16 ? "bits decodable"
+                                        : "-";
+      table.addRow({std::to_string(k), std::to_string(errors) + " / 256",
+                    Table::num(meanMargin, 3), crc ? "pass" : "fail",
+                    paperNote});
+    }
+  }
+  table.print();
+  std::cout << "\nPaper: decodable after ~16 averages; measured CRC at 16: "
+            << (decodedAt16 ? "pass" : "fail (see table for crossover)")
+            << "\n";
+  return 0;
+}

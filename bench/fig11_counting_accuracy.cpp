@@ -1,0 +1,81 @@
+// Reproduces Fig 11: counting accuracy versus the number of colliding
+// transponders, using the paper's §12.1 methodology — capture each of 155
+// transponders in isolation (directional antenna), then form collisions in
+// post-processing by summing random subsets, 5..50 colliders.
+//
+// The production estimator is the multi-query counter (the reader's 10 ms
+// active window yields up to 10 collisions per measurement, §10); the
+// single-collision §5 counter and the naive peak counter (Eq. 7 regime)
+// are reported as ablations.
+//
+// Paper: accuracy stays above 99% while colliders < 40, average error 2%,
+// 90th percentile < 5%.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/counter.hpp"
+#include "dsp/stats.hpp"
+#include "scenes.hpp"
+
+using namespace caraoke;
+
+int main(int argc, char** argv) {
+  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  printBanner("Fig 11 — counting accuracy vs number of colliders (" +
+              std::to_string(runs) + " runs per point)");
+  Rng rng(2015);
+  const sim::ReaderNode reader = bench::makeReader(0.0);
+  const std::size_t population = 155;
+  const std::size_t queries = 10;
+
+  std::cout << "capturing " << population
+            << " transponders in isolation (paper §12.1)...\n";
+  const bench::CapturedPopulation captured =
+      bench::capturePopulation(population, queries, rng, reader);
+
+  core::MultiQueryCounter multiQuery;
+  core::TransponderCounter singleShot;
+  core::CounterConfig naiveConfig;
+  naiveConfig.enableMultiDetection = false;
+  core::TransponderCounter naive(naiveConfig);
+
+  Table table({"colliders", "multi-query acc", "90th pct err", "single-shot",
+               "naive peaks (Eq.7)", "paper"});
+  dsp::RunningStats allErrors;
+  for (std::size_t m = 5; m <= 50; m += 5) {
+    std::vector<double> errors;
+    double accMulti = 0, accSingle = 0, accNaive = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      const auto idx = rng.sampleWithoutReplacement(population, m);
+      const auto collisions = bench::formCollisions(captured, idx, queries);
+
+      const double md = static_cast<double>(m);
+      const double errMulti =
+          std::abs(static_cast<double>(multiQuery.count(collisions).estimate)
+                   - md) / md;
+      accMulti += 1.0 - errMulti;
+      errors.push_back(errMulti);
+      allErrors.add(errMulti);
+      accSingle += 1.0 -
+          std::abs(static_cast<double>(
+                       singleShot.count(collisions.front()).estimate) - md) /
+              md;
+      accNaive += 1.0 -
+          std::abs(static_cast<double>(
+                       naive.count(collisions.front()).estimate) - md) / md;
+    }
+    const double r = static_cast<double>(runs);
+    table.addRow({std::to_string(m), Table::num(accMulti / r * 100, 1) + "%",
+                  Table::num(dsp::percentile(errors, 90) * 100, 1) + "%",
+                  Table::num(accSingle / r * 100, 1) + "%",
+                  Table::num(accNaive / r * 100, 1) + "%",
+                  m < 40 ? ">99%" : "~94-97%"});
+  }
+  table.print();
+  std::cout << "\nOverall mean error: " << Table::num(allErrors.mean() * 100, 2)
+            << "%  (paper: average error 2%, 90th percentile < 5%)\n";
+  return 0;
+}

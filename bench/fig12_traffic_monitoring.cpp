@@ -1,0 +1,114 @@
+// Reproduces Fig 12: traffic monitoring at an intersection. Two streets —
+// A (minor) and C ("the busiest street on campus", ~10x the traffic of A,
+// with a green light only ~3x longer) — each carry a reader at the stop
+// line that counts transponders once per second from real RF collisions.
+// The queue builds during red and drains during green.
+//
+// Output: the per-second count time series with light phases for both
+// streets over two full cycles, plus queue statistics.
+#include <algorithm>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "apps/traffic_monitor.hpp"
+#include "dsp/stats.hpp"
+#include "scenes.hpp"
+
+using namespace caraoke;
+
+namespace {
+
+const char* phaseName(sim::LightPhase phase) {
+  switch (phase) {
+    case sim::LightPhase::kGreen: return "G";
+    case sim::LightPhase::kYellow: return "Y";
+    default: return "R";
+  }
+}
+
+}  // namespace
+
+int main() {
+  printBanner("Fig 12 — traffic monitoring at an intersection");
+  Rng rng(1212);
+
+  // Cycle 94 s. Street C green 60 s, street A green 20 s (3x ratio),
+  // complementary phases; arrival rates 10:1 (paper: "road C is much
+  // busier than road A (10 times on average), but its green light is only
+  // 3 times longer").
+  const double yellow = 4.0;
+  const sim::TrafficLight lightC(60.0, yellow, 30.0, 0.0);
+  const sim::TrafficLight lightA(20.0, yellow, 70.0, 64.0);
+
+  phy::EmpiricalCfoModel cfoModel;
+  sim::ApproachConfig configC;
+  configC.arrivalRatePerSec = 0.30;
+  configC.queueGap = 5.0;
+  sim::ApproachConfig configA;
+  configA.arrivalRatePerSec = 0.03;
+  configA.queueGap = 5.0;
+
+  sim::ApproachSim streetC(configC, lightC, cfoModel, rng.fork());
+  sim::ApproachSim streetA(configA, lightA, cfoModel, rng.fork());
+
+  apps::TrafficMonitorConfig monitorConfig;
+  monitorConfig.reader = bench::makeReader(0.0);
+  apps::TrafficMonitor monitorC(monitorConfig, rng.fork());
+  apps::TrafficMonitor monitorA(monitorConfig, rng.fork());
+
+  // Warm up 200 s so queues reach steady state, then record two cycles.
+  const double dt = 0.1;
+  for (double t = 0; t < 200.0; t += dt) {
+    streetC.step(dt);
+    streetA.step(dt);
+  }
+
+  Table table({"t (s)", "C light", "C count (RF)", "C true", "A light",
+               "A count (RF)", "A true"});
+  std::vector<double> countsC, countsA;
+  dsp::RunningStats errC, errA;
+  for (int second = 0; second < 200; ++second) {
+    for (int k = 0; k < 10; ++k) {
+      streetC.step(dt);
+      streetA.step(dt);
+    }
+    const apps::TrafficSample sampleC = monitorC.sample(streetC);
+    const apps::TrafficSample sampleA = monitorA.sample(streetA);
+    countsC.push_back(static_cast<double>(sampleC.rfCount));
+    countsA.push_back(static_cast<double>(sampleA.rfCount));
+    errC.add(std::abs(static_cast<double>(sampleC.rfCount) -
+                      static_cast<double>(sampleC.trueTransponders)));
+    errA.add(std::abs(static_cast<double>(sampleA.rfCount) -
+                      static_cast<double>(sampleA.trueTransponders)));
+    if (second % 5 == 0)
+      table.addRow({std::to_string(second), phaseName(sampleC.phase),
+                    std::to_string(sampleC.rfCount),
+                    std::to_string(sampleC.trueTransponders),
+                    phaseName(sampleA.phase),
+                    std::to_string(sampleA.rfCount),
+                    std::to_string(sampleA.trueTransponders)});
+  }
+  table.print();
+
+  const double meanC = dsp::mean(countsC);
+  const double meanA = dsp::mean(countsA);
+  std::cout << "\nMean in-range count: street C = " << Table::num(meanC, 1)
+            << ", street A = " << Table::num(meanA, 1) << "\n";
+  const double volumeC = static_cast<double>(streetC.totalSpawned());
+  const double volumeA = static_cast<double>(streetA.totalSpawned());
+  std::cout << "Traffic volume over the run: C = " << Table::num(volumeC, 0)
+            << " cars, A = " << Table::num(volumeA, 0) << " cars (ratio "
+            << Table::num(volumeA > 0 ? volumeC / volumeA : 0, 1)
+            << "x; paper: C ~10x busier with only 3x the green time)\n";
+  std::cout << "Queue dynamics: C count swings "
+            << Table::num(dsp::maxValue(countsC) -
+                          *std::min_element(countsC.begin(), countsC.end()),
+                          0)
+            << " cars between red-peak and green-drain (paper: backlog "
+               "accumulates in red, clears in green)\n";
+  std::cout << "RF-count error vs in-range tagged cars: mean |err| C = "
+            << Table::num(errC.mean(), 2) << ", A = "
+            << Table::num(errA.mean(), 2) << " cars\n";
+  return 0;
+}

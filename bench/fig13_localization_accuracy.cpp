@@ -1,0 +1,129 @@
+// Reproduces Fig 13: angle-of-arrival accuracy for cars parked in spots
+// 1..6 from the reader pole (spot 1 closest), with other parked cars
+// colliding. Paper: ~4 degrees average error, largest at the two ends
+// (spots 1 and 6), and the 60-degree antenna tilt balances the error
+// across spots — reported here via a 0-degree-tilt ablation.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/aoa.hpp"
+#include "dsp/stats.hpp"
+#include "scenes.hpp"
+#include "sim/geometry.hpp"
+
+using namespace caraoke;
+
+namespace {
+
+struct SpotStats {
+  dsp::RunningStats error;
+};
+
+// Run the parking experiment for a given antenna tilt; returns per-spot
+// mean/stddev AoA error in degrees.
+std::vector<dsp::RunningStats> runExperiment(double tiltDeg, std::size_t runs,
+                                             Rng& rng) {
+  const sim::Road road{};
+  sim::ReaderNode reader = bench::makeReader(0.0, -6.0, tiltDeg);
+  const core::AoaEstimator estimator(bench::geometryFor(reader));
+  const sim::TriangleArray array = reader.array();
+  const auto spots = sim::makeParkingRow(1.0, 6, true);
+  phy::EmpiricalCfoModel cfoModel;
+  sim::MultipathConfig multipath;
+
+  std::vector<dsp::RunningStats> stats(spots.size());
+  for (std::size_t spot = 0; spot < spots.size(); ++spot) {
+    for (std::size_t r = 0; r < runs; ++r) {
+      // Each run may use a different pole (the paper rotated 4 poles), so
+      // the residual per-antenna phase calibration error (~5 deg RMS,
+      // static per reader) is redrawn per run — it is the dominant
+      // real-world AoA impairment.
+      reader.frontEnd.antennaPhaseOffsetsRad.clear();
+      for (int a = 0; a < 3; ++a)
+        reader.frontEnd.antennaPhaseOffsetsRad.push_back(
+            rng.gaussian(0.0, deg2rad(5.0)));
+      sim::Transponder target = sim::Transponder::random(cfoModel, rng);
+      const phy::Vec3 targetPos =
+          sim::parkedTransponderPosition(spots[spot], road);
+
+      // 2-5 other parked cars collide (paper: "there are other cars
+      // parked on the street, whose transponders collide with our two
+      // cars"; we ignore their spikes and localize the target).
+      std::vector<sim::Transponder> others;
+      std::vector<phy::Vec3> otherPos;
+      const int numOthers = static_cast<int>(rng.uniformInt(2, 5));
+      for (int i = 0; i < numOthers; ++i) {
+        others.push_back(sim::Transponder::random(cfoModel, rng));
+        otherPos.push_back({rng.uniform(-25.0, 25.0),
+                            rng.chance(0.5) ? -8.3 : 8.3, 1.2});
+      }
+
+      // Burst of 8 queries; per query pick the observation nearest the
+      // target's CFO and fold it into the circular-mean aggregator.
+      const double targetCfo =
+          target.carrierHz() - reader.frontEnd.sampling.loFrequencyHz;
+      core::SpectrumAnalyzer analyzer;
+      core::AoaAggregator aggregator(bench::geometryFor(reader));
+      for (int q = 0; q < 8; ++q) {
+        std::vector<sim::ActiveDevice> active{{&target, targetPos}};
+        for (std::size_t i = 0; i < others.size(); ++i)
+          active.push_back({&others[i], otherPos[i]});
+        const sim::Capture capture =
+            sim::captureCollision(reader, active, multipath, rng);
+        const auto observations = analyzer.analyze(capture.antennaSamples);
+        const core::TransponderObservation* best = nullptr;
+        double bestGap = 2e3;  // one-bin tolerance
+        for (const auto& obs : observations) {
+          const double gap = std::abs(obs.cfoHz - targetCfo);
+          if (gap < bestGap) {
+            bestGap = gap;
+            best = &obs;
+          }
+        }
+        if (best != nullptr) aggregator.add(*best);
+      }
+      if (aggregator.samples() < 4) continue;  // target not reliably detected
+
+      const auto aoa =
+          aggregator.result(reader.frontEnd.sampling.loFrequencyHz);
+      const double truth = array.trueAngle(aoa.bestPair, targetPos);
+      stats[spot].add(std::abs(rad2deg(aoa.bestAngleRad) -
+                                     rad2deg(truth)));
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+  printBanner("Fig 13 — AoA error by parking spot (" + std::to_string(runs) +
+              " runs per spot)");
+  Rng rng(1313);
+
+  const auto tilted = runExperiment(60.0, runs, rng);
+  const auto flat = runExperiment(0.0, runs, rng);
+
+  Table table({"spot", "error 60° tilt (deg)", "stddev", "error 0° tilt",
+               "paper (60° tilt)"});
+  dsp::RunningStats overall;
+  for (std::size_t spot = 0; spot < tilted.size(); ++spot) {
+    overall.add(tilted[spot].mean());
+    table.addRow({std::to_string(spot + 1),
+                  Table::num(tilted[spot].mean(), 2),
+                  Table::num(tilted[spot].stddev(), 2),
+                  Table::num(flat[spot].mean(), 2),
+                  spot == 0 || spot == 5 ? "largest (~5-6)" : "~2-4"});
+  }
+  table.print();
+  std::cout << "\nAverage AoA error with 60° tilt: "
+            << Table::num(overall.mean(), 2)
+            << " deg (paper: ~4 deg average; worst at spots 1 and 6; the "
+               "tilt balances error across spots)\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces Fig 14 and the §12.2 multipath study: a synthetic aperture
+// (antenna on a 70 cm rotating arm, referenced to a static center antenna
+// to cancel the per-response random oscillator phase) measures the
+// transponder's channel around the circle; MUSIC over the aperture yields
+// the multipath profile.
+//
+// Paper: one dominant LoS peak; across 100 runs the strongest peak
+// averages ~27x (an order of magnitude) the second strongest.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/multipath.hpp"
+#include "core/spectrum_analysis.hpp"
+#include "dsp/stats.hpp"
+#include "scenes.hpp"
+
+using namespace caraoke;
+
+namespace {
+
+// One full aperture sweep: returns the reference-normalized channel g_k
+// at each arm position.
+dsp::CVec sweepAperture(const core::SarConfig& sar, sim::Transponder& device,
+                        const phy::Vec3& devicePos,
+                        const phy::Vec3& apertureCenter,
+                        const sim::MultipathConfig& multipath, Rng& rng) {
+  sim::FrontEndConfig frontEnd;
+  core::SpectrumAnalyzer analyzer;
+  dsp::CVec snapshots(sar.positions);
+  const double targetCfo =
+      device.carrierHz() - frontEnd.sampling.loFrequencyHz;
+  const dsp::BinMapper mapper(frontEnd.sampling.responseSamples(),
+                              frontEnd.sampling.sampleRateHz);
+  const double bin = mapper.freqToFractionalBin(targetCfo);
+
+  for (std::size_t k = 0; k < sar.positions; ++k) {
+    const double phi = kTwoPi * static_cast<double>(k) /
+                       static_cast<double>(sar.positions);
+    const phy::Vec3 armPos = apertureCenter +
+                             phy::Vec3{sar.radiusMeters * std::cos(phi),
+                                       sar.radiusMeters * std::sin(phi), 0.0};
+    std::vector<phy::Vec3> antennas{apertureCenter, armPos};
+    std::vector<sim::ActiveDevice> active{{&device, devicePos}};
+    const sim::Capture capture = sim::captureAtAntennas(
+        frontEnd, antennas, active, multipath, rng);
+    const dsp::cdouble hRef =
+        analyzer.channelAt(capture.antennaSamples[0], bin);
+    const dsp::cdouble hArm =
+        analyzer.channelAt(capture.antennaSamples[1], bin);
+    snapshots[k] = std::abs(hRef) > 0 ? hArm / hRef : dsp::cdouble{};
+  }
+  return snapshots;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+  printBanner("Fig 14 — multipath profile via synthetic aperture (" +
+              std::to_string(runs) + " runs)");
+  Rng rng(1414);
+  phy::EmpiricalCfoModel cfoModel;
+
+  core::SarConfig sar;
+  // Outdoor scene: LoS plus a weak building-facade reflection — the
+  // paper's pole-mounted outdoor setting where multipath is weak.
+  sim::MultipathConfig multipath;
+  multipath.groundReflection = false;  // aperture and tag at equal height
+  multipath.wallY = 18.0;
+  multipath.wallLoss = 0.15;
+
+  const phy::Vec3 apertureCenter{0.0, 0.0, 1.2};
+
+  dsp::RunningStats ratios;
+  std::vector<dsp::MusicPoint> lastSpectrum;
+  double lastTruthDeg = 0.0;
+  for (std::size_t run = 0; run < runs; ++run) {
+    sim::Transponder device = sim::Transponder::random(cfoModel, rng);
+    const double angleDeg = rng.uniform(-60.0, 60.0);
+    const double dist = rng.uniform(10.0, 20.0);
+    const phy::Vec3 devicePos{dist * std::cos(deg2rad(angleDeg)),
+                              dist * std::sin(deg2rad(angleDeg)), 1.2};
+
+    std::vector<dsp::CVec> snapshots;
+    for (std::size_t s = 0; s < sar.sweeps; ++s)
+      snapshots.push_back(sweepAperture(sar, device, devicePos,
+                                        apertureCenter, multipath, rng));
+    const double lambda = wavelength(device.carrierHz());
+    const core::MultipathProfile profile =
+        core::profileFromSnapshots(snapshots, sar, lambda);
+    if (profile.secondPower > 0) ratios.add(profile.peakRatio);
+    if (run + 1 == runs) {
+      lastSpectrum = profile.spectrum;
+      lastTruthDeg = angleDeg;
+    }
+  }
+
+  // Render the last run's profile like Fig 14 (power vs angle, -100..100).
+  std::cout << "\nRepresentative profile (normalized power vs AoA):\n";
+  double peak = 0;
+  for (const auto& p : lastSpectrum) peak = std::max(peak, p.power);
+  for (int row = 7; row >= 0; --row) {
+    std::string line(lastSpectrum.size() / 2, ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const double v = lastSpectrum[2 * i].power / peak * 8.0;
+      if (v > row) line[i] = '#';
+    }
+    std::cout << "  |" << line << "|\n";
+  }
+  std::cout << "  -100 deg" << std::string(lastSpectrum.size() / 2 - 16, ' ')
+            << "+100 deg\n";
+  std::cout << "  (true LoS angle this run: " << Table::num(lastTruthDeg, 1)
+            << " deg)\n\n";
+
+  Table table({"metric", "measured", "paper"});
+  table.addRow({"strongest/second peak power (mean)",
+                Table::num(ratios.mean(), 1) + "x", "~27x"});
+  table.addRow({"runs with dominant LoS (ratio > 5x)",
+                Table::num(100.0 * ratios.count() / runs, 0) + "% measured",
+                "order of magnitude"});
+  table.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces the §9 reader MAC analysis as an ablation:
+//   - query-query collisions are harmless (sine + sine = sine; both
+//     readers' transactions survive a merge), and
+//   - query-on-response collisions ruin the capture, so carrier sense with
+//     a 120 us listen window (query 20 us + gap 100 us) eliminates them.
+// We sweep reader density and attempt rate, with and without carrier
+// sense, and report response corruption rates.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/mac.hpp"
+
+using namespace caraoke;
+
+int main() {
+  printBanner("§9 — multi-reader CSMA ablation");
+
+  Table table({"readers", "attempts/s/reader", "carrier sense",
+               "transactions", "corrupted", "corruption rate",
+               "query merges", "mean defer (us)"});
+  Rng rng(909);
+  for (std::size_t readers : {2u, 4u, 8u}) {
+    for (double rate : {10.0, 50.0, 150.0}) {
+      for (bool csma : {false, true}) {
+        core::MacConfig config;
+        config.numReaders = readers;
+        config.attemptRateHz = rate;
+        config.carrierSense = csma;
+        config.horizonSec = 20.0;
+        Rng runRng = rng.fork();
+        const core::MacStats stats = core::simulateMac(config, runRng);
+        table.addRow({std::to_string(readers), Table::num(rate, 0),
+                      csma ? "yes" : "no",
+                      std::to_string(stats.transactions),
+                      std::to_string(stats.corruptedResponses),
+                      Table::num(stats.corruptionRate() * 100, 2) + "%",
+                      std::to_string(stats.queryQueryMerges),
+                      Table::num(stats.meanDeferralDelaySec * 1e6, 0)});
+      }
+    }
+  }
+  table.print();
+  std::cout << "\nPaper §9: with the 120 us listen window a reader never "
+               "fires into another reader's response window; query-query "
+               "overlaps remain and are harmless.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared scene-construction helpers for the benchmark harnesses.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/aoa.hpp"
+#include "phy/cfo.hpp"
+#include "sim/medium.hpp"
+
+namespace caraoke::bench {
+
+/// A pole-mounted reader like the paper's experimental rigs: 12.5 ft pole
+/// on the roadside, lambda/2 antenna triangle, optional 60-degree tilt.
+inline sim::ReaderNode makeReader(double x, double y = -6.0,
+                                  double tiltDeg = 0.0) {
+  sim::ReaderNode reader;
+  reader.pole.base = {x, y, 0.0};
+  reader.pole.heightMeters = feet(12.5);
+  reader.tiltRad = deg2rad(tiltDeg);
+  return reader;
+}
+
+/// Array calibration struct the core estimators consume.
+inline core::ArrayGeometry geometryFor(const sim::ReaderNode& reader) {
+  core::ArrayGeometry g;
+  g.elements = reader.array().elements();
+  g.pairs = sim::TriangleArray::pairs();
+  return g;
+}
+
+/// The paper's 155-transponder parking-lot capture (§12.1): per device,
+/// `queries` isolated captures at a fixed position with fresh per-response
+/// oscillator phases. Collisions are then formed in post-processing by
+/// summing subsets, exactly as in the paper.
+struct CapturedPopulation {
+  /// capturesPerDevice[i][q] = single-antenna buffer of device i, query q.
+  std::vector<std::vector<dsp::CVec>> captures;
+  std::vector<double> trueCfoHz;
+};
+
+inline CapturedPopulation capturePopulation(std::size_t devices,
+                                            std::size_t queries, Rng& rng,
+                                            const sim::ReaderNode& reader) {
+  phy::EmpiricalCfoModel cfoModel;
+  sim::MultipathConfig multipath;
+  CapturedPopulation population;
+  population.captures.resize(devices);
+  population.trueCfoHz.resize(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    sim::Transponder device = sim::Transponder::random(cfoModel, rng);
+    population.trueCfoHz[i] =
+        device.carrierHz() - reader.frontEnd.sampling.loFrequencyHz;
+    // Parking-lot rows: comparable distances, as in the paper's lot.
+    const phy::Vec3 pos{rng.uniform(-10.0, 10.0), rng.uniform(4.0, 10.0),
+                        1.2};
+    for (std::size_t q = 0; q < queries; ++q)
+      population.captures[i].push_back(
+          sim::captureIsolated(reader, device, pos, multipath, rng)
+              .antennaSamples.front());
+  }
+  return population;
+}
+
+/// Sum a subset of captured devices into `queries` collision buffers.
+inline std::vector<dsp::CVec> formCollisions(
+    const CapturedPopulation& population,
+    const std::vector<std::size_t>& deviceIndices, std::size_t queries) {
+  const std::size_t n = population.captures.front().front().size();
+  std::vector<dsp::CVec> collisions(queries, dsp::CVec(n, dsp::cdouble{}));
+  for (std::size_t i : deviceIndices)
+    for (std::size_t q = 0; q < queries; ++q)
+      for (std::size_t t = 0; t < n; ++t)
+        collisions[q][t] += population.captures[i][q][t];
+  return collisions;
+}
+
+}  // namespace caraoke::bench

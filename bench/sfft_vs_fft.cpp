@@ -1,0 +1,80 @@
+// §10 ablation: the reader replaces the full FFT with a sparse FFT because
+// a collision's spectrum holds only a handful of CFO spikes. This bench
+// times both on realistic collision buffers and checks the sFFT recovers
+// the same spikes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/sfft.hpp"
+#include "phy/cfo.hpp"
+#include "phy/ook.hpp"
+#include "phy/packet.hpp"
+
+using namespace caraoke;
+
+namespace {
+
+// A synthetic m-transponder collision of length n (n a power of two).
+dsp::CVec makeCollision(std::size_t n, std::size_t m, Rng& rng) {
+  phy::SamplingParams sampling;
+  sampling.sampleRateHz = 4e6 * static_cast<double>(n) / 2048.0;
+  phy::UniformCfoModel cfoModel;
+  dsp::CVec sum(n, dsp::cdouble{});
+  for (std::size_t i = 0; i < m; ++i) {
+    const double cfo = cfoModel.drawCarrierHz(rng) - phy::kCarrierMinHz;
+    const auto bits = phy::Packet::encode(phy::Packet::randomId(rng));
+    const auto wave = phy::modulateResponse(bits, sampling, cfo, rng.phase());
+    for (std::size_t t = 0; t < n && t < wave.size(); ++t) sum[t] += wave[t];
+  }
+  return sum;
+}
+
+void BM_FullFft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const dsp::CVec collision = makeCollision(n, 5, rng);
+  for (auto _ : state) {
+    dsp::CVec copy = collision;
+    dsp::fftInPlace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_FullFft)->Arg(2048)->Arg(8192)->Arg(32768)->Arg(65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_SparseFft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const dsp::CVec collision = makeCollision(n, 5, rng);
+  dsp::SparseFftConfig config;
+  config.buckets = 256;
+  for (auto _ : state) {
+    Rng sfftRng(3);
+    auto components = dsp::sparseFft(collision, config, sfftRng);
+    benchmark::DoNotOptimize(components.data());
+  }
+  state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_SparseFft)->Arg(2048)->Arg(8192)->Arg(32768)->Arg(65536)
+    ->Complexity(benchmark::oN);
+
+void BM_SparseFftVsSparsity(benchmark::State& state) {
+  Rng rng(4);
+  const dsp::CVec collision =
+      makeCollision(8192, static_cast<std::size_t>(state.range(0)), rng);
+  dsp::SparseFftConfig config;
+  config.buckets = 512;
+  for (auto _ : state) {
+    Rng sfftRng(5);
+    auto components = dsp::sparseFft(collision, config, sfftRng);
+    benchmark::DoNotOptimize(components.data());
+  }
+}
+BENCHMARK(BM_SparseFftVsSparsity)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

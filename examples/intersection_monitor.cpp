@@ -1,0 +1,57 @@
+// Traffic-monitoring demo (paper §1/§12.1): a reader on the stop-line
+// street lamp counts transponders once per second from their RF
+// collisions. The city watches the queue build during red and drain
+// during green — input for adaptive signal timing.
+#include <cstdio>
+
+#include "apps/traffic_monitor.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+using namespace caraoke;
+
+namespace {
+
+const char* phaseGlyph(sim::LightPhase phase) {
+  switch (phase) {
+    case sim::LightPhase::kGreen: return "GREEN ";
+    case sim::LightPhase::kYellow: return "YELLOW";
+    default: return "RED   ";
+  }
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(22);
+  phy::EmpiricalCfoModel cfoModel;
+
+  // One approach of a busy street: light cycle 90 s (green 35, red 51).
+  const sim::TrafficLight light(35.0, 4.0, 51.0);
+  sim::ApproachConfig approachConfig;
+  approachConfig.arrivalRatePerSec = 0.25;
+  approachConfig.queueGap = 5.0;
+  sim::ApproachSim approach(approachConfig, light, cfoModel, rng.fork());
+
+  apps::TrafficMonitorConfig monitorConfig;
+  monitorConfig.reader.pole.base = {0.0, -6.0, 0.0};
+  monitorConfig.reader.pole.heightMeters = feet(12.5);
+  apps::TrafficMonitor monitor(monitorConfig, rng.fork());
+
+  // Let the street reach steady state, then watch one full cycle.
+  for (double t = 0; t < 120.0; t += 0.1) approach.step(0.1);
+
+  std::printf("time   light   RF count  bar\n");
+  for (int second = 0; second < 95; ++second) {
+    for (int k = 0; k < 10; ++k) approach.step(0.1);
+    if (second % 3 != 0) continue;
+    const apps::TrafficSample sample = monitor.sample(approach);
+    std::printf("%4ds  %s  %5zu     ", second, phaseGlyph(sample.phase),
+                sample.rfCount);
+    for (std::size_t i = 0; i < sample.rfCount; ++i) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("\nThe counts feed the city's adaptive signal timing "
+              "(paper Fig 12).\n");
+  return 0;
+}

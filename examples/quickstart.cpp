@@ -1,0 +1,100 @@
+// Quickstart: the smallest end-to-end Caraoke program.
+//
+// Builds a street scene with one pole-mounted reader and three parked cars
+// carrying unmodified e-toll transponders, then exercises the three core
+// capabilities on their *colliding* responses:
+//   1. count the transponders (paper §5),
+//   2. observe each one's CFO and angle of arrival (§3, §6),
+//   3. decode everyone's id from repeated collisions (§8).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/counter.hpp"
+#include "core/reader.hpp"
+#include "dsp/spectrum.hpp"
+#include "sim/scene.hpp"
+
+using namespace caraoke;
+
+int main() {
+  Rng rng(1);
+
+  // --- the world -----------------------------------------------------
+  sim::Scene scene{sim::Road{}};
+
+  sim::ReaderNode pole;
+  pole.pole.base = {0.0, -6.0, 0.0};       // curbside street lamp
+  pole.pole.heightMeters = feet(12.5);
+  pole.tiltRad = deg2rad(60.0);            // the paper's tilted triangle
+  const std::size_t readerIdx = scene.addReader(pole);
+
+  phy::EmpiricalCfoModel cfoModel;         // the 155-transponder statistics
+  for (int i = 0; i < 3; ++i) {
+    scene.addCar(sim::Transponder::random(cfoModel, rng),
+                 std::make_unique<sim::ParkedMobility>(
+                     phy::Vec3{-12.0 + 10.0 * i, 2.0, 1.2}));
+  }
+
+  // --- the reader ------------------------------------------------------
+  core::ReaderConfig config;
+  config.array.elements = pole.array().elements();
+  config.array.pairs = sim::TriangleArray::pairs();
+  core::CaraokeReader reader(config);
+
+  // 1. COUNT: fire a burst of queries, estimate how many tags answered.
+  std::vector<dsp::CVec> burst;
+  for (int q = 0; q < 10; ++q)
+    burst.push_back(scene.query(readerIdx, 0.0, rng).antennaSamples.front());
+  core::MultiQueryCounter counter;
+  const auto count = counter.count(burst);
+  std::printf("counted %zu transponders in the collision "
+              "(ground truth: %zu)\n",
+              count.estimate, scene.trueCount(readerIdx, 0.0));
+
+  // 2. OBSERVE: per-transponder CFO + angle of arrival. The counter's
+  // vetoed bin list gates the raw observations (a transponder's fixed
+  // bits radiate weak deterministic side lines that a single capture
+  // cannot tell from real spikes).
+  const sim::Capture capture = scene.query(readerIdx, 0.0, rng);
+  for (const auto& sighted : reader.observe(capture.antennaSamples)) {
+    bool counted = false;
+    for (std::size_t bin : count.bins)
+      if (std::llabs(static_cast<long long>(bin) -
+                     static_cast<long long>(sighted.observation.bin)) <= 2)
+        counted = true;
+    if (!counted) continue;
+    std::printf("  spike @ %7.1f kHz  AoA %5.1f deg (pair %zu)\n",
+                sighted.observation.cfoHz / 1e3,
+                rad2deg(sighted.aoa.bestAngleRad), sighted.aoa.bestPair);
+  }
+
+  // 3. DECODE: accumulate more collisions and read out every id.
+  std::vector<dsp::CVec> collisions = burst;
+  for (int q = 0; q < 30; ++q)
+    collisions.push_back(
+        scene.query(readerIdx, 0.0, rng).antennaSamples.front());
+  const auto mapper = dsp::BinMapper(2048, 4e6);
+  for (const auto& entry : reader.decodeAll(collisions)) {
+    bool counted = false;
+    for (std::size_t bin : count.bins)
+      if (std::abs(entry.cfoHz - static_cast<double>(bin) *
+                                     mapper.binWidthHz()) < 5e3)
+        counted = true;
+    if (!counted) continue;
+    if (entry.decoded)
+      std::printf("  decoded id: agency %08x factory %016llx "
+                  "(after %zu collisions = %.1f ms)\n",
+                  entry.id.agencyId,
+                  static_cast<unsigned long long>(entry.id.factoryId),
+                  entry.collisionsUsed,
+                  static_cast<double>(entry.collisionsUsed));
+    else
+      std::printf("  spike @ %.1f kHz: not decoded within budget\n",
+                  entry.cfoHz / 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "apps/car_finder.hpp"
+
+namespace caraoke::apps {
+
+void CarFinder::recordFix(const phy::TransponderId& vehicle,
+                          const phy::Vec3& position, double time) {
+  auto it = fixes_.find(vehicle.factoryId);
+  if (it != fixes_.end() && it->second.time > time) return;  // stale update
+  fixes_[vehicle.factoryId] = LastSeen{vehicle, position, time};
+}
+
+std::optional<LastSeen> CarFinder::findByFactoryId(
+    std::uint64_t factoryId) const {
+  const auto it = fixes_.find(factoryId);
+  if (it == fixes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LastSeen> CarFinder::findByAccount(
+    std::uint64_t programmable) const {
+  for (const auto& [key, seen] : fixes_)
+    if (seen.vehicle.programmable == programmable) return seen;
+  return std::nullopt;
+}
+
+void CarFinder::expire(double now, double maxAgeSec) {
+  for (auto it = fixes_.begin(); it != fixes_.end();) {
+    if (now - it->second.time > maxAgeSec)
+      it = fixes_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace caraoke::apps

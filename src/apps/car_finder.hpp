@@ -1,0 +1,46 @@
+// "Where did I park?" service (paper §4: a user who forgets where he
+// parked queries the system to locate his car).
+//
+// The backend keeps the latest fused position fix per decoded transponder;
+// users query by their account (programmable field) or factory id.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "phy/channel.hpp"
+#include "phy/packet.hpp"
+
+namespace caraoke::apps {
+
+/// Latest known whereabouts of a vehicle.
+struct LastSeen {
+  phy::TransponderId vehicle{};
+  phy::Vec3 position;
+  double time = 0.0;
+};
+
+/// Position registry keyed by transponder identity.
+class CarFinder {
+ public:
+  /// Record a fix for a decoded vehicle (newer fixes replace older ones).
+  void recordFix(const phy::TransponderId& vehicle, const phy::Vec3& position,
+                 double time);
+
+  /// Look up by factory id.
+  std::optional<LastSeen> findByFactoryId(std::uint64_t factoryId) const;
+
+  /// Look up by account (programmable field). Linear scan — the registry
+  /// is per-neighborhood, not city-scale.
+  std::optional<LastSeen> findByAccount(std::uint64_t programmable) const;
+
+  std::size_t knownVehicles() const { return fixes_.size(); }
+
+  /// Forget fixes older than maxAge (privacy retention policy).
+  void expire(double now, double maxAgeSec);
+
+ private:
+  std::map<std::uint64_t, LastSeen> fixes_;  ///< Keyed by factory id.
+};
+
+}  // namespace caraoke::apps

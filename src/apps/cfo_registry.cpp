@@ -1,0 +1,61 @@
+#include "apps/cfo_registry.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace caraoke::apps {
+
+void CfoRegistry::enroll(const phy::TransponderId& vehicle, double cfoHz,
+                         double time) {
+  for (CfoSignature& s : signatures_) {
+    if (s.vehicle.factoryId == vehicle.factoryId) {
+      s.cfoHz = cfoHz;
+      s.lastSeen = time;
+      return;
+    }
+  }
+  signatures_.push_back({vehicle, cfoHz, time, 0});
+}
+
+std::optional<CfoMatch> CfoRegistry::match(double cfoHz, double time) {
+  CfoSignature* best = nullptr;
+  double bestGap = config_.matchGateHz;
+  double runnerUp = std::numeric_limits<double>::infinity();
+  for (CfoSignature& s : signatures_) {
+    const double gap = std::abs(s.cfoHz - cfoHz);
+    if (gap < bestGap) {
+      if (best != nullptr) runnerUp = std::min(runnerUp, bestGap);
+      bestGap = gap;
+      best = &s;
+    } else {
+      runnerUp = std::min(runnerUp, gap);
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+
+  CfoMatch result;
+  result.signature = best;
+  result.gapHz = bestGap;
+  result.unambiguous = runnerUp >= bestGap + config_.ambiguityMarginHz;
+  if (result.unambiguous) {
+    best->cfoHz += config_.ewmaAlpha * (cfoHz - best->cfoHz);
+    best->lastSeen = time;
+    ++best->matches;
+  }
+  return result;
+}
+
+double CfoRegistry::ambiguousPairFraction() const {
+  if (signatures_.size() < 2) return 0.0;
+  std::size_t ambiguous = 0, pairs = 0;
+  for (std::size_t i = 0; i < signatures_.size(); ++i)
+    for (std::size_t j = i + 1; j < signatures_.size(); ++j) {
+      ++pairs;
+      if (std::abs(signatures_[i].cfoHz - signatures_[j].cfoHz) <
+          config_.ambiguityMarginHz)
+        ++ambiguous;
+    }
+  return static_cast<double>(ambiguous) / static_cast<double>(pairs);
+}
+
+}  // namespace caraoke::apps

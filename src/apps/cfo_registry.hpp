@@ -1,0 +1,78 @@
+// CFO fingerprint registry: re-identify known vehicles WITHOUT decoding.
+//
+// The paper's counting/localization pipeline treats the CFO as an
+// anonymous handle; related work it cites ([18], radiometric signatures)
+// observes that an oscillator's offset is stable enough to act as a
+// device fingerprint. This registry implements that idea for fleet/permit
+// use cases (e.g. residential-permit enforcement, transit-bus priority):
+// enroll a vehicle's CFO once (after a §8 decode) and afterwards match
+// sightings to it directly, with a drift-following update and an
+// ambiguity check against other enrolled devices. It also quantifies the
+// privacy observation the paper's §11 makes: CFO alone can track a
+// device, which is why the authors stored only CFO values with no ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "phy/packet.hpp"
+
+namespace caraoke::apps {
+
+/// One enrolled device.
+struct CfoSignature {
+  phy::TransponderId vehicle{};
+  double cfoHz = 0.0;       ///< Tracked center (EWMA over matches).
+  double lastSeen = 0.0;
+  std::size_t matches = 0;
+};
+
+/// A match result.
+struct CfoMatch {
+  const CfoSignature* signature = nullptr;
+  double gapHz = 0.0;
+  /// False when another enrolled device is close enough to confuse
+  /// (ambiguous matches should fall back to decoding).
+  bool unambiguous = true;
+};
+
+/// Registry tuning.
+struct CfoRegistryConfig {
+  /// Match gate: the observed CFO must be within this of a signature.
+  double matchGateHz = 5e3;
+  /// Ambiguity margin: the runner-up signature must be at least this much
+  /// farther than the best match.
+  double ambiguityMarginHz = 10e3;
+  /// Drift-following weight for matched observations.
+  double ewmaAlpha = 0.2;
+};
+
+/// Enrollment + matching.
+class CfoRegistry {
+ public:
+  explicit CfoRegistry(CfoRegistryConfig config = {}) : config_(config) {}
+
+  /// Enroll (or refresh) a decoded vehicle at its observed CFO.
+  void enroll(const phy::TransponderId& vehicle, double cfoHz, double time);
+
+  /// Match an anonymous sighting to an enrolled vehicle, updating the
+  /// matched signature's center and lastSeen on success.
+  std::optional<CfoMatch> match(double cfoHz, double time);
+
+  std::size_t size() const { return signatures_.size(); }
+  const std::vector<CfoSignature>& signatures() const { return signatures_; }
+
+  /// Expected collision rate among enrolled devices: the fraction of
+  /// signature pairs closer than the ambiguity margin — a measure of how
+  /// far CFO-only identification scales (it does not, city-wide; §5's
+  /// bin-collision analysis applies).
+  double ambiguousPairFraction() const;
+
+ private:
+  CfoRegistryConfig config_;
+  std::vector<CfoSignature> signatures_;
+};
+
+}  // namespace caraoke::apps

@@ -1,0 +1,85 @@
+#include "apps/parking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace caraoke::apps {
+
+ParkingService::ParkingService(ParkingConfig config)
+    : config_(std::move(config)) {}
+
+std::optional<std::size_t> ParkingService::snapToSpot(double x) const {
+  std::optional<std::size_t> best;
+  double bestDist = config_.snapToleranceMeters;
+  for (std::size_t i = 0; i < config_.spots.size(); ++i) {
+    const double d = std::abs(config_.spots[i].centerX - x);
+    if (d <= bestDist) {
+      bestDist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> ParkingService::spotForCone(
+    const core::ConeConstraint& cone, double hintX) const {
+  if (config_.spots.empty()) return std::nullopt;
+  double xMin = std::numeric_limits<double>::infinity();
+  double xMax = -std::numeric_limits<double>::infinity();
+  for (const auto& s : config_.spots) {
+    xMin = std::min(xMin, s.centerX - s.lengthMeters);
+    xMax = std::max(xMax, s.centerX + s.lengthMeters);
+  }
+  const std::vector<double> roots = core::localizeOnLine(
+      cone, config_.rowY, config_.transponderZ, xMin, xMax);
+  if (roots.empty()) return std::nullopt;
+  const double x = *std::min_element(
+      roots.begin(), roots.end(), [&](double a, double b) {
+        return std::abs(a - hintX) < std::abs(b - hintX);
+      });
+  return snapToSpot(x);
+}
+
+void ParkingService::vehicleSeen(const phy::TransponderId& vehicle,
+                                 std::size_t spot, double time) {
+  auto it = open_.find(vehicle.factoryId);
+  if (it != open_.end() && it->second.spot == spot) return;  // still there
+  // Re-parked in a different spot: close silently and reopen (a real
+  // deployment would bill the first stint; callers can use vehicleLeft
+  // first if they want the charge).
+  ParkingSession session;
+  session.vehicle = vehicle;
+  session.spot = spot;
+  session.startTime = time;
+  open_[vehicle.factoryId] = session;
+}
+
+std::optional<ParkingCharge> ParkingService::vehicleLeft(
+    const phy::TransponderId& vehicle, double time) {
+  auto it = open_.find(vehicle.factoryId);
+  if (it == open_.end()) return std::nullopt;
+  ParkingCharge charge;
+  charge.vehicle = it->second.vehicle;
+  charge.spot = it->second.spot;
+  charge.durationSec = std::max(0.0, time - it->second.startTime);
+  charge.amount = charge.durationSec / 3600.0 * config_.ratePerHour;
+  open_.erase(it);
+  return charge;
+}
+
+std::set<std::size_t> ParkingService::occupiedSpots() const {
+  std::set<std::size_t> occupied;
+  for (const auto& [key, session] : open_) occupied.insert(session.spot);
+  return occupied;
+}
+
+std::vector<std::size_t> ParkingService::availableSpots() const {
+  const std::set<std::size_t> occupied = occupiedSpots();
+  std::vector<std::size_t> available;
+  for (std::size_t i = 0; i < config_.spots.size(); ++i)
+    if (!occupied.count(i)) available.push_back(i);
+  return available;
+}
+
+}  // namespace caraoke::apps

@@ -1,0 +1,87 @@
+// Smart street-parking service (paper §1, §4: park anywhere, the city
+// localizes the car and charges the account automatically).
+//
+// Readers on street lamps localize parked transponders to the parking row
+// (a known line y = rowY); the service snaps each localized x to a spot,
+// tracks park/leave sessions per transponder, reports occupancy, and
+// computes charges.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "phy/packet.hpp"
+#include "sim/geometry.hpp"
+
+namespace caraoke::apps {
+
+/// Service configuration.
+struct ParkingConfig {
+  std::vector<sim::ParkingSpot> spots;
+  double rowY = 0.0;         ///< y of the parking row (world frame).
+  double transponderZ = 1.2; ///< Windshield height.
+  /// Snap tolerance: a localized x farther than this from every spot
+  /// center is rejected.
+  double snapToleranceMeters = 3.0;
+  double ratePerHour = 2.50;  ///< Billing rate [$/h].
+};
+
+/// An open or closed parking session.
+struct ParkingSession {
+  phy::TransponderId vehicle{};
+  std::size_t spot = 0;
+  double startTime = 0.0;
+  std::optional<double> endTime;
+};
+
+/// A finalized charge.
+struct ParkingCharge {
+  phy::TransponderId vehicle{};
+  std::size_t spot = 0;
+  double durationSec = 0.0;
+  double amount = 0.0;
+};
+
+/// The parking application.
+class ParkingService {
+ public:
+  explicit ParkingService(ParkingConfig config);
+
+  /// Candidate spot for a single-reader AoA cone: intersect the cone with
+  /// the parking row line and snap to the nearest spot. Multiple roots are
+  /// resolved toward `hintX` (e.g. the previous fix, or the midpoint of
+  /// the covered row).
+  std::optional<std::size_t> spotForCone(const core::ConeConstraint& cone,
+                                         double hintX) const;
+
+  /// Spot index nearest a localized x (within tolerance).
+  std::optional<std::size_t> snapToSpot(double x) const;
+
+  /// A decoded vehicle was localized in a spot at `time`: opens a session
+  /// (or refreshes an existing one in the same spot).
+  void vehicleSeen(const phy::TransponderId& vehicle, std::size_t spot,
+                   double time);
+
+  /// The vehicle left (no longer sighted); closes its session and returns
+  /// the charge.
+  std::optional<ParkingCharge> vehicleLeft(const phy::TransponderId& vehicle,
+                                           double time);
+
+  /// Spots currently occupied.
+  std::set<std::size_t> occupiedSpots() const;
+
+  /// Free-spot indices — the "find parking" user query.
+  std::vector<std::size_t> availableSpots() const;
+
+  const ParkingConfig& config() const { return config_; }
+
+ private:
+  ParkingConfig config_;
+  /// Open sessions keyed by factory id (unique per transponder).
+  std::map<std::uint64_t, ParkingSession> open_;
+};
+
+}  // namespace caraoke::apps

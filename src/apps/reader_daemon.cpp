@@ -1,0 +1,199 @@
+#include "apps/reader_daemon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+#include "phy/protocol.hpp"
+
+namespace caraoke::apps {
+
+namespace {
+
+core::ArrayGeometry geometryOf(const sim::ReaderNode& node) {
+  core::ArrayGeometry g;
+  g.elements = node.array().elements();
+  g.pairs = sim::TriangleArray::pairs();
+  return g;
+}
+
+}  // namespace
+
+ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
+                           std::size_t readerIndex, Rng rng)
+    : config_(config),
+      scene_(scene),
+      readerIndex_(readerIndex),
+      rng_(rng),
+      counter_([&] {
+        config.counter.noiseSigma =
+            scene.reader(readerIndex).frontEnd.noiseSigma;
+        return config.counter;
+      }()),
+      analyzer_(),
+      tracker_(config.tracker),
+      aoa_(geometryOf(scene.reader(readerIndex))) {
+  // The road-parallel pair drives the tracker's cos(alpha) feed.
+  double bestAlign = -1.0;
+  for (std::size_t p = 0; p < aoa_.geometry().pairs.size(); ++p) {
+    const double align = std::abs(aoa_.geometry().baselineDirection(p).x);
+    if (align > bestAlign) {
+      bestAlign = align;
+      roadPair_ = p;
+    }
+  }
+  clock_.ntpSync(0.0, net::kNtpResidualRmsSec, rng_);
+}
+
+void ReaderDaemon::accountActive(double activeSec) {
+  stats_.energyJoules += config_.power.activeWatts * activeSec;
+}
+
+void ReaderDaemon::measurementWindow(double now) {
+  const sim::ReaderNode& node = scene_.reader(readerIndex_);
+  const double lo = node.frontEnd.sampling.loFrequencyHz;
+
+  // Fire the query burst.
+  std::vector<dsp::CVec> burstPrimary;           // antenna 0 per query
+  std::vector<std::vector<dsp::CVec>> captures;  // all antennas per query
+  for (std::size_t q = 0; q < config_.queriesPerWindow; ++q) {
+    sim::Capture capture = scene_.query(readerIndex_, now, rng_);
+    burstPrimary.push_back(capture.antennaSamples.front());
+    captures.push_back(std::move(capture.antennaSamples));
+  }
+  stats_.queriesSent += config_.queriesPerWindow;
+  accountActive(static_cast<double>(config_.queriesPerWindow) *
+                phy::kQueryInterval);
+
+  // Count and report.
+  const core::CountResult count = counter_.count(burstPrimary);
+  batcher_.add(net::Message{net::CountReport{
+      config_.readerId, clock_.localTime(now),
+      static_cast<std::uint32_t>(count.estimate)}});
+
+  // Observe: the tracker gets one update per window, built from the
+  // counter's vetoed spike list (its variance/shape tests reject the
+  // deterministic data lines that would otherwise spawn ghost tracks).
+  // Per counted bin, the per-query channels feed a circular-mean AoA.
+  std::vector<std::vector<core::TransponderObservation>> perQuery;
+  perQuery.reserve(captures.size());
+  for (const auto& antennas : captures)
+    perQuery.push_back(analyzer_.analyze(antennas));
+
+  std::vector<core::TrackerObservation> windowFeed;
+  for (std::size_t spike = 0; spike < count.bins.size(); ++spike) {
+    const double spikeCfo = static_cast<double>(count.bins[spike]) *
+                            node.frontEnd.sampling.sampleRateHz /
+                            static_cast<double>(
+                                node.frontEnd.sampling.responseSamples());
+    core::AoaAggregator aggregator(aoa_.geometry());
+    double magnitudeSum = 0.0;
+    double cfoSum = 0.0;
+    std::size_t seen = 0;
+    for (const auto& observations : perQuery) {
+      const core::TransponderObservation* best = nullptr;
+      double gap = 4e3;
+      for (const auto& obs : observations) {
+        const double g = std::abs(obs.cfoHz - spikeCfo);
+        if (g < gap) {
+          gap = g;
+          best = &obs;
+        }
+      }
+      if (best == nullptr) continue;
+      aggregator.add(*best);
+      magnitudeSum += best->peakMagnitude;
+      cfoSum += best->cfoHz;
+      ++seen;
+    }
+    if (seen == 0) continue;
+    const auto aoa = aggregator.result(lo);
+    const auto& pa = aoa.perPair.at(roadPair_);
+    windowFeed.push_back({cfoSum / static_cast<double>(seen),
+                          std::cos(pa.angleRad),
+                          magnitudeSum / static_cast<double>(seen)});
+  }
+  tracker_.update(now, windowFeed);
+  for (const core::Track& track : tracker_.tracks()) {
+    if (!track.confirmed(config_.tracker.confirmHits)) continue;
+    if (track.lastSeen < now) continue;  // not seen this window
+    net::SightingReport sighting;
+    sighting.readerId = config_.readerId;
+    sighting.timestamp = clock_.localTime(now);
+    sighting.cfoHz = track.cfoHz;
+    sighting.pairIndex = static_cast<std::uint32_t>(roadPair_);
+    sighting.angleRad = std::acos(std::clamp(track.cosAlpha, -1.0, 1.0));
+    batcher_.add(net::Message{sighting});
+  }
+
+  // Opportunistic decode: pick the strongest confirmed, unidentified
+  // track and spend the decode budget combining this window's captures.
+  const core::Track* target = nullptr;
+  for (const core::Track& track : tracker_.tracks()) {
+    if (!track.confirmed(config_.tracker.confirmHits)) continue;
+    if (std::find(identifiedTracks_.begin(), identifiedTracks_.end(),
+                  track.trackId) != identifiedTracks_.end())
+      continue;
+    if (target == nullptr || track.hits > target->hits) target = &track;
+  }
+  if (target != nullptr) {
+    core::CollisionDecoder decoder(config_.decoder);
+    decoder.reset(target->cfoHz);
+    const std::size_t budget =
+        std::min(config_.decodeCollisionsPerWindow, burstPrimary.size());
+    for (std::size_t q = 0; q < budget; ++q) {
+      if (auto id = decoder.addCollision(burstPrimary[q])) {
+        identifiedTracks_.push_back(target->trackId);
+        net::DecodeReport report;
+        report.readerId = config_.readerId;
+        report.timestamp = clock_.localTime(now);
+        report.cfoHz = target->cfoHz;
+        report.id = *id;
+        decoded_.push_back(report);
+        batcher_.add(net::Message{report});
+        ++stats_.decodedIds;
+        break;
+      }
+    }
+  }
+
+  ++stats_.measurements;
+}
+
+void ReaderDaemon::runUntil(double untilTime) {
+  while (nextMeasurement_ <= untilTime) {
+    const double now = nextMeasurement_;
+
+    if (now >= nextNtp_) {
+      clock_.ntpSync(now, net::kNtpResidualRmsSec, rng_);
+      nextNtp_ = now + config_.ntpPeriodSec;
+    }
+
+    measurementWindow(now);
+
+    if (now >= nextUplink_ && batcher_.pending() > 0) {
+      const std::size_t bytes = batcher_.byteSize();
+      // Modem burst: air time at ~1 Mbps plus wake overhead.
+      const double airSec = net::batchAirTimeSec(bytes, 1e6) + 0.02;
+      stats_.energyJoules += config_.power.modemBurstWatts * airSec;
+      stats_.uplinkBytes += bytes;
+      ++stats_.uplinkFlushes;
+      uplink_.push_back(batcher_.flush());
+      nextUplink_ = now + config_.uplinkPeriodSec;
+    }
+
+    // Sleep until the next measurement.
+    stats_.energyJoules +=
+        config_.power.sleepWatts * config_.measurementPeriodSec;
+    nextMeasurement_ = now + config_.measurementPeriodSec;
+  }
+  now_ = untilTime;
+}
+
+std::vector<std::vector<std::uint8_t>> ReaderDaemon::takeUplink() {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.swap(uplink_);
+  return out;
+}
+
+}  // namespace caraoke::apps

@@ -1,0 +1,112 @@
+// The reader "firmware" loop: what actually runs on the pole.
+//
+// Ties the whole system together the way §10 describes the device
+// operating: the micro-controller duty-cycles between sleep and short
+// active windows; each active window fires a burst of queries, runs the
+// counting/observation pipeline on the collisions, updates the per-CFO
+// tracker, opportunistically decodes ids, batches the results, and
+// periodically wakes the modem to flush the batch upstream — while the
+// energy ledger accounts for every phase against the §12.5 power model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aoa.hpp"
+#include "core/counter.hpp"
+#include "core/decoder.hpp"
+#include "core/tracker.hpp"
+#include "net/clock.hpp"
+#include "net/framing.hpp"
+#include "power/model.hpp"
+#include "sim/scene.hpp"
+
+namespace caraoke::apps {
+
+/// Daemon configuration.
+struct ReaderDaemonConfig {
+  std::uint32_t readerId = 1;
+  /// Queries per active window (§10: ~10 max in a 10 ms window).
+  std::size_t queriesPerWindow = 8;
+  /// One measurement per this period (the duty cycle).
+  double measurementPeriodSec = 1.0;
+  /// Modem flush period (footnote 15: batch, then sleep the modem).
+  double uplinkPeriodSec = 30.0;
+  /// NTP re-sync period.
+  double ntpPeriodSec = 600.0;
+  /// Decode budget: at most this many decode attempts (collision
+  /// combines) per active window, spent on the strongest unidentified
+  /// track.
+  std::size_t decodeCollisionsPerWindow = 4;
+
+  core::MultiQueryCounterConfig counter{};
+  core::TrackerConfig tracker{};
+  core::DecoderConfig decoder{};
+  power::PowerProfile power{};
+};
+
+/// Cumulative operating statistics.
+struct DaemonStats {
+  std::size_t measurements = 0;
+  std::size_t queriesSent = 0;
+  std::size_t decodedIds = 0;
+  std::size_t uplinkFlushes = 0;
+  std::size_t uplinkBytes = 0;
+  double energyJoules = 0.0;
+
+  /// Average electrical power over the run.
+  double averagePowerWatts(double elapsedSec) const {
+    return elapsedSec > 0 ? energyJoules / elapsedSec : 0.0;
+  }
+};
+
+/// The firmware loop, driven against a simulated scene.
+class ReaderDaemon {
+ public:
+  /// readerIndex: which scene reader this daemon owns. The array
+  /// geometry is taken from the scene's reader node.
+  ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
+               std::size_t readerIndex, Rng rng);
+
+  /// Advance the daemon to `untilTime` (true time, seconds), performing
+  /// every measurement/uplink/sync due in between.
+  void runUntil(double untilTime);
+
+  /// Batches flushed since the last call (wire bytes, ready for
+  /// net::decodeBatch / Backend::ingest).
+  std::vector<std::vector<std::uint8_t>> takeUplink();
+
+  const DaemonStats& stats() const { return stats_; }
+  const core::TransponderTracker& tracker() const { return tracker_; }
+  const net::ReaderClock& clock() const { return clock_; }
+
+  /// Identities decoded so far, keyed by the CFO they were seen at.
+  const std::vector<net::DecodeReport>& decoded() const { return decoded_; }
+
+ private:
+  void measurementWindow(double now);
+  void accountActive(double activeSec);
+
+  ReaderDaemonConfig config_;
+  sim::Scene& scene_;
+  std::size_t readerIndex_;
+  Rng rng_;
+  core::MultiQueryCounter counter_;
+  core::SpectrumAnalyzer analyzer_;
+  core::TransponderTracker tracker_;
+  core::AoaEstimator aoa_;
+  std::size_t roadPair_ = 0;
+  net::ReaderClock clock_;
+  net::FrameBatcher batcher_;
+  std::vector<std::vector<std::uint8_t>> uplink_;
+  std::vector<net::DecodeReport> decoded_;
+  /// Per-track decode state: tracks already identified (by track id).
+  std::vector<std::uint64_t> identifiedTracks_;
+  DaemonStats stats_;
+  double now_ = 0.0;
+  double nextMeasurement_ = 0.0;
+  double nextUplink_ = 0.0;
+  double nextNtp_ = 0.0;
+};
+
+}  // namespace caraoke::apps

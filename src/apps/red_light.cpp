@@ -1,0 +1,24 @@
+#include "apps/red_light.hpp"
+
+namespace caraoke::apps {
+
+std::optional<RedLightViolation> RedLightDetector::check(
+    const std::vector<core::AngleSample>& track,
+    const std::optional<phy::TransponderId>& vehicle) const {
+  const auto crossing = core::findAbeamTime(track);
+  if (!crossing) return std::nullopt;
+  if (light_.phaseAt(*crossing) != sim::LightPhase::kRed) return std::nullopt;
+
+  // Grace period: how long has the light been red at the crossing?
+  // time-into-red = red duration - time remaining in the red phase.
+  const double remaining = light_.timeToPhaseEnd(*crossing);
+  const double intoRed = light_.redSec() - remaining;
+  if (intoRed < config_.gracePeriodSec) return std::nullopt;
+
+  RedLightViolation violation;
+  violation.crossingTime = *crossing;
+  violation.vehicle = vehicle;
+  return violation;
+}
+
+}  // namespace caraoke::apps

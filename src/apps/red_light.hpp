@@ -1,0 +1,50 @@
+// Red-light-running detection (paper §1: "detect cars that run a
+// red-light, and automatically charge their accounts for a ticket").
+//
+// A reader at the stop line tracks a transponder's along-road angle; the
+// abeam time is the moment the car crosses the stop-line plane. If the
+// crossing happens while the signal is red (with a grace period for cars
+// legally in the intersection at onset), it is a violation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/speed.hpp"
+#include "phy/packet.hpp"
+#include "sim/traffic_light.hpp"
+
+namespace caraoke::apps {
+
+/// A detected violation.
+struct RedLightViolation {
+  double crossingTime = 0.0;
+  std::optional<phy::TransponderId> vehicle;
+};
+
+/// Detection configuration.
+struct RedLightConfig {
+  /// Seconds into red before crossings count (clears the intersection).
+  double gracePeriodSec = 1.0;
+};
+
+/// Stop-line crossing checker.
+class RedLightDetector {
+ public:
+  RedLightDetector(RedLightConfig config, sim::TrafficLight light)
+      : config_(config), light_(light) {}
+
+  /// Evaluate one vehicle's angle track at the stop-line pole. Timestamps
+  /// must be in the light controller's time base.
+  std::optional<RedLightViolation> check(
+      const std::vector<core::AngleSample>& track,
+      const std::optional<phy::TransponderId>& vehicle) const;
+
+  const sim::TrafficLight& light() const { return light_; }
+
+ private:
+  RedLightConfig config_;
+  sim::TrafficLight light_;
+};
+
+}  // namespace caraoke::apps

@@ -1,0 +1,38 @@
+#include "apps/speed_enforcement.hpp"
+
+#include <cmath>
+
+namespace caraoke::apps {
+
+void SpeedEnforcer::addSample(bool poleA, const core::AngleSample& sample) {
+  (poleA ? samplesA_ : samplesB_).push_back(sample);
+}
+
+std::optional<double> SpeedEnforcer::estimatedSpeed() const {
+  const auto tA = core::findAbeamTime(samplesA_);
+  const auto tB = core::findAbeamTime(samplesB_);
+  if (!tA || !tB) return std::nullopt;
+  const auto v = core::estimateSpeed(config_.poleAX, *tA, config_.poleBX, *tB);
+  if (!v) return std::nullopt;
+  return std::abs(*v);
+}
+
+std::optional<SpeedTicket> SpeedEnforcer::evaluate() const {
+  const auto v = estimatedSpeed();
+  if (!v || *v <= config_.limitMps) return std::nullopt;
+  SpeedTicket ticket;
+  ticket.speedMps = *v;
+  ticket.limitMps = config_.limitMps;
+  const auto tB = core::findAbeamTime(samplesB_);
+  ticket.timeAtSecondPole = tB.value_or(0.0);
+  ticket.vehicle = vehicle_;
+  return ticket;
+}
+
+void SpeedEnforcer::clear() {
+  samplesA_.clear();
+  samplesB_.clear();
+  vehicle_.reset();
+}
+
+}  // namespace caraoke::apps

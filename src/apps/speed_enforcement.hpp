@@ -1,0 +1,59 @@
+// Speed enforcement (paper §1, §7, §12.3): two pole-mounted readers time a
+// car's abeam passages; the speed estimate plus a decoded id yields a
+// ticket that is attributable to a specific vehicle — the capability
+// traffic radars lack (§4).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/speed.hpp"
+#include "phy/packet.hpp"
+
+namespace caraoke::apps {
+
+/// A speeding citation.
+struct SpeedTicket {
+  double speedMps = 0.0;
+  double limitMps = 0.0;
+  double timeAtSecondPole = 0.0;
+  std::optional<phy::TransponderId> vehicle;
+};
+
+/// Enforcement site configuration: two poles on the same street.
+struct SpeedEnforcerConfig {
+  double poleAX = 0.0;
+  double poleBX = 60.0;
+  double limitMps = 15.6;  ///< 35 mph default residential limit.
+};
+
+/// Accumulates per-pole angle tracks for one target transponder and
+/// evaluates its speed once both passages are complete.
+class SpeedEnforcer {
+ public:
+  explicit SpeedEnforcer(SpeedEnforcerConfig config) : config_(config) {}
+
+  /// Add one AoA sample from pole A or B (reader-local timestamps; the
+  /// caller applies its clock model).
+  void addSample(bool poleA, const core::AngleSample& sample);
+
+  /// Attach the decoded identity (from the §8 decoder) when available.
+  void setVehicle(const phy::TransponderId& id) { vehicle_ = id; }
+
+  /// Estimated speed if both crossings were observed.
+  std::optional<double> estimatedSpeed() const;
+
+  /// A ticket if the estimated speed exceeds the limit.
+  std::optional<SpeedTicket> evaluate() const;
+
+  void clear();
+
+  const SpeedEnforcerConfig& config() const { return config_; }
+
+ private:
+  SpeedEnforcerConfig config_;
+  std::vector<core::AngleSample> samplesA_, samplesB_;
+  std::optional<phy::TransponderId> vehicle_;
+};
+
+}  // namespace caraoke::apps

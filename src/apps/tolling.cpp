@@ -1,0 +1,28 @@
+#include "apps/tolling.hpp"
+
+namespace caraoke::apps {
+
+std::optional<TollCharge> TollPlaza::onCrossing(
+    const core::AbeamEvent& event, const phy::TransponderId& vehicle) {
+  const auto it = lastCharge_.find(vehicle.factoryId);
+  if (it != lastCharge_.end() &&
+      event.crossingTime - it->second < config_.duplicateWindowSec)
+    return std::nullopt;
+
+  TollCharge charge;
+  charge.vehicle = vehicle;
+  charge.time = event.crossingTime;
+  charge.amount = config_.tollAmount;
+  charge.northbound = event.rate < 0.0;
+  lastCharge_[vehicle.factoryId] = event.crossingTime;
+  ledger_.push_back(charge);
+  return charge;
+}
+
+double TollPlaza::revenue() const {
+  double total = 0.0;
+  for (const TollCharge& c : ledger_) total += c.amount;
+  return total;
+}
+
+}  // namespace caraoke::apps

@@ -1,0 +1,59 @@
+// Open-road tolling: the transponders' original purpose, re-built on
+// Caraoke's collision-tolerant reader (paper §1: today's toll lanes need
+// physical isolation and directional antennas; Caraoke does not).
+//
+// A gantry reader tracks vehicles via their CFO, detects the abeam
+// crossing of the toll line, decodes the id from the accumulated
+// collisions, and posts a charge — with duplicate suppression so a car
+// idling near the gantry is charged once.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/tracker.hpp"
+#include "phy/packet.hpp"
+
+namespace caraoke::apps {
+
+/// One posted toll charge.
+struct TollCharge {
+  phy::TransponderId vehicle{};
+  double time = 0.0;
+  double amount = 0.0;
+  bool northbound = false;  ///< From the crossing direction (rate sign).
+};
+
+/// Plaza configuration.
+struct TollPlazaConfig {
+  double tollAmount = 1.75;
+  /// A vehicle crossing again within this window is not re-charged
+  /// (stop-and-go traffic on the line).
+  double duplicateWindowSec = 10.0;
+};
+
+/// Toll charging logic fed by tracker abeam events plus decoded ids.
+class TollPlaza {
+ public:
+  explicit TollPlaza(TollPlazaConfig config = {}) : config_(config) {}
+
+  /// A vehicle crossed the line (tracker event) with a decoded identity.
+  /// Returns the charge if one was posted; nullopt for duplicates.
+  std::optional<TollCharge> onCrossing(const core::AbeamEvent& event,
+                                       const phy::TransponderId& vehicle);
+
+  /// All charges posted so far.
+  const std::vector<TollCharge>& ledger() const { return ledger_; }
+
+  /// Total revenue collected.
+  double revenue() const;
+
+ private:
+  TollPlazaConfig config_;
+  std::vector<TollCharge> ledger_;
+  /// Last charge time per factory id, for duplicate suppression.
+  std::map<std::uint64_t, double> lastCharge_;
+};
+
+}  // namespace caraoke::apps

@@ -1,0 +1,71 @@
+#include "apps/traffic_monitor.hpp"
+
+#include <cmath>
+
+namespace caraoke::apps {
+
+TrafficMonitor::TrafficMonitor(TrafficMonitorConfig config, Rng rng)
+    : config_(config), rng_(rng), counter_([&config] {
+        // Calibrate the counter's absolute floor to the front-end noise.
+        config.counter.noiseSigma = config.reader.frontEnd.noiseSigma;
+        return config.counter;
+      }()) {}
+
+TrafficSample TrafficMonitor::sample(const sim::ApproachSim& approach) {
+  TrafficSample out;
+  out.time = approach.now();
+  out.phase = approach.light().phaseAt(approach.now());
+  out.trueCars = approach.carsInRange(config_.poleX, config_.rangeMeters);
+  out.trueTransponders =
+      approach.transpondersInRange(config_.poleX, config_.rangeMeters);
+
+  // Materialize transponder devices for tagged in-range cars and fire one
+  // query.
+  std::vector<sim::ActiveDevice> devices;
+  for (const sim::SimCar& car : approach.cars()) {
+    if (!car.hasTransponder) continue;
+    if (std::abs(car.position - config_.poleX) > config_.rangeMeters)
+      continue;
+    auto it = tags_.find(car.id);
+    if (it == tags_.end()) {
+      Rng deviceRng = rng_.fork();
+      it = tags_
+               .emplace(car.id,
+                        sim::Transponder(phy::Packet::randomId(rng_),
+                                         car.carrierHz, deviceRng))
+               .first;
+    }
+    devices.push_back(
+        {&it->second,
+         phy::Vec3{car.position, config_.laneY, config_.transponderZ}});
+  }
+
+  if (devices.empty()) {
+    out.rfCount = 0;
+  } else {
+    // One measurement = a burst of queries inside the reader's active
+    // window; the multi-query counter classifies bin occupancy from the
+    // per-query magnitude variance.
+    sim::MultipathConfig multipath;
+    std::vector<dsp::CVec> burst;
+    burst.reserve(config_.queriesPerSample);
+    for (std::size_t q = 0; q < config_.queriesPerSample; ++q)
+      burst.push_back(
+          sim::captureCollision(config_.reader, devices, multipath, rng_)
+              .antennaSamples.front());
+    out.rfCount = counter_.count(burst).estimate;
+  }
+
+  // Prune tags of cars that left the model (bounded memory).
+  if (tags_.size() > 4096) {
+    std::map<std::uint64_t, sim::Transponder> keep;
+    for (const sim::SimCar& car : approach.cars()) {
+      auto it = tags_.find(car.id);
+      if (it != tags_.end()) keep.emplace(it->first, it->second);
+    }
+    tags_ = std::move(keep);
+  }
+  return out;
+}
+
+}  // namespace caraoke::apps

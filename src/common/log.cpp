@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace caraoke {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* levelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::cerr << "[caraoke " << levelTag(level) << "] " << message << '\n';
+}
+
+}  // namespace caraoke

@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs sparingly (benches and examples narrate their own
+// output); logging exists mainly so long simulations can surface progress
+// and so tests can silence everything.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace caraoke {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library users are not spammed.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one line at the given level (no-op when below the threshold).
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void logDebug(const Args&... args) {
+  if (logLevel() <= LogLevel::kDebug)
+    logMessage(LogLevel::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void logInfo(const Args&... args) {
+  if (logLevel() <= LogLevel::kInfo)
+    logMessage(LogLevel::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void logWarn(const Args&... args) {
+  if (logLevel() <= LogLevel::kWarn)
+    logMessage(LogLevel::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void logError(const Args&... args) {
+  if (logLevel() <= LogLevel::kError)
+    logMessage(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace caraoke

@@ -1,0 +1,58 @@
+// Lightweight expected/error type for recoverable failures.
+//
+// Expected failures (a packet that fails its CRC, a localization with no
+// on-road solution) are values, not exceptions; exceptions are reserved for
+// programming errors. Result<T> is a minimal std::expected stand-in that
+// carries either a T or a human-readable error string.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace caraoke {
+
+/// Either a value of type T or an error message. Modeled after
+/// std::expected<T, std::string> (not available in our toolchain's stdlib).
+template <typename T>
+class Result {
+ public:
+  /// Construct a success result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Construct a failure result with a diagnostic message.
+  static Result failure(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  /// True when a value is present.
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Access the value; throws std::logic_error if this is a failure
+  /// (that access is a programming error, hence an exception).
+  const T& value() const {
+    if (!value_) throw std::logic_error("Result::value() on error: " + error_);
+    return *value_;
+  }
+  T& value() {
+    if (!value_) throw std::logic_error("Result::value() on error: " + error_);
+    return *value_;
+  }
+
+  /// The value, or a fallback when this is a failure.
+  T valueOr(T fallback) const { return value_ ? *value_ : std::move(fallback); }
+
+  /// The diagnostic message; empty for success results.
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace caraoke

@@ -1,0 +1,40 @@
+// Console table rendering for benchmark harnesses.
+//
+// Every bench binary regenerates one paper table/figure and prints it as an
+// aligned text table ("paper" column next to "measured" column). This tiny
+// formatter keeps that output consistent across benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace caraoke {
+
+/// Builds and prints a fixed-column text table. Cells are strings; numeric
+/// convenience overloads format with a sensible default precision.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a fully formed row; must match the header count.
+  void addRow(std::vector<std::string> cells);
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by bench binaries to label each experiment.
+void printBanner(const std::string& title);
+
+}  // namespace caraoke

@@ -1,0 +1,84 @@
+// Physical-unit helpers and constants shared across the Caraoke codebase.
+//
+// Everything internal is SI: seconds, meters, hertz, watts. These inline
+// helpers make call sites read like the paper ("512_us", "915 MHz") without
+// introducing a heavyweight unit-type system.
+#pragma once
+
+#include <cmath>
+
+namespace caraoke {
+
+/// Speed of light in vacuum [m/s]. Used for wavelength and path delays.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// pi with double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Two pi, the angular frequency multiplier.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+// --- frequency ---------------------------------------------------------
+
+/// Kilohertz to hertz.
+constexpr double kHz(double v) { return v * 1e3; }
+/// Megahertz to hertz.
+constexpr double MHz(double v) { return v * 1e6; }
+/// Gigahertz to hertz.
+constexpr double GHz(double v) { return v * 1e9; }
+
+// --- time ---------------------------------------------------------------
+
+/// Microseconds to seconds.
+constexpr double usec(double v) { return v * 1e-6; }
+/// Milliseconds to seconds.
+constexpr double msec(double v) { return v * 1e-3; }
+/// Seconds identity (for symmetric call sites).
+constexpr double sec(double v) { return v; }
+
+// --- length -------------------------------------------------------------
+
+/// Feet to meters. The paper quotes pole heights and lane widths in feet.
+constexpr double feet(double v) { return v * 0.3048; }
+/// Inches to meters (antenna separation is quoted in inches).
+constexpr double inches(double v) { return v * 0.0254; }
+/// Centimeters to meters.
+constexpr double cm(double v) { return v * 0.01; }
+
+// --- speed --------------------------------------------------------------
+
+/// Miles per hour to meters per second. Speed experiments use mph.
+constexpr double mph(double v) { return v * 0.44704; }
+/// Meters per second back to miles per hour, for reporting.
+constexpr double toMph(double mps) { return mps / 0.44704; }
+
+// --- angles -------------------------------------------------------------
+
+/// Degrees to radians.
+constexpr double deg2rad(double d) { return d * kPi / 180.0; }
+/// Radians to degrees.
+constexpr double rad2deg(double r) { return r * 180.0 / kPi; }
+
+// --- power --------------------------------------------------------------
+
+/// Milliwatts to watts.
+constexpr double mW(double v) { return v * 1e-3; }
+/// Microwatts to watts.
+constexpr double uW(double v) { return v * 1e-6; }
+
+/// Linear power ratio to decibels.
+inline double toDb(double ratio) { return 10.0 * std::log10(ratio); }
+/// Decibels to linear power ratio.
+inline double fromDb(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Wavelength of a carrier frequency [m].
+inline double wavelength(double carrierHz) { return kSpeedOfLight / carrierHz; }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrapPhase(double phi) {
+  double r = std::fmod(phi + kPi, kTwoPi);
+  if (r <= 0.0) r += kTwoPi;  // maps odd multiples of pi to +pi, not -pi
+  return r - kPi;
+}
+
+}  // namespace caraoke

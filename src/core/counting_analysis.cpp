@@ -1,0 +1,112 @@
+#include "core/counting_analysis.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace caraoke::core {
+
+double pAllDistinct(std::size_t m, std::size_t bins) {
+  if (m > bins) return 0.0;
+  double p = 1.0;
+  const double n = static_cast<double>(bins);
+  for (std::size_t i = 0; i < m; ++i)
+    p *= (n - static_cast<double>(i)) / n;
+  return p;
+}
+
+double pNoTripleLowerBound(std::size_t m, std::size_t bins) {
+  if (m < 3) return 1.0;
+  const double md = static_cast<double>(m);
+  const double choose3 = md * (md - 1.0) * (md - 2.0) / 6.0;
+  const double n = static_cast<double>(bins);
+  return std::max(0.0, 1.0 - choose3 / (n * n));
+}
+
+double pNoTripleExact(std::size_t m, std::size_t bins) {
+  // Throw m balls into `bins` bins; we want P(max occupancy <= 2).
+  // Count arrangements: sum over k = number of bins with exactly 2 balls.
+  // Ways = C(bins, k) * C(bins - k, m - 2k) * m! / (2!^k)
+  // (choose the double bins, choose the single bins, assign labeled balls).
+  // Computed in log space for numerical stability.
+  if (m > 2 * bins) return 0.0;
+  auto logFact = [](std::size_t x) { return std::lgamma(static_cast<double>(x) + 1.0); };
+  const double logTotal = static_cast<double>(m) *
+                          std::log(static_cast<double>(bins));
+  double p = 0.0;
+  for (std::size_t k = 0; 2 * k <= m; ++k) {
+    const std::size_t singles = m - 2 * k;
+    if (k + singles > bins) continue;
+    const double logWays =
+        logFact(bins) - logFact(k) - logFact(singles) -
+        logFact(bins - k - singles) + logFact(m) -
+        static_cast<double>(k) * std::log(2.0);
+    p += std::exp(logWays - logTotal);
+  }
+  return std::min(1.0, p);
+}
+
+namespace {
+
+// Occupancy scratch reused across trials: a per-trial epoch stamp avoids
+// re-zeroing the whole histogram every draw.
+struct BallScratch {
+  std::vector<std::uint32_t> epoch;
+  std::vector<std::size_t> count;
+  std::uint32_t trial = 0;
+};
+
+// Draw m bin indices and return the occupancy histogram's maximum plus the
+// distinct-bin count via output parameters.
+void throwBalls(std::size_t m, std::size_t bins, Rng& rng,
+                std::size_t& distinct, std::size_t& maxOccupancy,
+                BallScratch& scratch) {
+  if (scratch.epoch.size() != bins) {
+    scratch.epoch.assign(bins, 0);
+    scratch.count.assign(bins, 0);
+    scratch.trial = 0;
+  }
+  ++scratch.trial;
+  maxOccupancy = 0;
+  distinct = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t b = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(bins) - 1));
+    if (scratch.epoch[b] != scratch.trial) {
+      scratch.epoch[b] = scratch.trial;
+      scratch.count[b] = 0;
+      ++distinct;
+    }
+    ++scratch.count[b];
+    maxOccupancy = std::max(maxOccupancy, scratch.count[b]);
+  }
+}
+
+}  // namespace
+
+double mcNaiveCorrect(std::size_t m, std::size_t bins, std::size_t trials,
+                      Rng& rng) {
+  BallScratch scratch;
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t distinct = 0, maxOcc = 0;
+    throwBalls(m, bins, rng, distinct, maxOcc, scratch);
+    if (distinct == m) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+double mcPairRuleCorrect(std::size_t m, std::size_t bins, std::size_t trials,
+                         Rng& rng) {
+  BallScratch scratch;
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t distinct = 0, maxOcc = 0;
+    throwBalls(m, bins, rng, distinct, maxOcc, scratch);
+    if (maxOcc <= 2) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+}  // namespace caraoke::core

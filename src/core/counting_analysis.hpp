@@ -1,0 +1,38 @@
+// Closed-form counting-accuracy analysis (paper §5, Eq. 7 and Eq. 9) plus
+// Monte-Carlo validators.
+//
+// Model: m transponder CFOs fall independently and uniformly into N FFT
+// bins (N = 615 for the 1.2 MHz span at 1.95 kHz resolution).
+//   - Naive spike counting is exact iff all m bins are distinct (Eq. 7).
+//   - With the pair-detection rule (a multi bin counts as 2), counting is
+//     exact iff no bin holds 3 or more transponders; Eq. 9 lower-bounds
+//     that probability with a union bound.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace caraoke::core {
+
+/// Eq. 7: P(all m CFOs in distinct bins) = N!/(N-m)! / N^m.
+double pAllDistinct(std::size_t m, std::size_t bins);
+
+/// Eq. 9 lower bound: P(no bin holds >= 3) >= 1 - C(m,3) / N^2.
+double pNoTripleLowerBound(std::size_t m, std::size_t bins);
+
+/// Exact P(no bin holds >= 3 transponders), via dynamic programming over
+/// the multinomial occupancy (exact counterpart of Eq. 9's bound).
+double pNoTripleExact(std::size_t m, std::size_t bins);
+
+/// Monte-Carlo estimate of P(correct count) under the naive rule (count
+/// distinct occupied bins).
+double mcNaiveCorrect(std::size_t m, std::size_t bins, std::size_t trials,
+                      Rng& rng);
+
+/// Monte-Carlo estimate of P(correct count) under the pair-detection rule
+/// (bins with exactly 2 count as 2; >= 3 causes an error).
+double mcPairRuleCorrect(std::size_t m, std::size_t bins, std::size_t trials,
+                         Rng& rng);
+
+}  // namespace caraoke::core

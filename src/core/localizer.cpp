@@ -1,0 +1,211 @@
+#include "core/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace caraoke::core {
+
+double ConeConstraint::residual(const phy::Vec3& p) const {
+  const phy::Vec3 d = p - apex;
+  const double len = phy::length(d);
+  if (len <= 1e-9) return 1.0;
+  return phy::dot(axis, d) / len - std::cos(angleRad);
+}
+
+double hyperbolaY(double alphaRad, double poleHeightAboveTarget, double x) {
+  const double t = std::tan(alphaRad) * x;
+  const double y2 = t * t - poleHeightAboveTarget * poleHeightAboveTarget;
+  if (y2 < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return std::sqrt(y2);
+}
+
+namespace {
+
+// One 2-D Newton iteration run on (x, y) at fixed z. Returns true when it
+// converges to |F| < tol inside maxIter steps.
+bool newtonSolve(const ConeConstraint& a, const ConeConstraint& b, double z,
+                 double& x, double& y, double tol = 1e-10,
+                 int maxIter = 50) {
+  const double h = 1e-6;
+  for (int iter = 0; iter < maxIter; ++iter) {
+    const phy::Vec3 p{x, y, z};
+    const double f1 = a.residual(p);
+    const double f2 = b.residual(p);
+    if (std::abs(f1) < tol && std::abs(f2) < tol) return true;
+    // Numeric Jacobian.
+    const double f1x = (a.residual({x + h, y, z}) - f1) / h;
+    const double f1y = (a.residual({x, y + h, z}) - f1) / h;
+    const double f2x = (b.residual({x + h, y, z}) - f2) / h;
+    const double f2y = (b.residual({x, y + h, z}) - f2) / h;
+    const double det = f1x * f2y - f1y * f2x;
+    if (std::abs(det) < 1e-14) return false;
+    const double dx = (-f1 * f2y + f2 * f1y) / det;
+    const double dy = (-f2 * f1x + f1 * f2x) / det;
+    // Damped step to keep the iteration from flying off the patch.
+    const double step = std::min(1.0, 10.0 / std::max(1.0, std::hypot(dx, dy)));
+    x += step * dx;
+    y += step * dy;
+    if (!std::isfinite(x) || !std::isfinite(y)) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PositionFix> localizeTwoReadersCandidates(
+    const ConeConstraint& a, const ConeConstraint& b, const RoadPlane& road) {
+  // Seed grid spans the road patch between/around the two poles.
+  const double xLo = std::max(road.xMin,
+                              std::min(a.apex.x, b.apex.x) - 60.0);
+  const double xHi = std::min(road.xMax,
+                              std::max(a.apex.x, b.apex.x) + 60.0);
+  std::vector<PositionFix> onRoad, offRoad;
+  for (double sx = xLo; sx <= xHi; sx += 4.0) {
+    for (double sy = -road.halfWidth - 6.0; sy <= road.halfWidth + 6.0;
+         sy += 2.0) {
+      double x = sx, y = sy;
+      if (!newtonSolve(a, b, road.zHeight, x, y)) continue;
+      if (x < road.xMin || x > road.xMax) continue;
+      const phy::Vec3 p{x, y, road.zHeight};
+      PositionFix fix{p, std::hypot(a.residual(p), b.residual(p))};
+      auto& bucket = std::abs(y) <= road.halfWidth ? onRoad : offRoad;
+      const bool duplicate = std::any_of(
+          bucket.begin(), bucket.end(), [&](const PositionFix& f) {
+            return phy::distance(f.position, p) < 0.5;
+          });
+      if (!duplicate) bucket.push_back(fix);
+    }
+  }
+  auto byResidual = [](const PositionFix& u, const PositionFix& v) {
+    return u.residualNorm < v.residualNorm;
+  };
+  std::sort(onRoad.begin(), onRoad.end(), byResidual);
+  std::sort(offRoad.begin(), offRoad.end(), byResidual);
+  onRoad.insert(onRoad.end(), offRoad.begin(), offRoad.end());
+  return onRoad;
+}
+
+caraoke::Result<PositionFix> localizeTwoReaders(const ConeConstraint& a,
+                                                const ConeConstraint& b,
+                                                const RoadPlane& road) {
+  using R = caraoke::Result<PositionFix>;
+  const auto candidates = localizeTwoReadersCandidates(a, b, road);
+  if (candidates.empty())
+    return R::failure("no cone intersection found on the road patch");
+  return candidates.front();
+}
+
+std::vector<PositionFix> hyperbolaCandidates(const ConeConstraint& a,
+                                             const ConeConstraint& b,
+                                             const RoadPlane& road) {
+  if (std::abs(a.axis.y) > 1e-6 || std::abs(a.axis.z) > 1e-6 ||
+      std::abs(b.axis.y) > 1e-6 || std::abs(b.axis.z) > 1e-6)
+    return {};
+  const double y1 = a.apex.y, y2 = b.apex.y;
+  if (std::abs(y1 - y2) < 1e-6) return {};
+
+  const double x1 = a.apex.x, x2 = b.apex.x;
+  const double b1 = a.apex.z - road.zHeight;  // height above target plane
+  const double b2 = b.apex.z - road.zHeight;
+  const double t1 = std::tan(a.angleRad) * std::tan(a.angleRad);
+  const double t2 = std::tan(b.angleRad) * std::tan(b.angleRad);
+
+  // Eq. 15 per reader:
+  //   t1 (x - x1)^2 - (y - y1)^2 = b1^2
+  //   t2 (x - x2)^2 - (y - y2)^2 = b2^2
+  // Subtracting removes y^2 and yields y(x) in closed form.
+  auto yOfX = [&](double x) {
+    const double numerator =
+        t1 * (x - x1) * (x - x1) - t2 * (x - x2) * (x - x2) -
+        (b1 * b1 - b2 * b2) + (y2 * y2 - y1 * y1);
+    return numerator / (2.0 * (y2 - y1));
+  };
+  // Residual of reader A's hyperbola along the curve y = y(x). The sign
+  // of (x - xi) must also match the measured angle's side: cos(alpha) > 0
+  // puts the car on the +x side of the pole.
+  auto residual = [&](double x) {
+    const double y = yOfX(x);
+    return t1 * (x - x1) * (x - x1) - (y - y1) * (y - y1) - b1 * b1;
+  };
+  auto sideOk = [&](double x) {
+    const bool aSide = std::cos(a.angleRad) >= 0 ? (x - x1) * a.axis.x >= 0
+                                                 : (x - x1) * a.axis.x <= 0;
+    const bool bSide = std::cos(b.angleRad) >= 0 ? (x - x2) * b.axis.x >= 0
+                                                 : (x - x2) * b.axis.x <= 0;
+    return aSide && bSide;
+  };
+
+  // 1-D scan + bisection over the road patch.
+  const double xLo = std::max(road.xMin, std::min(x1, x2) - 80.0);
+  const double xHi = std::min(road.xMax, std::max(x1, x2) + 80.0);
+  std::vector<PositionFix> onRoad, offRoad;
+  double prevX = xLo, prevR = residual(xLo);
+  for (double x = xLo + 0.25; x <= xHi; x += 0.25) {
+    const double r = residual(x);
+    if ((prevR < 0.0) != (r < 0.0)) {
+      double lo = prevX, hi = x, rLo = prevR;
+      for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double rMid = residual(mid);
+        if ((rLo < 0.0) == (rMid < 0.0)) {
+          lo = mid;
+          rLo = rMid;
+        } else {
+          hi = mid;
+        }
+      }
+      const double xr = 0.5 * (lo + hi);
+      if (sideOk(xr)) {
+        const phy::Vec3 p{xr, yOfX(xr), road.zHeight};
+        PositionFix fix{p, std::abs(residual(xr))};
+        (std::abs(p.y) <= road.halfWidth ? onRoad : offRoad).push_back(fix);
+      }
+    }
+    prevX = x;
+    prevR = r;
+  }
+  onRoad.insert(onRoad.end(), offRoad.begin(), offRoad.end());
+  return onRoad;
+}
+
+caraoke::Result<PositionFix> localizeTwoReadersHyperbola(
+    const ConeConstraint& a, const ConeConstraint& b, const RoadPlane& road) {
+  using R = caraoke::Result<PositionFix>;
+  const auto candidates = hyperbolaCandidates(a, b, road);
+  if (candidates.empty())
+    return R::failure(
+        "hyperbola method: unsupported geometry or no intersection");
+  return candidates.front();
+}
+
+std::vector<double> localizeOnLine(const ConeConstraint& cone, double rowY,
+                                   double zHeight, double xMin, double xMax) {
+  // Scan for sign changes of the residual along the line, then bisect.
+  std::vector<double> roots;
+  const double step = 0.05;
+  double prevX = xMin;
+  double prevR = cone.residual({xMin, rowY, zHeight});
+  for (double x = xMin + step; x <= xMax; x += step) {
+    const double r = cone.residual({x, rowY, zHeight});
+    if (prevR == 0.0 || (prevR < 0.0) != (r < 0.0)) {
+      double lo = prevX, hi = x, rLo = prevR;
+      for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double rMid = cone.residual({mid, rowY, zHeight});
+        if ((rLo < 0.0) == (rMid < 0.0)) {
+          lo = mid;
+          rLo = rMid;
+        } else {
+          hi = mid;
+        }
+      }
+      roots.push_back(0.5 * (lo + hi));
+    }
+    prevX = x;
+    prevR = r;
+  }
+  return roots;
+}
+
+}  // namespace caraoke::core

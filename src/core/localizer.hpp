@@ -1,0 +1,93 @@
+// Position fixes from angle-of-arrival measurements (paper §6, Fig 7).
+//
+// One AoA constrains the transponder to a cone around the baseline axis;
+// cars live on the road plane, so the cone intersects it in a conic (a
+// hyperbola for a road-parallel baseline, an ellipse when the antennas are
+// tilted). Two readers give two conics whose on-road intersection is the
+// car. We solve the general problem numerically (2-D Newton with a seed
+// grid and road-side disambiguation) and also expose the paper's closed
+// form (Eq. 15) for the untilted case.
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "phy/channel.hpp"
+
+namespace caraoke::core {
+
+/// One AoA measurement turned into a surface constraint: the set of points
+/// p with angle(baseline, p - apex) == angleRad.
+struct ConeConstraint {
+  phy::Vec3 apex;          ///< Array center.
+  phy::Vec3 axis;          ///< Unit baseline direction.
+  double angleRad = 0.0;   ///< Measured spatial angle alpha.
+
+  /// Signed residual cos(angle(p)) - cos(alpha); zero on the cone.
+  double residual(const phy::Vec3& p) const;
+};
+
+/// Road-plane description for the intersection step.
+struct RoadPlane {
+  double zHeight = 1.2;        ///< Transponder height above ground [m].
+  double halfWidth = 8.0;      ///< |y| beyond this is off-road (sidewalk).
+  double xMin = -1e3, xMax = 1e3;
+};
+
+/// Paper Eq. 15 (untilted, road-parallel baseline at height b above the
+/// target plane): points (x, y) relative to the apex satisfying
+/// (tan(alpha) * x)^2 - y^2 = b^2. Returns |y| for a given x (NaN when
+/// there is no solution at that x).
+double hyperbolaY(double alphaRad, double poleHeightAboveTarget, double x);
+
+/// Result of a two-reader fix.
+struct PositionFix {
+  phy::Vec3 position;
+  double residualNorm = 0.0;  ///< Combined constraint residual at the fix.
+};
+
+/// All distinct cone-intersection roots on the road patch (Newton from a
+/// coarse seed grid), on-road roots first, each group sorted by residual.
+/// Two cones generically intersect the plane in up to four points; more
+/// than one can be on the road, in which case the caller needs a prior
+/// (lane, parking row, previous fix) to disambiguate.
+std::vector<PositionFix> localizeTwoReadersCandidates(
+    const ConeConstraint& a, const ConeConstraint& b, const RoadPlane& road);
+
+/// Solve for the on-road point satisfying both cones: the first candidate
+/// from localizeTwoReadersCandidates (the paper's footnote 10: off-road
+/// intersections are discarded).
+caraoke::Result<PositionFix> localizeTwoReaders(const ConeConstraint& a,
+                                                const ConeConstraint& b,
+                                                const RoadPlane& road);
+
+/// The paper's own method (§6, Eq. 15): both baselines road-parallel
+/// (axis == ±x), each cone intersects the road plane in the hyperbola
+/// (tan(alpha) (x - xi))^2 - (y - yi)^2 = bi^2; subtracting the two
+/// equations eliminates y^2 and gives y as a quadratic in x, reducing the
+/// fix to a 1-D root search. Requires |axis.y|, |axis.z| ~ 0 on both
+/// cones and apexes at different y (opposite road sides).
+///
+/// Two hyperbolas can intersect in more than one point consistent with
+/// both measured angles (the paper's footnote 10 observes that usually
+/// only one lies on the road; with wide roads both can). This function
+/// returns every side-consistent candidate, on-road first; callers with
+/// a prior (lane, previous fix, a third reader) disambiguate.
+std::vector<PositionFix> hyperbolaCandidates(const ConeConstraint& a,
+                                             const ConeConstraint& b,
+                                             const RoadPlane& road);
+
+/// Convenience wrapper returning the first on-road candidate (or the
+/// first off-road one when none is on the road).
+caraoke::Result<PositionFix> localizeTwoReadersHyperbola(
+    const ConeConstraint& a, const ConeConstraint& b, const RoadPlane& road);
+
+/// Single-reader spot assignment: with one cone and the road plane, the
+/// car lies on a conic; for street parking the spot row is a known line
+/// y = rowY, so the cone equation restricted to that line pins down x up
+/// to (at most two) roots. Returns all on-segment roots; the caller
+/// disambiguates (e.g. with a second pole or the spot grid).
+std::vector<double> localizeOnLine(const ConeConstraint& cone, double rowY,
+                                   double zHeight, double xMin, double xMax);
+
+}  // namespace caraoke::core

@@ -1,0 +1,158 @@
+#include "core/mac.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caraoke::core {
+
+namespace {
+
+/// Timing of one transaction relative to its query start.
+struct Windows {
+  double queryEnd;
+  double responseStart;
+  double responseEnd;
+};
+
+Windows windowsFor(double queryStart) {
+  return {queryStart + phy::kQueryDuration,
+          queryStart + phy::kQueryDuration + phy::kQueryResponseGap,
+          queryStart + phy::kQueryDuration + phy::kQueryResponseGap +
+              phy::kResponseDuration};
+}
+
+bool overlaps(double a0, double a1, double b0, double b1) {
+  return a0 < b1 && b0 < a1;
+}
+
+}  // namespace
+
+MacStats simulateMac(const MacConfig& config, Rng& rng) {
+  // Generate Poisson attempt times for every reader, then process them in
+  // time order. Each reader retries deferred attempts rather than dropping
+  // them, matching a reader that simply waits for an idle medium.
+  struct Attempt {
+    double time;
+    std::size_t reader;
+    double firstTried;  ///< For deferral-delay accounting.
+  };
+  std::vector<Attempt> pending;
+  for (std::size_t r = 0; r < config.numReaders; ++r) {
+    double t = rng.exponential(config.attemptRateHz);
+    while (t < config.horizonSec) {
+      pending.push_back({t, r, t});
+      t += rng.exponential(config.attemptRateHz);
+    }
+  }
+  auto byTime = [](const Attempt& a, const Attempt& b) {
+    return a.time > b.time;  // min-heap
+  };
+  std::make_heap(pending.begin(), pending.end(), byTime);
+
+  MacStats stats;
+  stats.attempts = pending.size();
+  // Transactions are created in nondecreasing queryStart order (attempts
+  // pop in time order), so a transaction can only interact with the tail
+  // whose windows reach the current time: a full transaction spans
+  // kTransactionSpan, so scanning back until queryStart < t - span covers
+  // every overlap.
+  std::vector<Transaction> transactions;
+  const double kTransactionSpan = phy::kQueryDuration +
+                                  phy::kQueryResponseGap +
+                                  phy::kResponseDuration;
+  double maxActivityEnd = 0.0;
+  double totalDeferral = 0.0;
+
+  auto forEachRecent = [&](double sinceTime, auto&& fn) {
+    for (std::size_t i = transactions.size(); i-- > 0;) {
+      if (transactions[i].queryStart < sinceTime) break;
+      fn(transactions[i]);
+    }
+  };
+  auto mediumBusyDuring = [&](double w0, double w1) {
+    bool busy = false;
+    forEachRecent(w0 - kTransactionSpan, [&](const Transaction& tx) {
+      const Windows w = windowsFor(tx.queryStart);
+      if (overlaps(w0, w1, tx.queryStart, w.queryEnd) ||
+          overlaps(w0, w1, w.responseStart, w.responseEnd))
+        busy = true;
+    });
+    return busy;
+  };
+
+  // Readers are half-duplex: one cannot query while its own transaction
+  // (query + gap + response capture) is in flight, carrier sense or not.
+  std::vector<double> ownBusyUntil(config.numReaders, 0.0);
+
+  while (!pending.empty()) {
+    std::pop_heap(pending.begin(), pending.end(), byTime);
+    Attempt attempt = pending.back();
+    pending.pop_back();
+    if (attempt.time >= config.horizonSec) continue;
+
+    if (attempt.time < ownBusyUntil[attempt.reader]) {
+      Attempt retry = attempt;
+      retry.time = ownBusyUntil[attempt.reader] +
+                   rng.uniform(0.0, config.backoffMaxSec);
+      pending.push_back(retry);
+      std::push_heap(pending.begin(), pending.end(), byTime);
+      continue;
+    }
+
+    if (config.carrierSense &&
+        mediumBusyDuring(attempt.time - config.listenWindowSec,
+                         attempt.time)) {
+      // Busy: wait for the in-flight activity to finish plus a random
+      // slack, then listen again.
+      ++stats.deferrals;
+      Attempt retry = attempt;
+      retry.time = std::max(maxActivityEnd, attempt.time) +
+                   config.listenWindowSec +
+                   rng.uniform(0.0, config.backoffMaxSec);
+      pending.push_back(retry);
+      std::push_heap(pending.begin(), pending.end(), byTime);
+      continue;
+    }
+
+    totalDeferral += attempt.time - attempt.firstTried;
+
+    // Classify against the recent transactions whose windows can still
+    // overlap this query.
+    Transaction tx;
+    tx.queryStart = attempt.time;
+    tx.reader = attempt.reader;
+    const double q0 = attempt.time;
+    const double q1 = attempt.time + phy::kQueryDuration;
+    forEachRecent(q0 - kTransactionSpan, [&](Transaction& other) {
+      const Windows w = windowsFor(other.queryStart);
+      if (overlaps(q0, q1, other.queryStart, w.queryEnd)) {
+        // Query-query overlap: still a sine wave — harmless (§9 case 1).
+        tx.merged = true;
+        other.merged = true;
+      } else if (overlaps(q0, q1, w.responseStart, w.responseEnd)) {
+        // Query lands on a response: that capture is ruined (§9 case 2).
+        other.corrupted = true;
+      }
+    });
+    maxActivityEnd =
+        std::max(maxActivityEnd, windowsFor(tx.queryStart).responseEnd);
+    ownBusyUntil[attempt.reader] = windowsFor(tx.queryStart).responseEnd;
+    transactions.push_back(tx);
+  }
+
+  stats.transactions = transactions.size();
+  for (const Transaction& tx : transactions) {
+    if (tx.corrupted)
+      ++stats.corruptedResponses;
+    else
+      ++stats.cleanResponses;
+    if (tx.merged) ++stats.queryQueryMerges;
+  }
+  stats.meanDeferralDelaySec =
+      stats.transactions == 0
+          ? 0.0
+          : totalDeferral / static_cast<double>(stats.transactions);
+  return stats;
+}
+
+}  // namespace caraoke::core

@@ -1,0 +1,59 @@
+#include "core/multipath.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace caraoke::core {
+
+dsp::CVec circularSteering(double angleRad, double radiusMeters,
+                           std::size_t positions, double wavelength) {
+  dsp::CVec a(positions);
+  for (std::size_t k = 0; k < positions; ++k) {
+    const double phi =
+        kTwoPi * static_cast<double>(k) / static_cast<double>(positions);
+    // Arm position p_k = r (cos phi, sin phi); incoming direction
+    // v = (cos theta, sin theta). Plane-wave phase advance relative to
+    // the center reference: 2 pi (p_k . v) / lambda.
+    const double dotPV = radiusMeters * (std::cos(phi) * std::cos(angleRad) +
+                                         std::sin(phi) * std::sin(angleRad));
+    const double phase = kTwoPi * dotPV / wavelength;
+    a[k] = dsp::cdouble(std::cos(phase), std::sin(phase));
+  }
+  return a;
+}
+
+MultipathProfile profileFromSnapshots(const std::vector<dsp::CVec>& snapshots,
+                                      const SarConfig& config,
+                                      double wavelength) {
+  if (snapshots.empty())
+    throw std::invalid_argument("profileFromSnapshots: no snapshots");
+  for (const auto& s : snapshots)
+    if (s.size() != config.positions)
+      throw std::invalid_argument(
+          "profileFromSnapshots: snapshot length != positions");
+
+  const dsp::CMatrix covariance = dsp::sampleCovariance(snapshots);
+  const auto steering = [&](double angle) {
+    return circularSteering(angle, config.radiusMeters, config.positions,
+                            wavelength);
+  };
+  MultipathProfile profile;
+  profile.spectrum = dsp::musicSpectrum(covariance, steering, config.music);
+
+  const auto peaks =
+      dsp::musicPeaks(profile.spectrum, 2, deg2rad(10.0));
+  if (!peaks.empty()) {
+    profile.strongestAngleRad = peaks[0].angleRad;
+    profile.strongestPower = peaks[0].power;
+    profile.secondPower = peaks.size() > 1 ? peaks[1].power : 0.0;
+    profile.peakRatio = profile.secondPower > 0.0
+                            ? profile.strongestPower / profile.secondPower
+                            : std::numeric_limits<double>::infinity();
+  }
+  return profile;
+}
+
+}  // namespace caraoke::core

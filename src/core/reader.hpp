@@ -1,0 +1,68 @@
+// CaraokeReader: the high-level facade combining counting, observation,
+// AoA, and decoding — the public API most applications use.
+//
+// A reader is configured once with its sampling parameters and antenna
+// calibration; afterwards every method consumes per-antenna sample buffers
+// (from the simulator here; from an RF front-end in a deployment).
+#pragma once
+
+#include <optional>
+
+#include "core/aoa.hpp"
+#include "core/counter.hpp"
+#include "core/decoder.hpp"
+#include "core/localizer.hpp"
+
+namespace caraoke::core {
+
+/// Complete reader configuration.
+struct ReaderConfig {
+  phy::SamplingParams sampling{};
+  CounterConfig counter{};
+  DecoderConfig decoder{};
+  SpectrumAnalysisConfig analysis{};
+  /// Antenna element positions + usable pairs (world frame).
+  ArrayGeometry array{};
+
+  /// Propagate shared sampling parameters into the sub-configs.
+  void harmonize();
+};
+
+/// A transponder observation enriched with its AoA.
+struct SightedTransponder {
+  TransponderObservation observation;
+  AoaResult aoa;
+};
+
+/// The reader pipeline.
+class CaraokeReader {
+ public:
+  explicit CaraokeReader(ReaderConfig config);
+
+  /// §5: estimate how many transponders are in this collision.
+  CountResult count(const std::vector<dsp::CVec>& antennaSamples) const;
+
+  /// §3/§6: per-transponder CFO, channels, and AoA.
+  std::vector<SightedTransponder> observe(
+      const std::vector<dsp::CVec>& antennaSamples) const;
+
+  /// §8: decode every transponder from a stored collision sequence
+  /// (single-antenna buffers).
+  std::vector<MultiDecodeEntry> decodeAll(
+      const std::vector<dsp::CVec>& collisions) const;
+
+  /// Cone constraint for a sighted transponder on the chosen pair, for
+  /// the two-reader localizer.
+  ConeConstraint coneFor(const SightedTransponder& sighted) const;
+
+  const ReaderConfig& config() const { return config_; }
+  const AoaEstimator& aoaEstimator() const { return aoa_; }
+
+ private:
+  ReaderConfig config_;
+  SpectrumAnalyzer analyzer_;
+  TransponderCounter counter_;
+  AoaEstimator aoa_;
+};
+
+}  // namespace caraoke::core

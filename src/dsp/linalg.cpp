@@ -1,0 +1,170 @@
+#include "dsp/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace caraoke::dsp {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cdouble{}) {}
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+CMatrix CMatrix::outer(CSpan v) {
+  CMatrix m(v.size(), v.size());
+  for (std::size_t r = 0; r < v.size(); ++r)
+    for (std::size_t c = 0; c < v.size(); ++c)
+      m(r, c) = v[r] * std::conj(v[c]);
+  return m;
+}
+
+CMatrix CMatrix::multiply(const CMatrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("CMatrix::multiply: shape mismatch");
+  CMatrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cdouble a = (*this)(r, k);
+      if (a == cdouble{}) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  return out;
+}
+
+CVec CMatrix::multiply(CSpan v) const {
+  if (cols_ != v.size())
+    throw std::invalid_argument("CMatrix::multiply(vec): shape mismatch");
+  CVec out(rows_, cdouble{});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cdouble acc{};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+void CMatrix::addScaled(const CMatrix& other, double alpha) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("CMatrix::addScaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void CMatrix::scale(double alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+double CMatrix::maxAbsDiff(const CMatrix& a, const CMatrix& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_)
+    throw std::invalid_argument("CMatrix::maxAbsDiff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+double CMatrix::frobeniusNorm() const {
+  double s = 0.0;
+  for (const auto& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+EigenResult eigHermitian(const CMatrix& input, double tolerance,
+                         int maxSweeps) {
+  if (input.rows() != input.cols())
+    throw std::invalid_argument("eigHermitian: matrix must be square");
+  const std::size_t n = input.rows();
+  CMatrix a = input;
+  CMatrix v = CMatrix::identity(n);
+  const double scale = std::max(a.frobeniusNorm(), 1e-300);
+
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += std::norm(a(p, q));
+    if (std::sqrt(off) <= tolerance * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cdouble apq = a(p, q);
+        const double mag = std::abs(apq);
+        if (mag <= tolerance * scale * 1e-3) continue;
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        // Complex Jacobi rotation: diagonalize the 2x2 Hermitian block
+        // [app, apq; conj(apq), aqq].
+        const double phi = std::arg(apq);
+        const double theta = 0.5 * std::atan2(2.0 * mag, app - aqq);
+        const double c = std::cos(theta);
+        const cdouble s = std::sin(theta) * cdouble(std::cos(phi),
+                                                    std::sin(phi));
+        // Apply A <- J^H A J where J has [c, s; -conj(s), c] in rows/cols
+        // (p, q).
+        for (std::size_t k = 0; k < n; ++k) {
+          const cdouble akp = a(k, p);
+          const cdouble akq = a(k, q);
+          a(k, p) = akp * c + akq * std::conj(s);
+          a(k, q) = -akp * s + akq * c;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const cdouble apk = a(p, k);
+          const cdouble aqk = a(q, k);
+          a(p, k) = apk * c + aqk * s;
+          a(q, k) = -apk * std::conj(s) + aqk * c;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const cdouble vkp = v(k, p);
+          const cdouble vkq = v(k, q);
+          v(k, p) = vkp * c + vkq * std::conj(s);
+          v(k, q) = -vkp * s + vkq * c;
+        }
+      }
+    }
+  }
+
+  EigenResult result;
+  result.values.resize(n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i).real();
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+  result.vectors = CMatrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    result.values[c] = diag[order[c]];
+    for (std::size_t r = 0; r < n; ++r)
+      result.vectors(r, c) = v(r, order[c]);
+  }
+  return result;
+}
+
+cdouble innerProduct(CSpan a, CSpan b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("innerProduct: length mismatch");
+  cdouble acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return acc;
+}
+
+double norm2(CSpan v) {
+  double s = 0.0;
+  for (const auto& x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+}  // namespace caraoke::dsp

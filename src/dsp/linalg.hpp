@@ -1,0 +1,86 @@
+// Dense complex linear algebra: just enough for array processing.
+//
+// The multipath profiler (paper §12.2, Fig 14) needs a sample covariance
+// matrix and its eigendecomposition for MUSIC. Matrices here are small
+// (tens of antenna positions), so clarity wins over blocking/vectorization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace caraoke::dsp {
+
+/// Row-major dense complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  /// rows x cols zero matrix.
+  CMatrix(std::size_t rows, std::size_t cols);
+
+  /// Identity of size n.
+  static CMatrix identity(std::size_t n);
+
+  /// Outer product v * v^H (rank-1 Hermitian update building block).
+  static CMatrix outer(CSpan v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Element access (unchecked in release; asserts in debug).
+  cdouble& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  const cdouble& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Matrix product this * rhs.
+  CMatrix multiply(const CMatrix& rhs) const;
+
+  /// Matrix-vector product this * v.
+  CVec multiply(CSpan v) const;
+
+  /// Conjugate transpose.
+  CMatrix hermitian() const;
+
+  /// this += alpha * other (element-wise).
+  void addScaled(const CMatrix& other, double alpha);
+
+  /// Scale all elements by alpha.
+  void scale(double alpha);
+
+  /// Max |a_ij - b_ij| between two same-shaped matrices.
+  static double maxAbsDiff(const CMatrix& a, const CMatrix& b);
+
+  /// Frobenius norm.
+  double frobeniusNorm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  CVec data_;
+};
+
+/// Eigendecomposition of a Hermitian matrix.
+struct EigenResult {
+  /// Eigenvalues in descending order (real: the input is Hermitian).
+  std::vector<double> values;
+  /// Columns of this matrix are the matching orthonormal eigenvectors.
+  CMatrix vectors;
+};
+
+/// Cyclic complex Jacobi eigensolver for Hermitian matrices.
+/// Converges quadratically; `tolerance` bounds the largest remaining
+/// off-diagonal magnitude relative to the Frobenius norm.
+EigenResult eigHermitian(const CMatrix& a, double tolerance = 1e-12,
+                         int maxSweeps = 64);
+
+/// Inner product <a, b> = a^H b.
+cdouble innerProduct(CSpan a, CSpan b);
+
+/// Euclidean norm of a complex vector.
+double norm2(CSpan v);
+
+}  // namespace caraoke::dsp

@@ -1,0 +1,92 @@
+#include "dsp/music.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace caraoke::dsp {
+
+CMatrix sampleCovariance(const std::vector<CVec>& snapshots) {
+  if (snapshots.empty())
+    throw std::invalid_argument("sampleCovariance: no snapshots");
+  const std::size_t n = snapshots.front().size();
+  CMatrix r(n, n);
+  for (const CVec& x : snapshots) {
+    if (x.size() != n)
+      throw std::invalid_argument("sampleCovariance: ragged snapshots");
+    r.addScaled(CMatrix::outer(x), 1.0);
+  }
+  r.scale(1.0 / static_cast<double>(snapshots.size()));
+  return r;
+}
+
+std::vector<MusicPoint> musicSpectrum(const CMatrix& covariance,
+                                      const SteeringFn& steering,
+                                      const MusicConfig& config) {
+  const std::size_t n = covariance.rows();
+  if (n != covariance.cols())
+    throw std::invalid_argument("musicSpectrum: covariance must be square");
+  if (config.numSources >= n)
+    throw std::invalid_argument("musicSpectrum: too many sources for array");
+
+  CMatrix loaded = covariance;
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += loaded(i, i).real();
+  for (std::size_t i = 0; i < n; ++i)
+    loaded(i, i) += config.diagonalLoading * trace / static_cast<double>(n);
+
+  const EigenResult eig = eigHermitian(loaded);
+
+  // Noise subspace: eigenvectors after the strongest numSources ones.
+  const std::size_t noiseDim = n - config.numSources;
+  std::vector<CVec> noiseBasis(noiseDim, CVec(n));
+  for (std::size_t c = 0; c < noiseDim; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      noiseBasis[c][r] = eig.vectors(r, config.numSources + c);
+
+  std::vector<MusicPoint> spectrum(config.angleSteps);
+  const double span = config.angleEndRad - config.angleBeginRad;
+  for (std::size_t i = 0; i < config.angleSteps; ++i) {
+    const double angle =
+        config.angleBeginRad +
+        span * static_cast<double>(i) /
+            static_cast<double>(std::max<std::size_t>(config.angleSteps - 1, 1));
+    CVec a = steering(angle);
+    if (a.size() != n)
+      throw std::invalid_argument("musicSpectrum: steering length mismatch");
+    const double an = norm2(a);
+    if (an > 0) for (auto& x : a) x /= an;
+    double projection = 0.0;
+    for (const CVec& e : noiseBasis) projection += std::norm(innerProduct(e, a));
+    spectrum[i] = {angle, 1.0 / std::max(projection, 1e-15)};
+  }
+  return spectrum;
+}
+
+std::vector<MusicPoint> musicPeaks(const std::vector<MusicPoint>& spectrum,
+                                   std::size_t maxPeaks,
+                                   double minSeparationRad) {
+  // Local maxima, then greedy strongest-first selection with separation.
+  std::vector<MusicPoint> maxima;
+  for (std::size_t i = 1; i + 1 < spectrum.size(); ++i) {
+    if (spectrum[i].power >= spectrum[i - 1].power &&
+        spectrum[i].power > spectrum[i + 1].power)
+      maxima.push_back(spectrum[i]);
+  }
+  std::sort(maxima.begin(), maxima.end(),
+            [](const MusicPoint& a, const MusicPoint& b) {
+              return a.power > b.power;
+            });
+  std::vector<MusicPoint> kept;
+  for (const MusicPoint& m : maxima) {
+    if (kept.size() >= maxPeaks) break;
+    const bool close = std::any_of(
+        kept.begin(), kept.end(), [&](const MusicPoint& k) {
+          return std::abs(k.angleRad - m.angleRad) < minSeparationRad;
+        });
+    if (!close) kept.push_back(m);
+  }
+  return kept;
+}
+
+}  // namespace caraoke::dsp

@@ -1,0 +1,55 @@
+// MUSIC (MUltiple SIgnal Classification) pseudo-spectrum estimation.
+//
+// Used to reproduce the paper's Fig 14: an antenna on a rotating arm
+// emulates a large aperture (SAR), channels measured along the arc form
+// snapshots, and MUSIC resolves the multipath profile, showing that the
+// outdoor pole-mounted deployment is line-of-sight dominated.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dsp/linalg.hpp"
+#include "dsp/types.hpp"
+
+namespace caraoke::dsp {
+
+/// Produces the array steering vector for a candidate angle (radians).
+/// The vector length must equal the number of array elements.
+using SteeringFn = std::function<CVec(double angleRad)>;
+
+/// Configuration for the MUSIC estimator.
+struct MusicConfig {
+  /// Number of signal sources assumed (dimension of the signal subspace).
+  std::size_t numSources = 1;
+  /// Angle grid over which the pseudo-spectrum is evaluated.
+  double angleBeginRad = 0.0;
+  double angleEndRad = 3.14159265358979323846;
+  std::size_t angleSteps = 181;
+  /// Diagonal loading added to the covariance for numerical robustness,
+  /// relative to its trace.
+  double diagonalLoading = 1e-9;
+};
+
+/// One point of the pseudo-spectrum.
+struct MusicPoint {
+  double angleRad = 0.0;
+  double power = 0.0;
+};
+
+/// Sample covariance R = (1/K) * sum_k x_k x_k^H from snapshot vectors.
+CMatrix sampleCovariance(const std::vector<CVec>& snapshots);
+
+/// MUSIC pseudo-spectrum over the configured angle grid. The covariance
+/// must be square with size equal to the steering vector length.
+std::vector<MusicPoint> musicSpectrum(const CMatrix& covariance,
+                                      const SteeringFn& steering,
+                                      const MusicConfig& config);
+
+/// Convenience: peak angles of a pseudo-spectrum, strongest first,
+/// separated by at least minSeparationRad.
+std::vector<MusicPoint> musicPeaks(const std::vector<MusicPoint>& spectrum,
+                                   std::size_t maxPeaks,
+                                   double minSeparationRad);
+
+}  // namespace caraoke::dsp

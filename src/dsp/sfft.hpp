@@ -1,0 +1,55 @@
+// Sparse FFT via time-domain subsampling (frequency bucketization) with
+// phase-based frequency recovery.
+//
+// The paper's reader replaces the full FFT with a sparse FFT (§10): a query
+// returns a handful of CFO spikes, so the 2048-point spectrum is k-sparse
+// with k << N and can be recovered in roughly O(B log B) per round with
+// B ~ O(k) buckets. This implementation follows the BigBand-style recipe
+// the paper cites [33]: subsample the time signal with a random odd stride
+// (which permutes which spikes share a bucket), take a small FFT, detect
+// occupied buckets, and recover each spike's exact frequency from the phase
+// difference between two subsampled FFTs offset by one sample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace caraoke::dsp {
+
+/// One recovered spectral component.
+struct SparseComponent {
+  std::size_t bin = 0;      ///< Frequency bin in the full N-point spectrum.
+  cdouble value;            ///< Estimated full-FFT coefficient X[bin].
+};
+
+/// Tuning for the sparse FFT.
+struct SparseFftConfig {
+  /// Number of buckets; power of two, should be >= ~4x the expected
+  /// sparsity to keep per-round collision probability low.
+  std::size_t buckets = 256;
+  /// Independent rounds with fresh random strides; a component must be
+  /// seen in a majority of rounds to be reported.
+  std::size_t rounds = 5;
+  /// Bucket magnitude threshold as a multiple of the median bucket
+  /// magnitude of that round.
+  double bucketThreshold = 4.0;
+  /// Bucket collision test: single-tone buckets have equal magnitude in
+  /// the shifted and unshifted FFTs; relative difference above this is
+  /// treated as a collision and skipped for the round.
+  double collisionTolerance = 0.25;
+  /// Verification probe: a candidate must measure at least this factor
+  /// above the median magnitude of random reference bins.
+  double verifyFactor = 4.0;
+};
+
+/// Recover the significant components of the N-point spectrum of `signal`
+/// (N = signal.size(), must be a power of two and divisible by
+/// config.buckets). Deterministic given the Rng state.
+std::vector<SparseComponent> sparseFft(CSpan signal,
+                                       const SparseFftConfig& config,
+                                       Rng& rng);
+
+}  // namespace caraoke::dsp

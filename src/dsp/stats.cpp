@@ -1,0 +1,95 @@
+#include "dsp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caraoke::dsp {
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
+
+double median(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  std::vector<double> tmp(v.begin(), v.end());
+  const std::size_t mid = tmp.size() / 2;
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<long>(mid), tmp.end());
+  double hi = tmp[mid];
+  if (tmp.size() % 2 == 1) return hi;
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<long>(mid) - 1,
+                   tmp.begin() + static_cast<long>(mid));
+  return 0.5 * (tmp[mid - 1] + hi);
+}
+
+double medianAbsDeviation(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  const double m = median(v);
+  std::vector<double> dev(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) dev[i] = std::abs(v[i] - m);
+  return median(dev);
+}
+
+double percentile(std::span<const double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::vector<double> tmp(v.begin(), v.end());
+  std::sort(tmp.begin(), tmp.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(tmp.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, tmp.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return tmp[lo] * (1.0 - frac) + tmp[hi] * frac;
+}
+
+double rms(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double maxValue(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+std::size_t argmax(std::span<const double> v) {
+  if (v.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sumSq_ += x * x;
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  const double var =
+      (sumSq_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace caraoke::dsp

@@ -1,0 +1,23 @@
+// Shared sample/vector types for the DSP layer.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace caraoke::dsp {
+
+/// One complex baseband sample. Double precision: the decoder combines many
+/// collisions and small phase errors accumulate at float precision.
+using cdouble = std::complex<double>;
+
+/// A contiguous buffer of complex samples.
+using CVec = std::vector<cdouble>;
+
+/// Read-only view over complex samples.
+using CSpan = std::span<const cdouble>;
+
+/// Read-only view over real samples.
+using RSpan = std::span<const double>;
+
+}  // namespace caraoke::dsp

@@ -1,0 +1,49 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace caraoke::dsp {
+
+std::vector<double> makeWindow(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n == 0) return w;
+  const double N = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = kTwoPi * static_cast<double>(i) / N;
+    switch (kind) {
+      case WindowKind::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+        break;
+    }
+  }
+  return w;
+}
+
+CVec applyWindow(CSpan samples, std::span<const double> window) {
+  if (samples.size() != window.size())
+    throw std::invalid_argument("applyWindow: length mismatch");
+  CVec out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    out[i] = samples[i] * window[i];
+  return out;
+}
+
+double windowGain(std::span<const double> window) {
+  double s = 0.0;
+  for (double w : window) s += w;
+  return s;
+}
+
+}  // namespace caraoke::dsp

@@ -1,0 +1,26 @@
+// Analysis windows. The counter trades off leakage (which smears a strong
+// transponder's energy into neighbors' bins) against main-lobe width (which
+// merges close CFOs); windows make that trade explicit and testable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace caraoke::dsp {
+
+enum class WindowKind { kRect, kHann, kHamming, kBlackman };
+
+/// Window coefficients of the given length (periodic form, suitable for
+/// spectral analysis).
+std::vector<double> makeWindow(WindowKind kind, std::size_t n);
+
+/// Element-wise multiply of samples by a window of the same length.
+CVec applyWindow(CSpan samples, std::span<const double> window);
+
+/// Sum of window coefficients — the amplitude normalization factor for a
+/// windowed FFT's peak values.
+double windowGain(std::span<const double> window);
+
+}  // namespace caraoke::dsp

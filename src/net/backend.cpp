@@ -1,0 +1,103 @@
+#include "net/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caraoke::net {
+
+void Backend::registerReader(std::uint32_t readerId,
+                             core::ArrayGeometry geometry) {
+  readers_[readerId] = std::move(geometry);
+}
+
+caraoke::Result<bool> Backend::ingestFrame(
+    const std::vector<std::uint8_t>& frame) {
+  using R = caraoke::Result<bool>;
+  auto decoded = decodeMessage(frame);
+  if (!decoded.ok()) return R::failure(decoded.error());
+  ingest(decoded.value());
+  return true;
+}
+
+void Backend::ingest(const Message& message) {
+  if (const auto* m = std::get_if<CountReport>(&message)) {
+    counts_.push_back(*m);
+  } else if (const auto* m = std::get_if<SightingReport>(&message)) {
+    sightings_.push_back(*m);
+  } else if (const auto* m = std::get_if<DecodeReport>(&message)) {
+    decodes_.push_back(*m);
+  }
+}
+
+std::vector<FusedFix> Backend::fuse(double now) {
+  std::vector<FusedFix> fixes;
+  std::vector<bool> consumed(sightings_.size(), false);
+
+  for (std::size_t i = 0; i < sightings_.size(); ++i) {
+    if (consumed[i]) continue;
+    for (std::size_t j = i + 1; j < sightings_.size(); ++j) {
+      if (consumed[j]) continue;
+      const SightingReport& a = sightings_[i];
+      const SightingReport& b = sightings_[j];
+      if (a.readerId == b.readerId) continue;
+      if (std::abs(a.cfoHz - b.cfoHz) > config_.cfoToleranceHz) continue;
+      if (std::abs(a.timestamp - b.timestamp) > config_.timeWindowSec)
+        continue;
+      const auto itA = readers_.find(a.readerId);
+      const auto itB = readers_.find(b.readerId);
+      if (itA == readers_.end() || itB == readers_.end()) continue;
+
+      core::ConeConstraint coneA;
+      coneA.apex = itA->second.center();
+      coneA.axis = itA->second.baselineDirection(a.pairIndex);
+      coneA.angleRad = a.angleRad;
+      core::ConeConstraint coneB;
+      coneB.apex = itB->second.center();
+      coneB.axis = itB->second.baselineDirection(b.pairIndex);
+      coneB.angleRad = b.angleRad;
+
+      // Road-parallel baselines admit the paper's exact Eq. 15 method;
+      // anything else falls back to the Newton grid.
+      auto candidates = core::hyperbolaCandidates(coneA, coneB, config_.road);
+      if (candidates.empty())
+        candidates =
+            core::localizeTwoReadersCandidates(coneA, coneB, config_.road);
+      if (candidates.empty()) continue;
+      const core::PositionFix* chosen = &candidates.front();
+      if (!config_.preferredRowsY.empty()) {
+        double bestRowGap = 1e18;
+        for (const auto& c : candidates) {
+          for (double rowY : config_.preferredRowsY) {
+            const double gap = std::abs(c.position.y - rowY);
+            if (gap < bestRowGap) {
+              bestRowGap = gap;
+              chosen = &c;
+            }
+          }
+        }
+      }
+
+      FusedFix fused;
+      fused.cfoHz = 0.5 * (a.cfoHz + b.cfoHz);
+      fused.timestamp = 0.5 * (a.timestamp + b.timestamp);
+      fused.position = chosen->position;
+      fused.readerA = a.readerId;
+      fused.readerB = b.readerId;
+      fixes.push_back(fused);
+      consumed[i] = consumed[j] = true;
+      break;
+    }
+  }
+
+  // Drop consumed and expired sightings.
+  std::vector<SightingReport> keep;
+  for (std::size_t i = 0; i < sightings_.size(); ++i) {
+    if (consumed[i]) continue;
+    if (now - sightings_[i].timestamp > config_.timeWindowSec) continue;
+    keep.push_back(sightings_[i]);
+  }
+  sightings_ = std::move(keep);
+  return fixes;
+}
+
+}  // namespace caraoke::net

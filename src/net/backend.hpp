@@ -1,0 +1,80 @@
+// Backend fusion service: the city-side endpoint readers report to.
+//
+// Readers upload sightings (CFO + AoA); the backend associates sightings
+// of the same transponder across readers — CFO is the association key, the
+// paper's stand-in for an id when decoding hasn't happened — and fuses
+// pairs of AoA constraints from different readers into position fixes
+// (§6: "by solving these two equations, one can find x and y").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/aoa.hpp"
+#include "core/localizer.hpp"
+#include "net/message.hpp"
+
+namespace caraoke::net {
+
+/// A fused cross-reader position estimate.
+struct FusedFix {
+  double cfoHz = 0.0;
+  double timestamp = 0.0;  ///< Mean of the two sighting timestamps.
+  phy::Vec3 position;
+  std::uint32_t readerA = 0;
+  std::uint32_t readerB = 0;
+};
+
+/// Association/fusion tuning.
+struct BackendConfig {
+  /// Sightings within this CFO distance are the same transponder. The
+  /// paper's population spreads over 1.2 MHz, so a few kHz is selective.
+  double cfoToleranceHz = 4e3;
+  /// Maximum timestamp gap between the two sightings of a pair.
+  double timeWindowSec = 0.5;
+  core::RoadPlane road{};
+  /// Optional prior: known lane centers / parking rows (y values). When
+  /// the two cones intersect the road in more than one point, the
+  /// candidate nearest one of these rows wins (city GIS knowledge the
+  /// paper's footnote 10 appeals to).
+  std::vector<double> preferredRowsY{};
+};
+
+/// Collects reports and produces fused fixes.
+class Backend {
+ public:
+  explicit Backend(BackendConfig config = {}) : config_(config) {}
+
+  /// Register a reader's antenna calibration (world frame). Required
+  /// before its sightings can be fused.
+  void registerReader(std::uint32_t readerId, core::ArrayGeometry geometry);
+
+  /// Ingest a framed message (as received from the modem link).
+  caraoke::Result<bool> ingestFrame(const std::vector<std::uint8_t>& frame);
+
+  /// Ingest an already-decoded message.
+  void ingest(const Message& message);
+
+  /// Associate + fuse everything currently buffered; consumed sightings
+  /// are removed. Unpaired sightings stay buffered until they expire out
+  /// of the time window.
+  std::vector<FusedFix> fuse(double now);
+
+  /// Count time series per reader (traffic monitoring feed).
+  const std::vector<CountReport>& counts() const { return counts_; }
+
+  /// Decoded identities seen so far.
+  const std::vector<DecodeReport>& decodes() const { return decodes_; }
+
+  std::size_t pendingSightings() const { return sightings_.size(); }
+
+ private:
+  BackendConfig config_;
+  std::map<std::uint32_t, core::ArrayGeometry> readers_;
+  std::vector<SightingReport> sightings_;
+  std::vector<CountReport> counts_;
+  std::vector<DecodeReport> decodes_;
+};
+
+}  // namespace caraoke::net

@@ -1,0 +1,10 @@
+#include "net/clock.hpp"
+
+namespace caraoke::net {
+
+void ReaderClock::ntpSync(double trueTime, double residualRmsSec, Rng& rng) {
+  offsetSec_ = rng.gaussian(0.0, residualRmsSec);
+  lastSync_ = trueTime;
+}
+
+}  // namespace caraoke::net

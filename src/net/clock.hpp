@@ -1,0 +1,42 @@
+// Reader clock model and NTP-style synchronization (paper §6/§7).
+//
+// Readers are synchronized over the Internet (LTE + NTP) to within tens of
+// milliseconds. That residual error is the dominant term in the speed
+// estimate's delay measurement, so it is modeled explicitly: each reader's
+// clock has an offset and a drift rate; a sync event re-centers the offset
+// with a residual Gaussian error.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace caraoke::net {
+
+/// One reader's local clock.
+class ReaderClock {
+ public:
+  /// offsetSec: initial offset from true time; driftPpm: rate error in
+  /// parts-per-million (positive = runs fast).
+  ReaderClock(double offsetSec = 0.0, double driftPpm = 0.0)
+      : offsetSec_(offsetSec), driftPpm_(driftPpm) {}
+
+  /// Local timestamp for a true time.
+  double localTime(double trueTime) const {
+    return trueTime + offsetSec_ + driftPpm_ * 1e-6 * (trueTime - lastSync_);
+  }
+
+  /// Perform an NTP sync at true time t: the offset collapses to a
+  /// residual error with the given RMS (tens of ms over LTE, §7).
+  void ntpSync(double trueTime, double residualRmsSec, Rng& rng);
+
+  double offsetSec() const { return offsetSec_; }
+
+ private:
+  double offsetSec_;
+  double driftPpm_;
+  double lastSync_ = 0.0;
+};
+
+/// Default NTP-over-LTE residual error, RMS seconds ("tens of ms").
+inline constexpr double kNtpResidualRmsSec = 0.020;
+
+}  // namespace caraoke::net

@@ -1,0 +1,67 @@
+#include "net/framing.hpp"
+
+namespace caraoke::net {
+
+void FrameBatcher::add(const Message& message) {
+  encoded_.push_back(encodeMessage(message));
+}
+
+std::size_t FrameBatcher::byteSize() const {
+  std::size_t size = 4;  // magic + count
+  for (const auto& m : encoded_) size += 2 + m.size();
+  return size;
+}
+
+std::vector<std::uint8_t> FrameBatcher::flush() {
+  ByteWriter writer;
+  writer.u16(kMagic);
+  writer.u16(static_cast<std::uint16_t>(encoded_.size()));
+  std::vector<std::uint8_t> out = writer.bytes();
+  for (const auto& m : encoded_) {
+    ByteWriter lenWriter;
+    lenWriter.u16(static_cast<std::uint16_t>(m.size()));
+    out.insert(out.end(), lenWriter.bytes().begin(), lenWriter.bytes().end());
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  encoded_.clear();
+  return out;
+}
+
+caraoke::Result<std::vector<Message>> decodeBatch(
+    const std::vector<std::uint8_t>& bytes) {
+  using R = caraoke::Result<std::vector<Message>>;
+  ByteReader reader(bytes);
+  std::uint16_t magic = 0, count = 0;
+  if (!reader.u16(magic) || magic != FrameBatcher::kMagic)
+    return R::failure("bad batch magic");
+  if (!reader.u16(count)) return R::failure("truncated batch header");
+
+  // Re-walk the buffer manually for the variable-length payloads.
+  std::size_t cursor = 4;
+  std::vector<Message> messages;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    if (cursor + 2 > bytes.size()) return R::failure("truncated batch");
+    const std::size_t len = bytes[cursor] |
+                            (static_cast<std::size_t>(bytes[cursor + 1])
+                             << 8);
+    cursor += 2;
+    if (cursor + len > bytes.size()) return R::failure("truncated message");
+    std::vector<std::uint8_t> inner(bytes.begin() + static_cast<long>(cursor),
+                                    bytes.begin() +
+                                        static_cast<long>(cursor + len));
+    cursor += len;
+    auto decoded = decodeMessage(inner);
+    if (!decoded.ok())
+      return R::failure("bad inner message: " + decoded.error());
+    messages.push_back(decoded.value());
+  }
+  if (cursor != bytes.size()) return R::failure("trailing bytes in batch");
+  return messages;
+}
+
+double batchAirTimeSec(std::size_t batchBytes, double uplinkBitsPerSec) {
+  if (uplinkBitsPerSec <= 0.0) return 0.0;
+  return static_cast<double>(batchBytes) * 8.0 / uplinkBitsPerSec;
+}
+
+}  // namespace caraoke::net

@@ -1,0 +1,46 @@
+// Uplink batching (paper footnote 15): the reader conveys only a few
+// kbits per query and keeps the LTE modem asleep most of the time by
+// batching many messages into one transmission burst.
+//
+// Batch wire format (little-endian):
+//   [magic u16 = 0xCA0C] [count u16] { [len u16] [message bytes] } x count
+#pragma once
+
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace caraoke::net {
+
+/// Accumulates messages and emits them as one framed batch.
+class FrameBatcher {
+ public:
+  /// Queue one message for the next flush.
+  void add(const Message& message);
+
+  /// Messages currently queued.
+  std::size_t pending() const { return encoded_.size(); }
+
+  /// Bytes the next flush would transmit (including batch header).
+  std::size_t byteSize() const;
+
+  /// Serialize everything queued and clear the queue.
+  std::vector<std::uint8_t> flush();
+
+  /// The batch magic number.
+  static constexpr std::uint16_t kMagic = 0xCA0C;
+
+ private:
+  std::vector<std::vector<std::uint8_t>> encoded_;
+};
+
+/// Parse a batch back into messages. Fails on bad magic, truncation, or
+/// any undecodable inner message.
+caraoke::Result<std::vector<Message>> decodeBatch(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Modem air-time estimate for a batch at a given uplink rate [bit/s] —
+/// the quantity the §12.5 footnote's duty-cycling argument depends on.
+double batchAirTimeSec(std::size_t batchBytes, double uplinkBitsPerSec);
+
+}  // namespace caraoke::net

@@ -1,0 +1,132 @@
+#include "net/message.hpp"
+
+#include <cstring>
+
+namespace caraoke::net {
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+void ByteWriter::u16(std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
+}
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
+}
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
+}
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+bool ByteReader::take(std::size_t n, const std::uint8_t** out) {
+  if (cursor_ + n > buffer_.size()) return false;
+  *out = buffer_.data() + cursor_;
+  cursor_ += n;
+  return true;
+}
+bool ByteReader::u8(std::uint8_t& v) {
+  const std::uint8_t* p;
+  if (!take(1, &p)) return false;
+  v = p[0];
+  return true;
+}
+bool ByteReader::u16(std::uint16_t& v) {
+  const std::uint8_t* p;
+  if (!take(2, &p)) return false;
+  v = 0;
+  for (int i = 1; i >= 0; --i) v = static_cast<std::uint16_t>((v << 8) | p[i]);
+  return true;
+}
+bool ByteReader::u32(std::uint32_t& v) {
+  const std::uint8_t* p;
+  if (!take(4, &p)) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return true;
+}
+bool ByteReader::u64(std::uint64_t& v) {
+  const std::uint8_t* p;
+  if (!take(8, &p)) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return true;
+}
+bool ByteReader::f64(double& v) {
+  std::uint64_t bits;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof v);
+  return true;
+}
+
+namespace {
+enum class Tag : std::uint8_t { kCount = 1, kSighting = 2, kDecode = 3 };
+}
+
+std::vector<std::uint8_t> encodeMessage(const Message& message) {
+  ByteWriter w;
+  if (const auto* m = std::get_if<CountReport>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kCount));
+    w.u32(m->readerId);
+    w.f64(m->timestamp);
+    w.u32(m->count);
+  } else if (const auto* m = std::get_if<SightingReport>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSighting));
+    w.u32(m->readerId);
+    w.f64(m->timestamp);
+    w.f64(m->cfoHz);
+    w.u32(m->pairIndex);
+    w.f64(m->angleRad);
+    w.f64(m->peakMagnitude);
+  } else if (const auto* m = std::get_if<DecodeReport>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDecode));
+    w.u32(m->readerId);
+    w.f64(m->timestamp);
+    w.f64(m->cfoHz);
+    w.u64(m->id.factoryId);
+    w.u32(m->id.agencyId);
+    w.u64(m->id.programmable);
+    w.u32(m->id.flags);
+  }
+  return w.bytes();
+}
+
+caraoke::Result<Message> decodeMessage(
+    const std::vector<std::uint8_t>& bytes) {
+  using R = caraoke::Result<Message>;
+  ByteReader r(bytes);
+  std::uint8_t tag;
+  if (!r.u8(tag)) return R::failure("empty message");
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kCount: {
+      CountReport m;
+      if (!r.u32(m.readerId) || !r.f64(m.timestamp) || !r.u32(m.count))
+        return R::failure("truncated CountReport");
+      if (!r.atEnd()) return R::failure("trailing bytes in CountReport");
+      return Message{m};
+    }
+    case Tag::kSighting: {
+      SightingReport m;
+      if (!r.u32(m.readerId) || !r.f64(m.timestamp) || !r.f64(m.cfoHz) ||
+          !r.u32(m.pairIndex) || !r.f64(m.angleRad) ||
+          !r.f64(m.peakMagnitude))
+        return R::failure("truncated SightingReport");
+      if (!r.atEnd()) return R::failure("trailing bytes in SightingReport");
+      return Message{m};
+    }
+    case Tag::kDecode: {
+      DecodeReport m;
+      if (!r.u32(m.readerId) || !r.f64(m.timestamp) || !r.f64(m.cfoHz) ||
+          !r.u64(m.id.factoryId) || !r.u32(m.id.agencyId) ||
+          !r.u64(m.id.programmable) || !r.u32(m.id.flags))
+        return R::failure("truncated DecodeReport");
+      if (!r.atEnd()) return R::failure("trailing bytes in DecodeReport");
+      return Message{m};
+    }
+    default:
+      return R::failure("unknown message tag");
+  }
+}
+
+}  // namespace caraoke::net

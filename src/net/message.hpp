@@ -1,0 +1,85 @@
+// Reader -> backend wire protocol.
+//
+// A reader uploads the *results* of processing a query — channels, CFOs,
+// counts, decoded ids — not raw samples (paper footnote 15: "a few kbits
+// per query"), which is what makes modem duty-cycling viable. Messages are
+// framed with a type tag and length and serialized little-endian.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+#include "phy/packet.hpp"
+
+namespace caraoke::net {
+
+/// Serialization buffer writer (little-endian, append-only).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Serialization reader; all reads are bounds-checked.
+class ByteReader {
+ public:
+  explicit ByteReader(std::vector<std::uint8_t> bytes)
+      : buffer_(std::move(bytes)) {}
+  bool u8(std::uint8_t& v);
+  bool u16(std::uint16_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool f64(double& v);
+  bool atEnd() const { return cursor_ == buffer_.size(); }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+  std::vector<std::uint8_t> buffer_;
+  std::size_t cursor_ = 0;
+};
+
+/// Periodic count sample (traffic monitoring).
+struct CountReport {
+  std::uint32_t readerId = 0;
+  double timestamp = 0.0;   ///< Reader-local time [s].
+  std::uint32_t count = 0;  ///< Estimated transponders in range.
+};
+
+/// One transponder sighting: CFO plus the chosen-pair AoA.
+struct SightingReport {
+  std::uint32_t readerId = 0;
+  double timestamp = 0.0;
+  double cfoHz = 0.0;
+  std::uint32_t pairIndex = 0;
+  double angleRad = 0.0;
+  double peakMagnitude = 0.0;
+};
+
+/// A decoded transponder identity.
+struct DecodeReport {
+  std::uint32_t readerId = 0;
+  double timestamp = 0.0;
+  double cfoHz = 0.0;
+  phy::TransponderId id{};
+};
+
+using Message = std::variant<CountReport, SightingReport, DecodeReport>;
+
+/// Frame a message: [type:u8][payload]. The payload layout is fixed per
+/// type, so no length prefix is needed inside a frame.
+std::vector<std::uint8_t> encodeMessage(const Message& message);
+
+/// Parse one framed message. Fails on truncation or an unknown type tag.
+caraoke::Result<Message> decodeMessage(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace caraoke::net

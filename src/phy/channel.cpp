@@ -1,0 +1,74 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace caraoke::phy {
+
+double distance(const Vec3& a, const Vec3& b) { return length(b - a); }
+
+double length(const Vec3& v) {
+  return std::sqrt(v.x * v.x + v.y * v.y + v.z * v.z);
+}
+
+double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+Vec3 direction(const Vec3& from, const Vec3& to) {
+  const Vec3 d = to - from;
+  const double len = length(d);
+  if (len <= 0.0) return {0, 0, 0};
+  return d * (1.0 / len);
+}
+
+dsp::cdouble rayGain(const Ray& ray, double wavelengthMeters) {
+  if (ray.pathLengthMeters <= 0.0) return {0.0, 0.0};
+  const double amplitude =
+      ray.gainScale * wavelengthMeters / (4.0 * kPi * ray.pathLengthMeters);
+  const double phase = -kTwoPi * ray.pathLengthMeters / wavelengthMeters;
+  return amplitude * dsp::cdouble(std::cos(phase), std::sin(phase));
+}
+
+dsp::cdouble channelGain(const std::vector<Ray>& rays,
+                         double wavelengthMeters) {
+  dsp::cdouble h{};
+  for (const Ray& r : rays) h += rayGain(r, wavelengthMeters);
+  return h;
+}
+
+Ray losRay(const Vec3& a, const Vec3& b) { return {distance(a, b), 1.0}; }
+
+Ray groundReflectionRay(const Vec3& a, const Vec3& b, double reflectionLoss) {
+  // Image method: reflect b through the z = 0 plane.
+  const Vec3 image{b.x, b.y, -b.z};
+  return {distance(a, image), reflectionLoss};
+}
+
+Ray wallReflectionRay(const Vec3& a, const Vec3& b, double planeY,
+                      double reflectionLoss) {
+  const Vec3 image{b.x, 2.0 * planeY - b.y, b.z};
+  return {distance(a, image), reflectionLoss};
+}
+
+void addAwgn(dsp::CVec& signal, double sigmaPerComponent, Rng& rng) {
+  if (sigmaPerComponent <= 0.0) return;
+  for (auto& x : signal)
+    x += dsp::cdouble(rng.gaussian(0.0, sigmaPerComponent),
+                      rng.gaussian(0.0, sigmaPerComponent));
+}
+
+void quantize(dsp::CVec& signal, double fullScale, int bits) {
+  if (fullScale <= 0.0 || bits <= 1) return;
+  const double levels = static_cast<double>(1u << (bits - 1));
+  const double step = fullScale / levels;
+  auto q = [&](double v) {
+    const double clipped = std::clamp(v, -fullScale, fullScale);
+    return std::round(clipped / step) * step;
+  };
+  for (auto& x : signal) x = dsp::cdouble(q(x.real()), q(x.imag()));
+}
+
+}  // namespace caraoke::phy

@@ -1,0 +1,79 @@
+// Wireless channel primitives: free-space (Friis) line-of-sight gain plus
+// optional discrete multipath rays.
+//
+// The paper's deployment is pole-mounted and outdoor, so the channel is
+// LoS-dominated (§12.2, Fig 14: strongest path ~27x the second one). We
+// model the channel to each reader antenna as a sum of rays; the direct ray
+// carries most of the energy, and reflectors (ground, facades) contribute
+// weak delayed copies. Narrowband assumption: the signal bandwidth
+// (~1 MHz) times the excess delays (tens of ns) is << 1, so each ray is a
+// single complex coefficient, matching the paper's h in Eq. 2.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace caraoke::phy {
+
+/// A point in 3-D space [m]. x runs along the road, y across it, z up.
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  bool operator==(const Vec3&) const = default;
+};
+
+/// Euclidean distance between two points.
+double distance(const Vec3& a, const Vec3& b);
+
+/// Vector length.
+double length(const Vec3& v);
+
+/// Dot product.
+double dot(const Vec3& a, const Vec3& b);
+
+/// Unit vector pointing from `from` to `to`.
+Vec3 direction(const Vec3& from, const Vec3& to);
+
+/// One propagation ray: everything needed to produce its complex gain.
+struct Ray {
+  double pathLengthMeters = 0.0; ///< Total traveled distance.
+  double gainScale = 1.0;        ///< Extra amplitude factor (reflection loss).
+};
+
+/// Free-space complex gain of a single ray at the given wavelength:
+///   h = gainScale * (lambda / (4 pi d)) * e^{-j 2 pi d / lambda}.
+dsp::cdouble rayGain(const Ray& ray, double wavelengthMeters);
+
+/// Channel as a sum of rays (direct ray first by convention).
+dsp::cdouble channelGain(const std::vector<Ray>& rays,
+                         double wavelengthMeters);
+
+/// Direct LoS ray between two points.
+Ray losRay(const Vec3& a, const Vec3& b);
+
+/// Ground-bounce ray between two points over a flat reflecting plane at
+/// z = 0 with the given reflection coefficient magnitude.
+Ray groundReflectionRay(const Vec3& a, const Vec3& b,
+                        double reflectionLoss = 0.3);
+
+/// Single-bounce ray off a vertical reflector plane y = planeY (building
+/// facade along the road).
+Ray wallReflectionRay(const Vec3& a, const Vec3& b, double planeY,
+                      double reflectionLoss = 0.2);
+
+// --- Impairments ----------------------------------------------------------
+
+/// Add circular complex Gaussian noise with the given per-component
+/// standard deviation in place.
+void addAwgn(dsp::CVec& signal, double sigmaPerComponent, Rng& rng);
+
+/// 12-bit-style ADC: clip to [-fullScale, fullScale] and quantize both I
+/// and Q to 2^bits uniform levels (paper §11: AD7356, 12-bit differential).
+void quantize(dsp::CVec& signal, double fullScale, int bits);
+
+}  // namespace caraoke::phy

@@ -1,0 +1,41 @@
+#include "phy/crc.hpp"
+
+#include <array>
+
+namespace caraoke::phy {
+
+namespace {
+
+// Table generated at static-init time for the 0x1021 polynomial.
+std::array<std::uint16_t, 256> makeTable() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint16_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+    for (int bit = 0; bit < 8; ++bit)
+      crc = static_cast<std::uint16_t>((crc & 0x8000u) ? (crc << 1) ^ 0x1021u
+                                                       : (crc << 1));
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint16_t, 256> kTable = makeTable();
+
+}  // namespace
+
+std::uint16_t crc16(std::span<const std::uint8_t> bytes) {
+  std::uint16_t crc = 0xFFFFu;
+  for (std::uint8_t b : bytes)
+    crc = static_cast<std::uint16_t>((crc << 8) ^
+                                     kTable[((crc >> 8) ^ b) & 0xFFu]);
+  return crc;
+}
+
+std::uint16_t crc16Bits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+  return crc16(bytes);
+}
+
+}  // namespace caraoke::phy

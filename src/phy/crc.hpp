@@ -1,0 +1,21 @@
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), the integrity check the
+// decoder's accept loop runs after every combining round (paper §12.4:
+// "the reader keeps combining collisions until the decoded id passes the
+// checksum test").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace caraoke::phy {
+
+/// CRC-16/CCITT-FALSE over bytes.
+std::uint16_t crc16(std::span<const std::uint8_t> bytes);
+
+/// CRC-16 over a bit sequence (each element 0 or 1, MSB-first packing;
+/// the bit count need not be a byte multiple — remaining bits are packed
+/// left-aligned in the final byte).
+std::uint16_t crc16Bits(std::span<const std::uint8_t> bits);
+
+}  // namespace caraoke::phy

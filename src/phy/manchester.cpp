@@ -1,0 +1,35 @@
+#include "phy/manchester.hpp"
+
+#include <stdexcept>
+
+namespace caraoke::phy {
+
+BitVec manchesterEncode(std::span<const std::uint8_t> bits) {
+  BitVec chips(bits.size() * 2);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    chips[2 * i] = bits[i] ? 1 : 0;
+    chips[2 * i + 1] = bits[i] ? 0 : 1;
+  }
+  return chips;
+}
+
+BitVec manchesterDecode(std::span<const std::uint8_t> chips) {
+  if (chips.size() % 2 != 0)
+    throw std::invalid_argument("manchesterDecode: odd chip count");
+  BitVec bits(chips.size() / 2);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bits[i] = chips[2 * i] ? 1 : 0;
+  return bits;
+}
+
+BitVec manchesterDecodeSoft(std::span<const double> softFirst,
+                            std::span<const double> softSecond) {
+  if (softFirst.size() != softSecond.size())
+    throw std::invalid_argument("manchesterDecodeSoft: length mismatch");
+  BitVec bits(softFirst.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bits[i] = softFirst[i] > softSecond[i] ? 1 : 0;
+  return bits;
+}
+
+}  // namespace caraoke::phy

@@ -1,0 +1,29 @@
+// Manchester line coding (paper §3: "OOK Manchester modulation").
+//
+// Convention (IEEE 802.3): bit 1 -> chips {1, 0}, bit 0 -> chips {0, 1}.
+// Every bit spends exactly half its period "on", which is what gives the
+// transponder baseband s(t) its 0.5 mean — the DC component that turns into
+// the CFO spike the whole paper builds on (Eq. 4-5).
+#pragma once
+
+#include <span>
+
+#include "phy/packet.hpp"
+
+namespace caraoke::phy {
+
+/// Expand data bits to Manchester chips (2 chips per bit).
+BitVec manchesterEncode(std::span<const std::uint8_t> bits);
+
+/// Hard-decision chips back to bits. Chip pairs {1,0} -> 1, {0,1} -> 0;
+/// an invalid pair ({0,0} or {1,1}) resolves to the first chip (a coding
+/// violation a later CRC check will catch).
+BitVec manchesterDecode(std::span<const std::uint8_t> chips);
+
+/// Soft decision: for each bit, the decoder compares the energy of the
+/// first half-period against the second. softFirst/softSecond hold those
+/// per-bit energies; the result is 1 where first > second.
+BitVec manchesterDecodeSoft(std::span<const double> softFirst,
+                            std::span<const double> softSecond);
+
+}  // namespace caraoke::phy

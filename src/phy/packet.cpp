@@ -1,0 +1,102 @@
+#include "phy/packet.hpp"
+
+#include <span>
+
+#include "phy/crc.hpp"
+
+namespace caraoke::phy {
+
+namespace {
+
+// Write `count` bits of `value` MSB-first at `offset`.
+void putBits(BitVec& bits, std::size_t offset, std::uint64_t value,
+             std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    bits[offset + i] =
+        static_cast<std::uint8_t>((value >> (count - 1 - i)) & 1u);
+}
+
+// Read `count` bits MSB-first starting at `offset`.
+std::uint64_t getBits(const BitVec& bits, std::size_t offset,
+                      std::size_t count) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    v = (v << 1) | (bits[offset + i] & 1u);
+  return v;
+}
+
+constexpr std::size_t kSyncOff = 0, kSyncLen = 16;
+constexpr std::size_t kFactoryOff = 16, kFactoryLen = 64;
+constexpr std::size_t kAgencyOff = 80, kAgencyLen = 32;
+constexpr std::size_t kProgOff = 112, kProgLen = 47;
+constexpr std::size_t kFlagsOff = 159, kFlagsLen = 17;
+constexpr std::size_t kReservedOff = 176, kReservedLen = 64;
+constexpr std::size_t kCrcOff = 240, kCrcLen = 16;
+constexpr std::size_t kCrcCoverBegin = 16, kCrcCoverEnd = 240;
+
+// splitmix64: cheap deterministic whitening for the reserved field. A long
+// run of constant bits would Manchester-encode into a pure square wave and
+// radiate strong extra spectral lines next to the CFO spike; real air
+// protocols whiten their payload for exactly this reason.
+std::uint64_t whiten(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BitVec Packet::encode(const TransponderId& id) {
+  BitVec bits(kBits, 0);
+  putBits(bits, kSyncOff, kSyncWord, kSyncLen);
+  putBits(bits, kFactoryOff, id.factoryId, kFactoryLen);
+  putBits(bits, kAgencyOff, id.agencyId, kAgencyLen);
+  putBits(bits, kProgOff, id.programmable & ((1ull << kProgLen) - 1),
+          kProgLen);
+  putBits(bits, kFlagsOff, id.flags & ((1u << kFlagsLen) - 1), kFlagsLen);
+  putBits(bits, kReservedOff,
+          whiten(id.factoryId ^ (static_cast<std::uint64_t>(id.agencyId)
+                                 << 17) ^ id.programmable),
+          kReservedLen);
+  const std::uint16_t crc = crc16Bits(
+      std::span<const std::uint8_t>(bits.data() + kCrcCoverBegin,
+                                    kCrcCoverEnd - kCrcCoverBegin));
+  putBits(bits, kCrcOff, crc, kCrcLen);
+  return bits;
+}
+
+bool Packet::checksumOk(const BitVec& bits) {
+  if (bits.size() != kBits) return false;
+  if (getBits(bits, kSyncOff, kSyncLen) != kSyncWord) return false;
+  const std::uint16_t expected = crc16Bits(
+      std::span<const std::uint8_t>(bits.data() + kCrcCoverBegin,
+                                    kCrcCoverEnd - kCrcCoverBegin));
+  return getBits(bits, kCrcOff, kCrcLen) == expected;
+}
+
+caraoke::Result<TransponderId> Packet::decode(const BitVec& bits) {
+  using R = caraoke::Result<TransponderId>;
+  if (bits.size() != kBits) return R::failure("wrong packet length");
+  if (getBits(bits, kSyncOff, kSyncLen) != kSyncWord)
+    return R::failure("sync word mismatch");
+  if (!checksumOk(bits)) return R::failure("CRC check failed");
+  TransponderId id;
+  id.factoryId = getBits(bits, kFactoryOff, kFactoryLen);
+  id.agencyId = static_cast<std::uint32_t>(getBits(bits, kAgencyOff,
+                                                   kAgencyLen));
+  id.programmable = getBits(bits, kProgOff, kProgLen);
+  id.flags = static_cast<std::uint32_t>(getBits(bits, kFlagsOff, kFlagsLen));
+  return id;
+}
+
+TransponderId Packet::randomId(Rng& rng) {
+  TransponderId id;
+  id.factoryId = rng.next();
+  id.agencyId = static_cast<std::uint32_t>(rng.next());
+  id.programmable = rng.next() & ((1ull << 47) - 1);
+  id.flags = static_cast<std::uint32_t>(rng.next()) & ((1u << 17) - 1);
+  return id;
+}
+
+}  // namespace caraoke::phy

@@ -1,0 +1,64 @@
+// The 256-bit transponder response packet.
+//
+// The paper (Fig 2b) specifies a 256-bit response with factory-fixed,
+// agency-fixed, and programmable regions (one of them 47 bits) plus a CRC,
+// but not the exact layout — that is proprietary to the toll operators.
+// We define a concrete layout with the same ingredients (documented in
+// DESIGN.md §5):
+//
+//   bits [  0,  16)  sync word 0xB5A3 (for packet detection)
+//   bits [ 16,  80)  factory-fixed id, 64 bits
+//   bits [ 80, 112)  agency-fixed id, 32 bits
+//   bits [112, 159)  programmable field, 47 bits (paper's "47 bits")
+//   bits [159, 176)  flags, 17 bits
+//   bits [176, 240)  reserved, 64 bits
+//   bits [240, 256)  CRC-16/CCITT-FALSE over bits [16, 240)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace caraoke::phy {
+
+/// Bit sequence type: one byte per bit, each 0 or 1. Chosen over a packed
+/// representation because the decoder works with per-bit soft values.
+using BitVec = std::vector<std::uint8_t>;
+
+/// Decoded identity carried by a transponder response.
+struct TransponderId {
+  std::uint64_t factoryId = 0;   ///< 64-bit factory-fixed serial.
+  std::uint32_t agencyId = 0;    ///< 32-bit issuing-agency id.
+  std::uint64_t programmable = 0;///< 47-bit programmable field (driver account).
+  std::uint32_t flags = 0;       ///< 17-bit flags region.
+
+  bool operator==(const TransponderId&) const = default;
+};
+
+/// Builds, serializes, and validates transponder packets.
+class Packet {
+ public:
+  /// Number of bits in a response.
+  static constexpr std::size_t kBits = 256;
+
+  /// Serialize an id into the 256-bit response (sync + fields + CRC).
+  static BitVec encode(const TransponderId& id);
+
+  /// Parse and validate 256 received bits. Fails if the length is wrong,
+  /// the sync word does not match, or the CRC check fails.
+  static caraoke::Result<TransponderId> decode(const BitVec& bits);
+
+  /// True when the bit vector carries a valid sync word and CRC.
+  static bool checksumOk(const BitVec& bits);
+
+  /// A random but well-formed identity (deterministic given the Rng).
+  static TransponderId randomId(Rng& rng);
+
+  /// The 16-bit sync word.
+  static constexpr std::uint16_t kSyncWord = 0xB5A3;
+};
+
+}  // namespace caraoke::phy

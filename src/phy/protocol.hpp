@@ -1,0 +1,79 @@
+// Protocol constants for the e-toll transponder air interface (paper §3,
+// Fig 2) and the sampling parameters of the Caraoke reader front-end.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace caraoke::phy {
+
+// --- Air-interface timing (Fig 2a) ---------------------------------------
+
+/// Reader query: an unmodulated sine at the carrier, 20 us long.
+inline constexpr double kQueryDuration = 20e-6;
+/// Gap between the end of the query and the start of the response.
+inline constexpr double kQueryResponseGap = 100e-6;
+/// Transponder response duration: 256 bits in 512 us.
+inline constexpr double kResponseDuration = 512e-6;
+/// Response payload length in bits (Fig 2b).
+inline constexpr std::size_t kResponseBits = 256;
+/// Bit period: 512 us / 256 bits = 2 us.
+inline constexpr double kBitDuration = kResponseDuration / kResponseBits;
+/// Interval between successive queries when decoding (§12.4: "queries are
+/// separated by 1 ms").
+inline constexpr double kQueryInterval = 1e-3;
+/// CSMA listen window before a reader may transmit (§9: query 20 us +
+/// 100 us gap, so 120 us of silence guarantees no response is pending).
+inline constexpr double kCsmaListenWindow = 120e-6;
+
+// --- Carrier band (§3, §5) ------------------------------------------------
+
+/// Lowest transponder carrier frequency.
+inline constexpr double kCarrierMinHz = 914.3e6;
+/// Highest transponder carrier frequency.
+inline constexpr double kCarrierMaxHz = 915.5e6;
+/// Nominal carrier.
+inline constexpr double kCarrierNominalHz = 915.0e6;
+/// CFO span the counter searches: 1.2 MHz.
+inline constexpr double kCfoSpanHz = kCarrierMaxHz - kCarrierMinHz;
+/// Empirical carrier statistics from the paper's 155-transponder capture
+/// (§5 footnote 7).
+inline constexpr double kEmpiricalCarrierMeanHz = 914.84e6;
+inline constexpr double kEmpiricalCarrierStddevHz = 0.21e6;
+
+/// Radio range of a Caraoke reader (§9 footnote: 100 feet).
+inline constexpr double kReaderRangeMeters = 30.48;
+
+// --- Reader sampling --------------------------------------------------------
+
+/// Sampling and windowing parameters of a reader's digital front-end.
+/// Defaults give the paper's numbers: a 512 us window at 4 MHz is 2048
+/// samples, delta_f = 1.953 kHz, and the 1.2 MHz CFO span covers 615 bins.
+struct SamplingParams {
+  /// Complex baseband sample rate [Hz].
+  double sampleRateHz = 4e6;
+  /// Local oscillator; at the bottom of the band so CFO is in [0, 1.2 MHz].
+  double loFrequencyHz = kCarrierMinHz;
+
+  /// Samples in one full response window.
+  std::size_t responseSamples() const {
+    return static_cast<std::size_t>(kResponseDuration * sampleRateHz + 0.5);
+  }
+  /// Samples per data bit (2 us).
+  std::size_t samplesPerBit() const {
+    return static_cast<std::size_t>(kBitDuration * sampleRateHz + 0.5);
+  }
+  /// Samples per Manchester half-bit (1 us).
+  std::size_t samplesPerChip() const { return samplesPerBit() / 2; }
+  /// FFT resolution of the full window [Hz] (Eq. 6).
+  double fftResolutionHz() const {
+    return 1.0 / kResponseDuration;
+  }
+  /// Number of FFT bins the CFO span occupies (the paper's N = 615).
+  std::size_t cfoBins() const {
+    return static_cast<std::size_t>(kCfoSpanHz / fftResolutionHz());
+  }
+};
+
+}  // namespace caraoke::phy

@@ -1,0 +1,68 @@
+#include "power/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace caraoke::power {
+
+double averagePowerWatts(const PowerProfile& profile, const DutyCycle& duty) {
+  const double d = duty.dutyFraction();
+  return profile.activeWatts * d + profile.sleepWatts * (1.0 - d);
+}
+
+double SolarPanel::outputWatts(double hourOfDay) const {
+  if (hourOfDay < sunriseHour || hourOfDay > sunsetHour) return 0.0;
+  const double span = sunsetHour - sunriseHour;
+  if (span <= 0.0) return 0.0;
+  const double x = (hourOfDay - sunriseHour) / span;  // 0..1 across the day
+  return peakWatts * weather * std::sin(kPi * x);
+}
+
+bool Battery::apply(double netWatts, double dtSec) {
+  chargeJoules += netWatts * dtSec;
+  bool ok = true;
+  if (chargeJoules < 0.0) {
+    chargeJoules = 0.0;
+    ok = false;
+  }
+  chargeJoules = std::min(chargeJoules, capacityJoules);
+  return ok;
+}
+
+std::vector<DayRecord> simulateOperation(const PowerProfile& profile,
+                                         const DutyCycle& duty,
+                                         const SolarPanel& panel,
+                                         Battery battery, std::size_t days,
+                                         const std::vector<double>& weather,
+                                         bool includeModem) {
+  const double drawWatts = averagePowerWatts(profile, duty) +
+                           (includeModem ? profile.modemAverageWatts() : 0.0);
+  std::vector<DayRecord> records;
+  const double dtSec = 60.0;  // one-minute steps
+  for (std::size_t day = 0; day < days; ++day) {
+    SolarPanel today = panel;
+    if (day < weather.size()) today.weather = weather[day];
+    DayRecord record;
+    for (double t = 0.0; t < 24.0 * 3600.0; t += dtSec) {
+      const double hour = t / 3600.0;
+      const double harvest = today.outputWatts(hour);
+      record.harvestedJoules += harvest * dtSec;
+      record.consumedJoules += drawWatts * dtSec;
+      if (!battery.apply(harvest - drawWatts, dtSec)) record.brownout = true;
+    }
+    record.endSoc = battery.stateOfCharge();
+    records.push_back(record);
+  }
+  return records;
+}
+
+double sunHoursForRuntime(const PowerProfile& profile, const DutyCycle& duty,
+                          const SolarPanel& panel, double runtimeSec) {
+  const double energyNeeded = averagePowerWatts(profile, duty) * runtimeSec;
+  if (panel.peakWatts <= 0.0) return 0.0;
+  return energyNeeded / panel.peakWatts / 3600.0;
+}
+
+}  // namespace caraoke::power

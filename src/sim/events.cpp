@@ -1,0 +1,21 @@
+#include "sim/events.hpp"
+
+namespace caraoke::sim {
+
+void EventQueue::schedule(double t, Handler handler) {
+  queue_.push(Event{t, nextSequence_++, std::move(handler)});
+}
+
+double EventQueue::run(double untilTime) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy out the handler before popping.
+    if (queue_.top().time > untilTime) break;
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.handler();
+  }
+  return now_;
+}
+
+}  // namespace caraoke::sim

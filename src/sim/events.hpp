@@ -1,0 +1,48 @@
+// A small discrete-event queue used by the multi-reader MAC simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace caraoke::sim {
+
+/// Time-ordered event scheduler. Events fire in nondecreasing time order;
+/// ties fire in insertion order (stable), which keeps the MAC simulation
+/// deterministic.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `handler` at absolute time t.
+  void schedule(double t, Handler handler);
+
+  /// Run events until the queue empties or `untilTime` is passed.
+  /// Returns the time of the last executed event.
+  double run(double untilTime);
+
+  /// Current simulation time (time of the last executed event).
+  double now() const { return now_; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t nextSequence_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace caraoke::sim

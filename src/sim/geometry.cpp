@@ -1,0 +1,74 @@
+#include "sim/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace caraoke::sim {
+
+double Road::laneCenterY(std::size_t lane, bool forward) const {
+  if (lane >= lanesPerDirection)
+    throw std::invalid_argument("Road::laneCenterY: lane out of range");
+  // Forward (+x) traffic drives on positive y; the centerline is y = 0.
+  const double offset =
+      (static_cast<double>(lane) + 0.5) * laneWidthMeters;
+  return forward ? offset : -offset;
+}
+
+std::vector<ParkingSpot> makeParkingRow(double startX, std::size_t count,
+                                        bool nearSide, double spotLength) {
+  std::vector<ParkingSpot> spots(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    spots[i].centerX = startX + (static_cast<double>(i) + 0.5) * spotLength;
+    spots[i].nearSide = nearSide;
+    spots[i].lengthMeters = spotLength;
+  }
+  return spots;
+}
+
+Vec3 parkedTransponderPosition(const ParkingSpot& spot, const Road& road,
+                               double windshieldHeight) {
+  // Parked cars hug the curb: half a lane beyond the outermost lane.
+  const double edge = road.laneWidthMeters *
+                      static_cast<double>(road.lanesPerDirection);
+  const double y = spot.nearSide ? -(edge + 1.0) : (edge + 1.0);
+  return {spot.centerX, y, windshieldHeight};
+}
+
+TriangleArray::TriangleArray(Vec3 center, double baselineMeters,
+                             double tiltRad)
+    : center_(center), baselineMeters_(baselineMeters) {
+  // Equilateral triangle with side d has circumradius d / sqrt(3).
+  const double r = baselineMeters / std::sqrt(3.0);
+  // Plane basis: e1 along the road; e2 starts vertical (z) and tilts
+  // toward the road (+y) by tiltRad.
+  const Vec3 e1{1.0, 0.0, 0.0};
+  const Vec3 e2{0.0, std::sin(tiltRad), std::cos(tiltRad)};
+  elements_.reserve(3);
+  for (int k = 0; k < 3; ++k) {
+    const double theta = deg2rad(90.0 + 120.0 * k);
+    const Vec3 offset = e1 * (r * std::cos(theta)) + e2 * (r * std::sin(theta));
+    elements_.push_back(center + offset);
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> TriangleArray::pairs() {
+  return {{0, 1}, {1, 2}, {2, 0}};
+}
+
+Vec3 TriangleArray::baselineDirection(std::size_t pairIndex) const {
+  const auto p = pairs().at(pairIndex);
+  return phy::direction(elements_[p.first], elements_[p.second]);
+}
+
+double TriangleArray::trueAngle(std::size_t pairIndex,
+                                const Vec3& target) const {
+  const Vec3 u = baselineDirection(pairIndex);
+  const Vec3 v = phy::direction(center_, target);
+  const double c = std::clamp(phy::dot(u, v), -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace caraoke::sim

@@ -1,0 +1,94 @@
+// Street-scene geometry: roads, lanes, parking spots, poles, and the
+// reader's antenna array.
+//
+// Coordinate frame (shared by the whole codebase): x runs along the road,
+// y across it (positive toward the far side), z up. The road surface is
+// z = 0; transponders sit at windshield height, readers on poles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "phy/channel.hpp"
+
+namespace caraoke::sim {
+
+using phy::Vec3;
+
+/// A straight two-way road segment along the x axis.
+struct Road {
+  double laneWidthMeters = 3.6576;  ///< 12 ft, the paper's typical lane.
+  std::size_t lanesPerDirection = 1;
+  double lengthMeters = 200.0;
+
+  /// Total paved width.
+  double widthMeters() const {
+    return laneWidthMeters * 2.0 * static_cast<double>(lanesPerDirection);
+  }
+  /// Center y of a lane. Lanes 0..lanesPerDirection-1 carry +x traffic at
+  /// positive y; negative indices are not used — call with direction.
+  double laneCenterY(std::size_t lane, bool forward) const;
+};
+
+/// A curbside parking spot (centered at x, on the near or far side).
+struct ParkingSpot {
+  double centerX = 0.0;
+  bool nearSide = true;           ///< true: same side as the pole (y < 0).
+  double lengthMeters = 6.1;      ///< 20 ft curb length.
+};
+
+/// Generates `count` consecutive spots starting at startX on one side of
+/// the road; y places the car just outside the traveled lanes.
+std::vector<ParkingSpot> makeParkingRow(double startX, std::size_t count,
+                                        bool nearSide,
+                                        double spotLength = 6.1);
+
+/// Center position of the transponder for a car parked in a spot
+/// (windshield height ~1.2 m above road).
+Vec3 parkedTransponderPosition(const ParkingSpot& spot, const Road& road,
+                               double windshieldHeight = 1.2);
+
+/// A street-lamp pole carrying a reader.
+struct Pole {
+  Vec3 base;                   ///< Base on the ground (z = 0).
+  double heightMeters = 3.81;  ///< 12.5 ft, the paper's experimental poles.
+
+  /// Where the antenna array center sits.
+  Vec3 arrayCenter() const { return {base.x, base.y, heightMeters}; }
+};
+
+/// The reader's three-antenna equilateral triangle (paper §6, Fig 6),
+/// optionally tilted about the road (x) axis. Tilt 0 puts the triangle in
+/// the vertical plane containing the road direction; the paper tilts by
+/// 60 degrees to balance AoA error across parking spots (§12.2).
+class TriangleArray {
+ public:
+  /// center: array phase center; baseline: antenna separation d (the paper
+  /// uses lambda/2 = 6.5 in); tiltRad: rotation of the triangle plane.
+  TriangleArray(Vec3 center, double baselineMeters, double tiltRad);
+
+  /// Positions of the three antennas.
+  const std::vector<Vec3>& elements() const { return elements_; }
+
+  /// The three antenna index pairs, in a fixed order.
+  static std::vector<std::pair<std::size_t, std::size_t>> pairs();
+
+  /// Unit baseline vector from pair.first to pair.second.
+  Vec3 baselineDirection(std::size_t pairIndex) const;
+
+  /// Antenna separation d.
+  double baseline() const { return baselineMeters_; }
+
+  Vec3 center() const { return center_; }
+
+  /// Ground-truth spatial angle between the pair's baseline and the
+  /// direction from the array center to a target (the paper's alpha).
+  double trueAngle(std::size_t pairIndex, const Vec3& target) const;
+
+ private:
+  Vec3 center_;
+  double baselineMeters_;
+  std::vector<Vec3> elements_;
+};
+
+}  // namespace caraoke::sim

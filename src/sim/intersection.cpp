@@ -1,0 +1,88 @@
+#include "sim/intersection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace caraoke::sim {
+
+ApproachSim::ApproachSim(ApproachConfig config, TrafficLight light,
+                         const phy::CfoModel& cfoModel, Rng rng)
+    : config_(config), light_(light), cfoModel_(cfoModel), rng_(rng) {}
+
+void ApproachSim::maybeSpawn(double dt) {
+  // Bernoulli approximation of Poisson arrivals per tick (rate * dt << 1).
+  if (!rng_.chance(config_.arrivalRatePerSec * dt)) return;
+  // Refuse to spawn on top of the last car.
+  for (const SimCar& c : cars_)
+    if (c.position < config_.spawnX + config_.queueGap) return;
+  SimCar car;
+  car.id = spawned_;
+  car.position = config_.spawnX;
+  car.speed = config_.freeSpeed;
+  car.hasTransponder = rng_.chance(config_.transponderRate);
+  if (car.hasTransponder) car.carrierHz = cfoModel_.drawCarrierHz(rng_);
+  cars_.push_back(car);
+  ++spawned_;
+}
+
+void ApproachSim::step(double dt) {
+  maybeSpawn(dt);
+  // Sort so the most advanced car comes first; each car then follows the
+  // one before it in the vector.
+  std::sort(cars_.begin(), cars_.end(),
+            [](const SimCar& a, const SimCar& b) {
+              return a.position > b.position;
+            });
+
+  const bool mayCross = light_.phaseAt(now_) == LightPhase::kGreen;
+
+  for (std::size_t i = 0; i < cars_.size(); ++i) {
+    SimCar& car = cars_[i];
+    // Barrier: the leader's tail, and the stop line when the light is not
+    // green and the car has not crossed yet.
+    double barrier = std::numeric_limits<double>::infinity();
+    if (i > 0) barrier = cars_[i - 1].position - config_.queueGap;
+    if (!mayCross && car.position < 0.0)
+      barrier = std::min(barrier, -0.5);  // hold just before the line
+
+    // Speed allowed by braking distance to the barrier.
+    double allowed = config_.freeSpeed;
+    if (std::isfinite(barrier)) {
+      const double gap = std::max(0.0, barrier - car.position);
+      allowed = std::min(allowed, std::sqrt(2.0 * config_.decel * gap));
+    }
+    const double accelerated = car.speed + config_.accel * dt;
+    const double braked = car.speed - config_.decel * dt;
+    car.speed = std::clamp(allowed, std::max(0.0, braked), accelerated);
+    car.position += car.speed * dt;
+    if (std::isfinite(barrier) && car.position > barrier) {
+      car.position = barrier;
+      car.speed = 0.0;
+    }
+  }
+
+  cars_.erase(std::remove_if(cars_.begin(), cars_.end(),
+                             [&](const SimCar& c) {
+                               return c.position > config_.exitX;
+                             }),
+              cars_.end());
+  now_ += dt;
+}
+
+std::size_t ApproachSim::transpondersInRange(double poleX,
+                                             double radius) const {
+  std::size_t n = 0;
+  for (const SimCar& c : cars_)
+    if (c.hasTransponder && std::abs(c.position - poleX) <= radius) ++n;
+  return n;
+}
+
+std::size_t ApproachSim::carsInRange(double poleX, double radius) const {
+  std::size_t n = 0;
+  for (const SimCar& c : cars_)
+    if (std::abs(c.position - poleX) <= radius) ++n;
+  return n;
+}
+
+}  // namespace caraoke::sim

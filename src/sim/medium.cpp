@@ -1,0 +1,83 @@
+#include "sim/medium.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace caraoke::sim {
+
+dsp::cdouble channelTo(const Vec3& devicePos, const Vec3& antennaPos,
+                       const MultipathConfig& multipath, double wavelength) {
+  std::vector<phy::Ray> rays;
+  rays.push_back(phy::losRay(devicePos, antennaPos));
+  if (multipath.groundReflection)
+    rays.push_back(
+        phy::groundReflectionRay(devicePos, antennaPos, multipath.groundLoss));
+  if (multipath.wallY)
+    rays.push_back(phy::wallReflectionRay(devicePos, antennaPos,
+                                          *multipath.wallY,
+                                          multipath.wallLoss));
+  return phy::channelGain(rays, wavelength);
+}
+
+Capture captureAtAntennas(const FrontEndConfig& frontEnd,
+                          const std::vector<Vec3>& antennas,
+                          std::vector<ActiveDevice>& devices,
+                          const MultipathConfig& multipath, Rng& rng) {
+  const phy::SamplingParams& sp = frontEnd.sampling;
+  const std::size_t n = sp.responseSamples();
+
+  Capture capture;
+  capture.antennaSamples.assign(antennas.size(), dsp::CVec(n, dsp::cdouble{}));
+
+  for (ActiveDevice& active : devices) {
+    Transponder& dev = *active.device;
+    // The wavelength used for channel phases is the device's own carrier —
+    // that is what actually propagates.
+    const double lambda = wavelength(dev.carrierHz());
+    capture.trueCfosHz.push_back(dev.carrierHz() - sp.loFrequencyHz);
+
+    // One oscillator per device: one waveform (with one random initial
+    // phase) reused for every antenna, scaled by that antenna's channel.
+    const dsp::CVec waveform = dev.respond(sp);
+    std::size_t jitter = 0;
+    if (frontEnd.turnaroundJitterMaxSamples > 0)
+      jitter = static_cast<std::size_t>(rng.uniformInt(
+          0, static_cast<std::int64_t>(frontEnd.turnaroundJitterMaxSamples)));
+
+    for (std::size_t a = 0; a < antennas.size(); ++a) {
+      dsp::cdouble h =
+          channelTo(active.position, antennas[a], multipath, lambda);
+      if (a < frontEnd.antennaPhaseOffsetsRad.size())
+        h *= dsp::cdouble(std::cos(frontEnd.antennaPhaseOffsetsRad[a]),
+                          std::sin(frontEnd.antennaPhaseOffsetsRad[a]));
+      dsp::CVec& out = capture.antennaSamples[a];
+      const std::size_t limit = n - jitter;
+      for (std::size_t t = 0; t < std::min(waveform.size(), limit); ++t)
+        out[t + jitter] += h * waveform[t];
+    }
+  }
+
+  for (dsp::CVec& samples : capture.antennaSamples) {
+    phy::addAwgn(samples, frontEnd.noiseSigma, rng);
+    if (frontEnd.enableAdc)
+      phy::quantize(samples, frontEnd.adcFullScale, frontEnd.adcBits);
+  }
+  return capture;
+}
+
+Capture captureCollision(const ReaderNode& reader,
+                         std::vector<ActiveDevice>& devices,
+                         const MultipathConfig& multipath, Rng& rng) {
+  return captureAtAntennas(reader.frontEnd, reader.array().elements(),
+                           devices, multipath, rng);
+}
+
+Capture captureIsolated(const ReaderNode& reader, Transponder& device,
+                        const Vec3& position, const MultipathConfig& multipath,
+                        Rng& rng) {
+  std::vector<ActiveDevice> one{{&device, position}};
+  return captureCollision(reader, one, multipath, rng);
+}
+
+}  // namespace caraoke::sim

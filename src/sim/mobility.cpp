@@ -1,0 +1,26 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caraoke::sim {
+
+Vec3 TrapezoidalMobility::positionAt(double t) const {
+  const double dt = std::max(0.0, t - t0_);
+  const double tRamp = cruiseSpeed_ / accel_;
+  double x;
+  if (dt <= tRamp) {
+    x = startX_ + 0.5 * accel_ * dt * dt;
+  } else {
+    const double rampDist = 0.5 * accel_ * tRamp * tRamp;
+    x = startX_ + rampDist + cruiseSpeed_ * (dt - tRamp);
+  }
+  return {x, y_, z_};
+}
+
+double TrapezoidalMobility::speedAt(double t) const {
+  const double dt = std::max(0.0, t - t0_);
+  return std::min(cruiseSpeed_, accel_ * dt);
+}
+
+}  // namespace caraoke::sim

@@ -1,0 +1,66 @@
+// Car mobility models: parked, constant-speed, and the trapezoidal
+// stop-and-go profile the intersection simulator uses.
+#pragma once
+
+#include <memory>
+
+#include "sim/geometry.hpp"
+
+namespace caraoke::sim {
+
+/// Position of a car's transponder as a function of absolute time [s].
+class Mobility {
+ public:
+  virtual ~Mobility() = default;
+  virtual Vec3 positionAt(double t) const = 0;
+  /// Instantaneous speed [m/s] (for ground truth in speed experiments).
+  virtual double speedAt(double t) const = 0;
+};
+
+/// A parked car: fixed transponder position.
+class ParkedMobility final : public Mobility {
+ public:
+  explicit ParkedMobility(Vec3 position) : position_(position) {}
+  Vec3 positionAt(double) const override { return position_; }
+  double speedAt(double) const override { return 0.0; }
+
+ private:
+  Vec3 position_;
+};
+
+/// Constant velocity along +x or -x in a given lane.
+class ConstantSpeedMobility final : public Mobility {
+ public:
+  /// startX at time t0, speed [m/s] (sign gives direction), fixed y/z.
+  ConstantSpeedMobility(double startX, double y, double z, double speed,
+                        double t0 = 0.0)
+      : startX_(startX), y_(y), z_(z), speed_(speed), t0_(t0) {}
+
+  Vec3 positionAt(double t) const override {
+    return {startX_ + speed_ * (t - t0_), y_, z_};
+  }
+  double speedAt(double) const override { return std::abs(speed_); }
+
+ private:
+  double startX_, y_, z_, speed_, t0_;
+};
+
+/// Accelerate-cruise-decelerate profile between two stops; used for cars
+/// pulling away from a light. Piecewise constant acceleration.
+class TrapezoidalMobility final : public Mobility {
+ public:
+  /// Starts at rest at startX at time t0, accelerates at accel to
+  /// cruiseSpeed, then cruises (along +x, fixed y/z).
+  TrapezoidalMobility(double startX, double y, double z, double accel,
+                      double cruiseSpeed, double t0)
+      : startX_(startX), y_(y), z_(z), accel_(accel),
+        cruiseSpeed_(cruiseSpeed), t0_(t0) {}
+
+  Vec3 positionAt(double t) const override;
+  double speedAt(double t) const override;
+
+ private:
+  double startX_, y_, z_, accel_, cruiseSpeed_, t0_;
+};
+
+}  // namespace caraoke::sim

@@ -1,0 +1,36 @@
+#include "sim/traffic_light.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace caraoke::sim {
+
+TrafficLight::TrafficLight(double greenSec, double yellowSec, double redSec,
+                           double offsetSec)
+    : green_(greenSec), yellow_(yellowSec), red_(redSec), offset_(offsetSec) {
+  if (greenSec <= 0 || yellowSec < 0 || redSec <= 0)
+    throw std::invalid_argument("TrafficLight: invalid phase durations");
+}
+
+double TrafficLight::cyclePosition(double t) const {
+  const double cycle = cycleLength();
+  double pos = std::fmod(t - offset_, cycle);
+  if (pos < 0) pos += cycle;
+  return pos;
+}
+
+LightPhase TrafficLight::phaseAt(double t) const {
+  const double pos = cyclePosition(t);
+  if (pos < green_) return LightPhase::kGreen;
+  if (pos < green_ + yellow_) return LightPhase::kYellow;
+  return LightPhase::kRed;
+}
+
+double TrafficLight::timeToPhaseEnd(double t) const {
+  const double pos = cyclePosition(t);
+  if (pos < green_) return green_ - pos;
+  if (pos < green_ + yellow_) return green_ + yellow_ - pos;
+  return cycleLength() - pos;
+}
+
+}  // namespace caraoke::sim

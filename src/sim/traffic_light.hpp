@@ -1,0 +1,34 @@
+// Traffic-light phase schedule for the intersection experiments (Fig 12)
+// and the red-light-runner application.
+#pragma once
+
+namespace caraoke::sim {
+
+enum class LightPhase { kGreen, kYellow, kRed };
+
+/// A fixed-cycle signal: green -> yellow -> red, repeating, with an offset
+/// so the two streets of an intersection can run complementary phases.
+class TrafficLight {
+ public:
+  TrafficLight(double greenSec, double yellowSec, double redSec,
+               double offsetSec = 0.0);
+
+  /// Phase at absolute time t [s].
+  LightPhase phaseAt(double t) const;
+
+  /// Seconds until the phase at time t ends.
+  double timeToPhaseEnd(double t) const;
+
+  double cycleLength() const { return green_ + yellow_ + red_; }
+  double greenSec() const { return green_; }
+  double yellowSec() const { return yellow_; }
+  double redSec() const { return red_; }
+
+ private:
+  /// Time within the cycle, in [0, cycleLength).
+  double cyclePosition(double t) const;
+
+  double green_, yellow_, red_, offset_;
+};
+
+}  // namespace caraoke::sim

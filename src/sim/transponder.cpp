@@ -1,0 +1,26 @@
+#include "sim/transponder.hpp"
+
+namespace caraoke::sim {
+
+Transponder::Transponder(phy::TransponderId id, double carrierHz, Rng rng)
+    : id_(id),
+      carrierHz_(carrierHz),
+      packetBits_(phy::Packet::encode(id)),
+      rng_(rng) {}
+
+Transponder Transponder::random(const phy::CfoModel& cfoModel, Rng& rng) {
+  Rng deviceRng = rng.fork();
+  return Transponder(phy::Packet::randomId(rng),
+                     cfoModel.drawCarrierHz(rng), deviceRng);
+}
+
+dsp::CVec Transponder::respond(const phy::SamplingParams& params) {
+  lastPhase_ = rng_.phase();
+  const double cfo = carrierHz_ - params.loFrequencyHz;
+  dsp::CVec waveform =
+      phy::modulateResponse(packetBits_, params, cfo, lastPhase_);
+  carrierHz_ = drift_.step(carrierHz_, rng_);
+  return waveform;
+}
+
+}  // namespace caraoke::sim

@@ -1,0 +1,56 @@
+// The simulated e-toll transponder: an active RFID with no MAC (paper §3).
+//
+// Once triggered by any query it immediately transmits its 256-bit response
+// with OOK-Manchester at its own (offset) carrier and a fresh random
+// oscillator phase. The device has no carrier sense and no backoff — the
+// absence of those is the paper's entire problem statement.
+#pragma once
+
+#include "common/rng.hpp"
+#include "phy/cfo.hpp"
+#include "phy/ook.hpp"
+#include "phy/packet.hpp"
+
+namespace caraoke::sim {
+
+/// One transponder and its per-device RF personality.
+class Transponder {
+ public:
+  /// Create with an explicit identity and carrier.
+  Transponder(phy::TransponderId id, double carrierHz, Rng rng);
+
+  /// Create with a random identity and a carrier drawn from the model.
+  static Transponder random(const phy::CfoModel& cfoModel, Rng& rng);
+
+  const phy::TransponderId& id() const { return id_; }
+
+  /// Current carrier frequency [Hz]. Drifts slightly per query.
+  double carrierHz() const { return carrierHz_; }
+
+  /// The encoded 256-bit response (cached; ids are immutable).
+  const phy::BitVec& packetBits() const { return packetBits_; }
+
+  /// Produce the response waveform at the reader's complex baseband for
+  /// one query: applies this query's random initial phase and the CFO
+  /// relative to the reader LO, then advances the drift model.
+  /// The returned waveform has unit transmit amplitude; the medium scales
+  /// it by the channel.
+  dsp::CVec respond(const phy::SamplingParams& params);
+
+  /// The initial phase used by the most recent respond() call. The medium
+  /// reuses it across a reader's antennas (one oscillator per device).
+  double lastInitialPhase() const { return lastPhase_; }
+
+  /// Enable/disable short-term carrier drift between queries.
+  void setDriftModel(phy::CfoDriftModel model) { drift_ = model; }
+
+ private:
+  phy::TransponderId id_;
+  double carrierHz_;
+  phy::BitVec packetBits_;
+  phy::CfoDriftModel drift_{};
+  double lastPhase_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace caraoke::sim

@@ -1,0 +1,225 @@
+// Tests for the smart-city application services: traffic monitoring,
+// parking, speed enforcement, red-light detection, and the car finder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/car_finder.hpp"
+#include "apps/parking.hpp"
+#include "apps/red_light.hpp"
+#include "apps/speed_enforcement.hpp"
+#include "apps/traffic_monitor.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace caraoke::apps {
+namespace {
+
+TEST(TrafficMonitorApp, CountsMatchGroundTruthInSteadyState) {
+  Rng rng(1);
+  phy::EmpiricalCfoModel cfoModel;
+  sim::ApproachConfig config;
+  config.arrivalRatePerSec = 0.15;
+  config.transponderRate = 1.0;  // every car tagged: RF should track truth
+  const sim::TrafficLight light(30.0, 4.0, 30.0);
+  sim::ApproachSim approach(config, light, cfoModel, rng.fork());
+
+  TrafficMonitorConfig monitorConfig;
+  monitorConfig.reader.pole.base = {0, -6, 0};
+  monitorConfig.reader.pole.heightMeters = feet(12.5);
+  TrafficMonitor monitor(monitorConfig, rng.fork());
+
+  for (double t = 0; t < 120.0; t += 0.1) approach.step(0.1);
+  double totalError = 0.0;
+  int samples = 0;
+  for (int s = 0; s < 30; ++s) {
+    for (int k = 0; k < 10; ++k) approach.step(0.1);
+    const TrafficSample sample = monitor.sample(approach);
+    totalError += std::abs(static_cast<double>(sample.rfCount) -
+                           static_cast<double>(sample.trueTransponders));
+    ++samples;
+  }
+  EXPECT_LT(totalError / samples, 1.0);
+}
+
+ParkingConfig parkingConfig() {
+  ParkingConfig config;
+  config.spots = sim::makeParkingRow(0.0, 6, true, 6.0);
+  config.rowY = -4.7;
+  config.ratePerHour = 3.0;
+  return config;
+}
+
+TEST(Parking, SnapToSpot) {
+  ParkingService service(parkingConfig());
+  ASSERT_TRUE(service.snapToSpot(3.2).has_value());
+  EXPECT_EQ(*service.snapToSpot(3.2), 0u);
+  EXPECT_EQ(*service.snapToSpot(33.4), 5u);
+  EXPECT_FALSE(service.snapToSpot(80.0).has_value());
+}
+
+TEST(Parking, ConeToSpotAssignment) {
+  ParkingService service(parkingConfig());
+  // Car in spot 3 (center x = 21): cone from a pole at origin.
+  const phy::Vec3 car{21.0, -4.7, 1.2};
+  core::ConeConstraint cone;
+  cone.apex = {0.0, -6.0, feet(12.5)};
+  cone.axis = {1, 0, 0};
+  cone.angleRad = std::acos(phy::dot(phy::direction(cone.apex, car),
+                                     cone.axis));
+  const auto spot = service.spotForCone(cone, 18.0);
+  ASSERT_TRUE(spot.has_value());
+  EXPECT_EQ(*spot, 3u);
+}
+
+TEST(Parking, SessionLifecycleAndBilling) {
+  ParkingService service(parkingConfig());
+  Rng rng(2);
+  const phy::TransponderId car = phy::Packet::randomId(rng);
+
+  service.vehicleSeen(car, 2, 1000.0);
+  EXPECT_EQ(service.occupiedSpots().count(2), 1u);
+  EXPECT_EQ(service.availableSpots().size(), 5u);
+
+  // Re-sighting in the same spot keeps the original start time.
+  service.vehicleSeen(car, 2, 1600.0);
+  const auto charge = service.vehicleLeft(car, 1000.0 + 3600.0);
+  ASSERT_TRUE(charge.has_value());
+  EXPECT_NEAR(charge->durationSec, 3600.0, 1e-9);
+  EXPECT_NEAR(charge->amount, 3.0, 1e-9);  // 1 h at $3/h
+  EXPECT_TRUE(service.occupiedSpots().empty());
+  EXPECT_FALSE(service.vehicleLeft(car, 5000.0).has_value());
+}
+
+TEST(Parking, TwoVehiclesIndependentSessions) {
+  ParkingService service(parkingConfig());
+  Rng rng(3);
+  const auto carA = phy::Packet::randomId(rng);
+  const auto carB = phy::Packet::randomId(rng);
+  service.vehicleSeen(carA, 0, 0.0);
+  service.vehicleSeen(carB, 5, 10.0);
+  EXPECT_EQ(service.occupiedSpots().size(), 2u);
+  service.vehicleLeft(carA, 100.0);
+  EXPECT_EQ(service.occupiedSpots().size(), 1u);
+  EXPECT_EQ(service.occupiedSpots().count(5), 1u);
+}
+
+TEST(SpeedEnforcement, TicketsOnlyAboveLimit) {
+  SpeedEnforcerConfig config;
+  config.poleAX = 0.0;
+  config.poleBX = 61.0;
+  config.limitMps = mph(35.0);
+  SpeedEnforcer enforcer(config);
+
+  // Synthetic abeam tracks: car at ~30 mph (13.4 m/s) -> below limit.
+  const double v = mph(30.0);
+  for (double t = -1.0; t <= 1.0; t += 0.1)
+    enforcer.addSample(true, {t, -v * t / 20.0});
+  const double t2 = 61.0 / v;
+  for (double t = t2 - 1.0; t <= t2 + 1.0; t += 0.1)
+    enforcer.addSample(false, {t, -v * (t - t2) / 20.0});
+
+  const auto speed = enforcer.estimatedSpeed();
+  ASSERT_TRUE(speed.has_value());
+  EXPECT_NEAR(toMph(*speed), 30.0, 1.0);
+  EXPECT_FALSE(enforcer.evaluate().has_value());
+
+  // Same geometry at 45 mph -> ticket.
+  enforcer.clear();
+  const double v2 = mph(45.0);
+  for (double t = -1.0; t <= 1.0; t += 0.1)
+    enforcer.addSample(true, {t, -v2 * t / 20.0});
+  const double t3 = 61.0 / v2;
+  for (double t = t3 - 1.0; t <= t3 + 1.0; t += 0.1)
+    enforcer.addSample(false, {t, -v2 * (t - t3) / 20.0});
+  Rng rng(4);
+  enforcer.setVehicle(phy::Packet::randomId(rng));
+  const auto ticket = enforcer.evaluate();
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_NEAR(toMph(ticket->speedMps), 45.0, 1.5);
+  EXPECT_TRUE(ticket->vehicle.has_value());
+}
+
+TEST(SpeedEnforcement, IncompleteTracksGiveNoEstimate) {
+  SpeedEnforcer enforcer({0.0, 61.0, 15.0});
+  enforcer.addSample(true, {0.0, 0.5});
+  enforcer.addSample(true, {1.0, -0.5});
+  EXPECT_FALSE(enforcer.estimatedSpeed().has_value());  // pole B missing
+}
+
+TEST(RedLight, FlagsCrossingDuringRed) {
+  // Light: green 0-30, yellow 30-34, red 34-94.
+  const sim::TrafficLight light(30.0, 4.0, 60.0);
+  RedLightDetector detector({1.0}, light);
+  Rng rng(5);
+  const auto vehicle = phy::Packet::randomId(rng);
+
+  // Crossing at t = 50 (deep into red).
+  std::vector<core::AngleSample> track;
+  for (double t = 48.0; t <= 52.0; t += 0.25)
+    track.push_back({t, -(t - 50.0) / 4.0});
+  const auto violation = detector.check(track, vehicle);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NEAR(violation->crossingTime, 50.0, 0.01);
+  ASSERT_TRUE(violation->vehicle.has_value());
+  EXPECT_EQ(*violation->vehicle, vehicle);
+}
+
+TEST(RedLight, GreenCrossingIsLegal) {
+  const sim::TrafficLight light(30.0, 4.0, 60.0);
+  RedLightDetector detector({1.0}, light);
+  std::vector<core::AngleSample> track;
+  for (double t = 8.0; t <= 12.0; t += 0.25)
+    track.push_back({t, -(t - 10.0) / 4.0});
+  EXPECT_FALSE(detector.check(track, std::nullopt).has_value());
+}
+
+TEST(RedLight, GracePeriodForcesClearance) {
+  const sim::TrafficLight light(30.0, 4.0, 60.0);
+  RedLightDetector detector({2.0}, light);
+  // Crossing 0.5 s into red (t = 34.5): inside the grace period.
+  std::vector<core::AngleSample> track;
+  for (double t = 33.0; t <= 36.0; t += 0.25)
+    track.push_back({t, -(t - 34.5) / 3.0});
+  EXPECT_FALSE(detector.check(track, std::nullopt).has_value());
+}
+
+TEST(CarFinder, RecordAndQuery) {
+  CarFinder finder;
+  Rng rng(6);
+  const auto car = phy::Packet::randomId(rng);
+  finder.recordFix(car, {12.0, -4.7, 1.2}, 100.0);
+  EXPECT_EQ(finder.knownVehicles(), 1u);
+
+  const auto byFactory = finder.findByFactoryId(car.factoryId);
+  ASSERT_TRUE(byFactory.has_value());
+  EXPECT_NEAR(byFactory->position.x, 12.0, 1e-12);
+
+  const auto byAccount = finder.findByAccount(car.programmable);
+  ASSERT_TRUE(byAccount.has_value());
+  EXPECT_EQ(byAccount->vehicle, car);
+  EXPECT_FALSE(finder.findByFactoryId(0xDEAD).has_value());
+}
+
+TEST(CarFinder, NewerFixWinsStaleIgnored) {
+  CarFinder finder;
+  Rng rng(7);
+  const auto car = phy::Packet::randomId(rng);
+  finder.recordFix(car, {1.0, 0, 0}, 100.0);
+  finder.recordFix(car, {2.0, 0, 0}, 200.0);
+  finder.recordFix(car, {3.0, 0, 0}, 150.0);  // stale: ignored
+  EXPECT_NEAR(finder.findByFactoryId(car.factoryId)->position.x, 2.0,
+              1e-12);
+}
+
+TEST(CarFinder, RetentionExpiry) {
+  CarFinder finder;
+  Rng rng(8);
+  finder.recordFix(phy::Packet::randomId(rng), {1, 0, 0}, 100.0);
+  finder.recordFix(phy::Packet::randomId(rng), {2, 0, 0}, 5000.0);
+  finder.expire(5100.0, 1000.0);
+  EXPECT_EQ(finder.knownVehicles(), 1u);
+}
+
+}  // namespace
+}  // namespace caraoke::apps

@@ -1,0 +1,201 @@
+// Counting-focused tests: the analytic §5 formulas, the single-shot
+// counter's occupancy tests, and the multi-query counter, including
+// parameterized sweeps over collider counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/counter.hpp"
+#include "core/counting_analysis.hpp"
+#include "phy/cfo.hpp"
+#include "phy/ook.hpp"
+#include "sim/medium.hpp"
+
+namespace caraoke {
+namespace {
+
+using core::BinOccupancy;
+
+TEST(CountingAnalysis, Eq7MatchesPaperNumbers) {
+  // §5: "98%, 93% and 73% for m = 5, 10 and 20".
+  EXPECT_NEAR(core::pAllDistinct(5, 615), 0.98, 0.005);
+  EXPECT_NEAR(core::pAllDistinct(10, 615), 0.93, 0.005);
+  EXPECT_NEAR(core::pAllDistinct(20, 615), 0.73, 0.005);
+}
+
+TEST(CountingAnalysis, Eq9MatchesPaperNumbers) {
+  // §5: "at least 99.9%, 99.9% and 99.7% for m = 5, 10 and 20".
+  EXPECT_GE(core::pNoTripleLowerBound(5, 615), 0.999);
+  EXPECT_GE(core::pNoTripleLowerBound(10, 615), 0.999);
+  EXPECT_GE(core::pNoTripleLowerBound(20, 615), 0.9969);  // paper rounds to 99.7%
+}
+
+TEST(CountingAnalysis, BoundIsActuallyALowerBound) {
+  for (std::size_t m : {3u, 5u, 10u, 20u, 40u, 80u})
+    EXPECT_LE(core::pNoTripleLowerBound(m, 615),
+              core::pNoTripleExact(m, 615) + 1e-12)
+        << "m=" << m;
+}
+
+TEST(CountingAnalysis, ExactMatchesMonteCarlo) {
+  Rng rng(1);
+  for (std::size_t m : {5u, 20u, 50u}) {
+    const double exact = core::pNoTripleExact(m, 615);
+    const double mc = core::mcPairRuleCorrect(m, 615, 200000, rng);
+    EXPECT_NEAR(mc, exact, 0.005) << "m=" << m;
+  }
+}
+
+TEST(CountingAnalysis, EdgeCases) {
+  EXPECT_DOUBLE_EQ(core::pAllDistinct(0, 615), 1.0);
+  EXPECT_DOUBLE_EQ(core::pAllDistinct(1, 615), 1.0);
+  EXPECT_DOUBLE_EQ(core::pAllDistinct(616, 615), 0.0);
+  EXPECT_DOUBLE_EQ(core::pNoTripleLowerBound(2, 615), 1.0);
+  EXPECT_DOUBLE_EQ(core::pNoTripleExact(2 * 615 + 1, 615), 0.0);
+  EXPECT_NEAR(core::pNoTripleExact(2, 615), 1.0, 1e-12);
+}
+
+// Build a synthetic collision of m transponders at given CFOs (unit
+// channels, random phases) plus one query per entry in `queries`.
+std::vector<dsp::CVec> synthCollisions(const std::vector<double>& cfosHz,
+                                       std::size_t queries, Rng& rng) {
+  const phy::SamplingParams sampling;
+  std::vector<phy::BitVec> bits;
+  for (std::size_t i = 0; i < cfosHz.size(); ++i)
+    bits.push_back(phy::Packet::encode(phy::Packet::randomId(rng)));
+  std::vector<dsp::CVec> collisions;
+  for (std::size_t q = 0; q < queries; ++q) {
+    dsp::CVec sum(sampling.responseSamples(), dsp::cdouble{});
+    for (std::size_t i = 0; i < cfosHz.size(); ++i) {
+      const auto wave =
+          phy::modulateResponse(bits[i], sampling, cfosHz[i], rng.phase());
+      for (std::size_t t = 0; t < sum.size(); ++t) sum[t] += wave[t];
+    }
+    phy::addAwgn(sum, 1e-3, rng);
+    collisions.push_back(std::move(sum));
+  }
+  return collisions;
+}
+
+TEST(MultiQueryCounter, CountsWellSeparatedExactly) {
+  Rng rng(2);
+  const std::vector<double> cfos{100e3, 320e3, 560e3, 790e3, 1150e3};
+  const auto collisions = synthCollisions(cfos, 10, rng);
+  core::MultiQueryCounter counter;
+  EXPECT_EQ(counter.count(collisions).estimate, 5u);
+}
+
+TEST(MultiQueryCounter, DetectsSameBinPairAsTwo) {
+  Rng rng(3);
+  // Two transponders 500 Hz apart: same FFT bin, unresolvable by peak
+  // counting — the per-query variance test must flag the bin as multi.
+  const std::vector<double> cfos{400e3, 400.5e3, 800e3};
+  const auto collisions = synthCollisions(cfos, 10, rng);
+  core::MultiQueryCounter counter;
+  const auto result = counter.count(collisions);
+  EXPECT_EQ(result.estimate, 3u);
+  bool sawMulti = false;
+  for (auto occ : result.occupancy)
+    if (occ == BinOccupancy::kMulti) sawMulti = true;
+  EXPECT_TRUE(sawMulti);
+}
+
+TEST(MultiQueryCounter, TripleInBinUndercountsByOne) {
+  Rng rng(4);
+  // Three transponders inside one bin: the pair rule counts the bin as 2
+  // (the residual error Eq. 9 analyzes).
+  const std::vector<double> cfos{500e3, 500.4e3, 500.8e3};
+  const auto collisions = synthCollisions(cfos, 12, rng);
+  core::MultiQueryCounter counter;
+  const auto result = counter.count(collisions);
+  EXPECT_EQ(result.estimate, 2u);
+}
+
+TEST(MultiQueryCounter, EmptyAndSingle) {
+  Rng rng(5);
+  core::MultiQueryCounter counter;
+  EXPECT_EQ(counter.count({}).estimate, 0u);
+
+  const auto single = synthCollisions({700e3}, 10, rng);
+  EXPECT_EQ(counter.count(single).estimate, 1u);
+}
+
+TEST(MultiQueryCounter, NoiseOnlyCountsZeroWithCalibratedFloor) {
+  Rng rng(6);
+  const phy::SamplingParams sampling;
+  std::vector<dsp::CVec> collisions;
+  for (int q = 0; q < 10; ++q) {
+    dsp::CVec noise(sampling.responseSamples(), dsp::cdouble{});
+    phy::addAwgn(noise, 1e-3, rng);
+    collisions.push_back(std::move(noise));
+  }
+  core::MultiQueryCounterConfig config;
+  config.noiseSigma = 1e-3;
+  core::MultiQueryCounter counter(config);
+  EXPECT_EQ(counter.count(collisions).estimate, 0u);
+}
+
+TEST(SingleShotCounter, NaiveModeCountsSpikesOnly) {
+  Rng rng(7);
+  const auto collisions = synthCollisions({150e3, 450e3, 900e3}, 1, rng);
+  core::CounterConfig config;
+  config.enableMultiDetection = false;
+  core::TransponderCounter counter(config);
+  const auto result = counter.count(collisions.front());
+  EXPECT_EQ(result.estimate, result.spikes);
+  EXPECT_EQ(result.spikes, 3u);
+}
+
+TEST(SingleShotCounter, MagnitudeShiftModeRuns) {
+  Rng rng(8);
+  const auto collisions = synthCollisions({150e3, 450e3, 900e3}, 1, rng);
+  core::CounterConfig config;
+  config.multiTest = core::MultiTestMode::kMagnitudeShift;
+  core::TransponderCounter counter(config);
+  const auto result = counter.count(collisions.front());
+  EXPECT_GE(result.estimate, 3u);
+  EXPECT_LE(result.estimate, 4u);
+}
+
+// Parameterized sweep: the multi-query counter must stay within one count
+// of the truth for well-separated CFO sets of any size up to 12.
+class MultiQueryCounterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiQueryCounterSweep, WithinOneOfTruth) {
+  const std::size_t m = GetParam();
+  Rng rng(100 + m);
+  std::vector<double> cfos;
+  for (std::size_t i = 0; i < m; ++i)
+    cfos.push_back(60e3 + static_cast<double>(i) * 1.08e6 /
+                              static_cast<double>(m));
+  const auto collisions = synthCollisions(cfos, 10, rng);
+  core::MultiQueryCounter counter;
+  const auto estimate = counter.count(collisions).estimate;
+  EXPECT_GE(estimate + 1, m);
+  EXPECT_LE(estimate, m + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ColliderCounts, MultiQueryCounterSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10, 12));
+
+// The counter must be insensitive to the absolute receive level (gain
+// should cancel in CFAR and the relative vetoes).
+class CounterGainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CounterGainSweep, ScaleInvariant) {
+  Rng rng(9);
+  auto collisions = synthCollisions({200e3, 500e3, 950e3}, 10, rng);
+  for (auto& c : collisions)
+    for (auto& x : c) x *= GetParam();
+  core::MultiQueryCounter counter;
+  EXPECT_EQ(counter.count(collisions).estimate, 3u)
+      << "gain=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, CounterGainSweep,
+                         ::testing::Values(1e-3, 1e-1, 1.0, 10.0, 1e3));
+
+}  // namespace
+}  // namespace caraoke

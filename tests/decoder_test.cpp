@@ -1,0 +1,208 @@
+// Decoder tests: coherent combining behavior, CRC gating, CFO tracking
+// under drift, fade skipping, and the decode-all sharing property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/decoder.hpp"
+#include "phy/cfo.hpp"
+#include "phy/ook.hpp"
+#include "sim/medium.hpp"
+
+namespace caraoke {
+namespace {
+
+sim::ReaderNode testReader() {
+  sim::ReaderNode reader;
+  reader.pole.base = {0, -6, 0};
+  reader.pole.heightMeters = feet(12.5);
+  return reader;
+}
+
+TEST(Decoder, SingleTransponderDecodesInOneOrTwo) {
+  Rng rng(1);
+  sim::ReaderNode reader = testReader();
+  sim::MultipathConfig multipath;
+  sim::Transponder device(phy::Packet::randomId(rng),
+                          phy::kCarrierMinHz + 500e3, rng.fork());
+  core::CollisionDecoder decoder;
+  const auto outcome = decoder.decodeTarget(500e3, [&]() {
+    return sim::captureIsolated(reader, device, {6, 2, 1.2}, multipath, rng)
+        .antennaSamples.front();
+  });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().id, device.id());
+  EXPECT_LE(outcome.value().collisionsUsed, 2u);
+  EXPECT_NEAR(outcome.value().elapsedMs,
+              static_cast<double>(outcome.value().collisionsUsed), 1e-9);
+}
+
+TEST(Decoder, InterferenceSuppressionGrowsWithAverages) {
+  // The combined waveform's similarity to the clean target baseband must
+  // improve as more collisions are folded in (§8's core claim).
+  Rng rng(2);
+  sim::ReaderNode reader = testReader();
+  sim::MultipathConfig multipath;
+  phy::EmpiricalCfoModel cfoModel;
+  std::vector<sim::Transponder> devices;
+  std::vector<phy::Vec3> positions;
+  for (int i = 0; i < 4; ++i) {
+    devices.push_back(sim::Transponder::random(cfoModel, rng));
+    positions.push_back({rng.uniform(-12.0, 12.0), rng.uniform(2.0, 8.0),
+                         1.2});
+  }
+  const phy::SamplingParams sampling;
+  const double targetCfo =
+      devices[0].carrierHz() - sampling.loFrequencyHz;
+
+  core::CollisionDecoder decoder;
+  decoder.reset(targetCfo);
+  double errorAt2 = -1.0, errorAt16 = -1.0;
+  for (int k = 1; k <= 16; ++k) {
+    std::vector<sim::ActiveDevice> active;
+    for (std::size_t i = 0; i < devices.size(); ++i)
+      active.push_back({&devices[i], positions[i]});
+    decoder.addCollision(
+        sim::captureCollision(reader, active, multipath, rng)
+            .antennaSamples.front());
+    const phy::BitVec bits = phy::demodulateOok(decoder.combined(), sampling);
+    std::size_t errors = 0;
+    const phy::BitVec& truth = devices[0].packetBits();
+    for (std::size_t b = 0; b < truth.size(); ++b)
+      if (bits[b] != truth[b]) ++errors;
+    if (k == 2) errorAt2 = static_cast<double>(errors);
+    if (k == 16) errorAt16 = static_cast<double>(errors);
+  }
+  EXPECT_LE(errorAt16, errorAt2);
+  EXPECT_LE(errorAt16, 2.0);  // essentially clean after 16
+}
+
+TEST(Decoder, TracksCfoDrift) {
+  Rng rng(3);
+  sim::ReaderNode reader = testReader();
+  sim::MultipathConfig multipath;
+  sim::Transponder device(phy::Packet::randomId(rng),
+                          phy::kCarrierMinHz + 700e3, rng.fork());
+  device.setDriftModel({200.0});  // strong drift: 200 Hz RMS per query
+  core::CollisionDecoder decoder;
+  const auto outcome = decoder.decodeTarget(700e3, [&]() {
+    return sim::captureIsolated(reader, device, {8, 3, 1.2}, multipath, rng)
+        .antennaSamples.front();
+  });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().id, device.id());
+  // The tracked CFO followed the random walk.
+  EXPECT_NEAR(decoder.trackedCfoHz(),
+              device.carrierHz() - phy::kCarrierMinHz, 2000.0);
+}
+
+TEST(Decoder, GivesUpAtBudget) {
+  Rng rng(4);
+  core::DecoderConfig config;
+  config.maxCollisions = 5;
+  core::CollisionDecoder decoder(config);
+  const phy::SamplingParams sampling;
+  // Pure noise: never decodes.
+  const auto outcome = decoder.decodeTarget(400e3, [&]() {
+    dsp::CVec noise(sampling.responseSamples(), dsp::cdouble{});
+    phy::addAwgn(noise, 1e-3, rng);
+    return noise;
+  });
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(decoder.collisionsUsed(), 5u);
+}
+
+TEST(Decoder, SkipsDeepFades) {
+  Rng rng(5);
+  core::DecoderConfig config;
+  config.minChannelMagnitude = 1e-3;
+  core::CollisionDecoder decoder(config);
+  decoder.reset(300e3);
+  const phy::SamplingParams sampling;
+  // A collision with essentially zero channel: must count the query but
+  // not blow up the combined sum.
+  dsp::CVec faded(sampling.responseSamples(), dsp::cdouble{});
+  phy::addAwgn(faded, 1e-7, rng);
+  decoder.addCollision(faded);
+  EXPECT_EQ(decoder.collisionsUsed(), 1u);
+  double power = 0.0;
+  for (const auto& x : decoder.combined()) power += std::norm(x);
+  EXPECT_EQ(power, 0.0);
+}
+
+TEST(Decoder, DecodeAllSharesCollisions) {
+  Rng rng(6);
+  sim::ReaderNode reader = testReader();
+  sim::MultipathConfig multipath;
+  std::vector<sim::Transponder> devices;
+  devices.emplace_back(phy::Packet::randomId(rng),
+                       phy::kCarrierMinHz + 200e3, rng.fork());
+  devices.emplace_back(phy::Packet::randomId(rng),
+                       phy::kCarrierMinHz + 600e3, rng.fork());
+  devices.emplace_back(phy::Packet::randomId(rng),
+                       phy::kCarrierMinHz + 1000e3, rng.fork());
+  std::vector<phy::Vec3> positions{{-8, 2, 1.2}, {5, 3, 1.2}, {12, -2, 1.2}};
+
+  std::vector<dsp::CVec> collisions;
+  for (int q = 0; q < 48; ++q) {
+    std::vector<sim::ActiveDevice> active;
+    for (std::size_t i = 0; i < devices.size(); ++i)
+      active.push_back({&devices[i], positions[i]});
+    collisions.push_back(sim::captureCollision(reader, active, multipath,
+                                               rng).antennaSamples.front());
+  }
+  const auto entries = core::decodeAll(collisions, core::DecoderConfig{},
+                                       core::SpectrumAnalysisConfig{});
+  ASSERT_EQ(entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(entries[i].decoded) << i;
+    EXPECT_EQ(entries[i].id, devices[i].id()) << i;
+    // Shared air time: every target decodes within the recorded stream.
+    EXPECT_LE(entries[i].collisionsUsed, collisions.size());
+  }
+}
+
+TEST(Decoder, RobustToAdcAndQuantization) {
+  Rng rng(7);
+  sim::ReaderNode reader = testReader();
+  reader.frontEnd.adcBits = 8;  // much coarser than the real 12-bit part
+  sim::MultipathConfig multipath;
+  sim::Transponder device(phy::Packet::randomId(rng),
+                          phy::kCarrierMinHz + 450e3, rng.fork());
+  core::CollisionDecoder decoder;
+  const auto outcome = decoder.decodeTarget(450e3, [&]() {
+    return sim::captureIsolated(reader, device, {10, 4, 1.2}, multipath,
+                                rng).antennaSamples.front();
+  });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().id, device.id());
+}
+
+// Parameterized: decoding must succeed across target CFO placements,
+// including near the band edges.
+class DecoderCfoSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DecoderCfoSweep, DecodesAtCfo) {
+  Rng rng(8);
+  sim::ReaderNode reader = testReader();
+  sim::MultipathConfig multipath;
+  const double cfo = GetParam();
+  sim::Transponder device(phy::Packet::randomId(rng),
+                          phy::kCarrierMinHz + cfo, rng.fork());
+  core::CollisionDecoder decoder;
+  const auto outcome = decoder.decodeTarget(cfo, [&]() {
+    return sim::captureIsolated(reader, device, {7, 2, 1.2}, multipath, rng)
+        .antennaSamples.front();
+  });
+  ASSERT_TRUE(outcome.ok()) << "cfo=" << cfo;
+  EXPECT_EQ(outcome.value().id, device.id());
+}
+
+INSTANTIATE_TEST_SUITE_P(CfoPlacements, DecoderCfoSweep,
+                         ::testing::Values(20e3, 100e3, 333.3e3, 600e3,
+                                           901.7e3, 1150e3));
+
+}  // namespace
+}  // namespace caraoke

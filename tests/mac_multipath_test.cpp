@@ -1,0 +1,150 @@
+// Tests for the reader MAC simulation (§9) and the synthetic-aperture
+// multipath profiler (§12.2 / Fig 14 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/mac.hpp"
+#include "core/multipath.hpp"
+
+namespace caraoke::core {
+namespace {
+
+TEST(Mac, CarrierSenseEliminatesResponseCorruption) {
+  Rng rng(1);
+  MacConfig config;
+  config.numReaders = 6;
+  config.attemptRateHz = 200.0;
+  config.horizonSec = 10.0;
+  config.carrierSense = true;
+  const MacStats stats = simulateMac(config, rng);
+  EXPECT_GT(stats.transactions, 1000u);
+  EXPECT_EQ(stats.corruptedResponses, 0u);
+}
+
+TEST(Mac, WithoutCarrierSenseResponsesGetCorrupted) {
+  Rng rng(2);
+  MacConfig config;
+  config.numReaders = 6;
+  config.attemptRateHz = 200.0;
+  config.horizonSec = 10.0;
+  config.carrierSense = false;
+  const MacStats stats = simulateMac(config, rng);
+  EXPECT_GT(stats.corruptedResponses, 0u);
+  // Rough expectation: each transaction's vulnerable window is ~532 us
+  // against 5 foreign readers at 200 Hz -> corruption rate around
+  // 1 - exp(-5 * 200 * 532e-6) ~ 41%.
+  EXPECT_GT(stats.corruptionRate(), 0.2);
+  EXPECT_LT(stats.corruptionRate(), 0.65);
+}
+
+TEST(Mac, SingleReaderNeverCorrupts) {
+  Rng rng(3);
+  MacConfig config;
+  config.numReaders = 1;
+  config.attemptRateHz = 500.0;
+  config.horizonSec = 5.0;
+  config.carrierSense = false;
+  const MacStats stats = simulateMac(config, rng);
+  EXPECT_EQ(stats.corruptedResponses, 0u);
+  EXPECT_EQ(stats.queryQueryMerges, 0u);
+}
+
+TEST(Mac, CsmaDeferralsGrowWithLoad) {
+  Rng rng(4);
+  MacConfig light, heavy;
+  light.numReaders = heavy.numReaders = 4;
+  light.carrierSense = heavy.carrierSense = true;
+  light.horizonSec = heavy.horizonSec = 10.0;
+  light.attemptRateHz = 20.0;
+  heavy.attemptRateHz = 400.0;
+  Rng rng2 = rng.fork();
+  const MacStats lightStats = simulateMac(light, rng);
+  const MacStats heavyStats = simulateMac(heavy, rng2);
+  EXPECT_GT(heavyStats.deferrals, lightStats.deferrals);
+}
+
+TEST(Mac, AttemptsAllServed) {
+  // With carrier sense, deferred attempts retry and eventually transmit:
+  // transactions == attempts (none dropped) as long as the horizon gives
+  // room.
+  Rng rng(5);
+  MacConfig config;
+  config.numReaders = 3;
+  config.attemptRateHz = 50.0;
+  config.horizonSec = 4.0;
+  config.carrierSense = true;
+  const MacStats stats = simulateMac(config, rng);
+  // A few attempts near the horizon end may still be pending; allow slack.
+  EXPECT_GE(stats.transactions + 20, stats.attempts);
+}
+
+TEST(Multipath, CircularSteeringIsUnitModulus) {
+  const auto a = circularSteering(deg2rad(30.0), 0.7, 24, 0.33);
+  ASSERT_EQ(a.size(), 24u);
+  for (const auto& x : a) EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+}
+
+TEST(Multipath, ProfilePeaksAtTrueAngle) {
+  Rng rng(6);
+  SarConfig sar;
+  sar.positions = 36;
+  sar.sweeps = 8;
+  const double lambda = 0.3276;
+  const double truthDeg = 25.0;
+
+  std::vector<dsp::CVec> snapshots;
+  for (std::size_t s = 0; s < sar.sweeps; ++s) {
+    dsp::CVec g = circularSteering(deg2rad(truthDeg), sar.radiusMeters,
+                                   sar.positions, lambda);
+    for (auto& x : g)
+      x += dsp::cdouble(rng.gaussian(0, 0.05), rng.gaussian(0, 0.05));
+    snapshots.push_back(std::move(g));
+  }
+  const MultipathProfile profile =
+      profileFromSnapshots(snapshots, sar, lambda);
+  EXPECT_NEAR(rad2deg(profile.strongestAngleRad), truthDeg, 2.5);
+  EXPECT_GT(profile.peakRatio, 5.0);
+}
+
+TEST(Multipath, TwoPathProfileShowsBothWithCorrectOrdering) {
+  Rng rng(7);
+  SarConfig sar;
+  sar.positions = 36;
+  sar.sweeps = 12;
+  const double lambda = 0.3276;
+
+  const auto los = circularSteering(deg2rad(-20.0), sar.radiusMeters,
+                                    sar.positions, lambda);
+  const auto refl = circularSteering(deg2rad(45.0), sar.radiusMeters,
+                                     sar.positions, lambda);
+  std::vector<dsp::CVec> snapshots;
+  for (std::size_t s = 0; s < sar.sweeps; ++s) {
+    dsp::CVec g(sar.positions);
+    // Reflection at 0.2 amplitude with a random relative phase per sweep
+    // (different transponder phase and slight scene motion).
+    const auto reflPhase = std::polar(0.2, rng.phase());
+    for (std::size_t k = 0; k < sar.positions; ++k)
+      g[k] = los[k] + reflPhase * refl[k] +
+             dsp::cdouble(rng.gaussian(0, 0.02), rng.gaussian(0, 0.02));
+    snapshots.push_back(std::move(g));
+  }
+  const MultipathProfile profile =
+      profileFromSnapshots(snapshots, sar, lambda);
+  EXPECT_NEAR(rad2deg(profile.strongestAngleRad), -20.0, 3.0);
+  EXPECT_GT(profile.peakRatio, 2.0);
+}
+
+TEST(Multipath, RejectsInconsistentSnapshotLengths) {
+  SarConfig sar;
+  sar.positions = 8;
+  std::vector<dsp::CVec> snapshots{dsp::CVec(8), dsp::CVec(7)};
+  EXPECT_THROW(profileFromSnapshots(snapshots, sar, 0.33),
+               std::invalid_argument);
+  EXPECT_THROW(profileFromSnapshots({}, sar, 0.33), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caraoke::core

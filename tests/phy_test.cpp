@@ -1,0 +1,276 @@
+// Unit tests for the PHY layer: CRC, packet format, Manchester/OOK,
+// CFO models, channels, and impairments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/stats.hpp"
+#include "phy/cfo.hpp"
+#include "phy/channel.hpp"
+#include "phy/crc.hpp"
+#include "phy/manchester.hpp"
+#include "phy/ook.hpp"
+#include "phy/packet.hpp"
+#include "phy/protocol.hpp"
+
+namespace caraoke::phy {
+namespace {
+
+TEST(Crc, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") == 0x29B1 (standard check value).
+  const std::string s = "123456789";
+  std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc16(bytes), 0x29B1);
+}
+
+TEST(Crc, EmptyInputIsInitValue) {
+  EXPECT_EQ(crc16({}), 0xFFFF);
+}
+
+TEST(Crc, BitAndByteAgreeOnByteAlignedInput) {
+  Rng rng(1);
+  std::vector<std::uint8_t> bytes(16);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> bits;
+  for (std::uint8_t b : bytes)
+    for (int i = 7; i >= 0; --i) bits.push_back((b >> i) & 1);
+  EXPECT_EQ(crc16Bits(bits), crc16(bytes));
+}
+
+TEST(Crc, DetectsSingleBitFlips) {
+  Rng rng(2);
+  std::vector<std::uint8_t> bits(224);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  const std::uint16_t clean = crc16Bits(bits);
+  for (std::size_t i = 0; i < bits.size(); i += 17) {
+    auto corrupted = bits;
+    corrupted[i] ^= 1;
+    EXPECT_NE(crc16Bits(corrupted), clean) << "flip at " << i;
+  }
+}
+
+TEST(Packet, EncodeDecodeRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TransponderId id = Packet::randomId(rng);
+    const BitVec bits = Packet::encode(id);
+    ASSERT_EQ(bits.size(), Packet::kBits);
+    ASSERT_TRUE(Packet::checksumOk(bits));
+    const auto decoded = Packet::decode(bits);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), id);
+  }
+}
+
+TEST(Packet, RejectsCorruptedBits) {
+  Rng rng(4);
+  const BitVec bits = Packet::encode(Packet::randomId(rng));
+  for (std::size_t i = 0; i < Packet::kBits; i += 13) {
+    BitVec corrupted = bits;
+    corrupted[i] ^= 1;
+    EXPECT_FALSE(Packet::checksumOk(corrupted)) << "flip at " << i;
+  }
+}
+
+TEST(Packet, RejectsWrongLength) {
+  const BitVec tooShort(100, 0);
+  EXPECT_FALSE(Packet::decode(tooShort).ok());
+  EXPECT_FALSE(Packet::checksumOk(tooShort));
+}
+
+TEST(Packet, ProgrammableFieldLimitedTo47Bits) {
+  Rng rng(5);
+  TransponderId id = Packet::randomId(rng);
+  EXPECT_LT(id.programmable, 1ull << 47);
+  id.programmable = (1ull << 47) - 1;  // all ones still round-trips
+  const auto decoded = Packet::decode(Packet::encode(id));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().programmable, id.programmable);
+}
+
+TEST(Manchester, EncodeDecodeRoundTrip) {
+  Rng rng(6);
+  BitVec bits(256);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  const BitVec chips = manchesterEncode(bits);
+  ASSERT_EQ(chips.size(), 512u);
+  EXPECT_EQ(manchesterDecode(chips), bits);
+}
+
+TEST(Manchester, ChipsAreBalanced) {
+  // Every bit contributes exactly one "on" chip — the 0.5 mean that
+  // creates the CFO spike.
+  BitVec bits{1, 0, 1, 1, 0};
+  const BitVec chips = manchesterEncode(bits);
+  std::size_t ones = 0;
+  for (auto c : chips) ones += c;
+  EXPECT_EQ(ones, bits.size());
+}
+
+TEST(Ook, ModulatedResponseHasCorrectLengthAndPeak) {
+  Rng rng(7);
+  const SamplingParams params;
+  const TransponderId id = Packet::randomId(rng);
+  const BitVec bits = Packet::encode(id);
+  const double cfo = 781250.0;  // exactly bin 400 at the default grid
+  const dsp::CVec wave = modulateResponse(bits, params, cfo, 0.7);
+  EXPECT_EQ(wave.size(), params.responseSamples());
+
+  // The spectrum peaks at the CFO bin with value ~ h * N / 2 (h = 1 here).
+  const auto mag = dsp::magnitude(dsp::fft(wave));
+  const dsp::BinMapper mapper(wave.size(), params.sampleRateHz);
+  const std::size_t expectedBin = mapper.freqToBin(781250.0);
+  EXPECT_EQ(dsp::argmax(mag), expectedBin);
+  EXPECT_NEAR(mag[expectedBin], static_cast<double>(wave.size()) / 2.0,
+              static_cast<double>(wave.size()) * 0.01);
+}
+
+TEST(Ook, PeakComplexValueEncodesChannelAndPhase) {
+  // R(df) = h/2 per Eq. 5: with unit channel and initial phase phi, the
+  // normalized peak should be e^{j phi} / 2.
+  Rng rng(8);
+  const SamplingParams params;
+  const BitVec bits = Packet::encode(Packet::randomId(rng));
+  const double phi = 1.234;
+  const dsp::CVec wave = modulateResponse(bits, params, 500e3, phi);
+  const dsp::BinMapper mapper(wave.size(), params.sampleRateHz);
+  const auto spectrum = dsp::fft(wave);
+  const auto peak = spectrum[mapper.freqToBin(500e3)] /
+                    static_cast<double>(wave.size());
+  EXPECT_NEAR(std::abs(peak), 0.5, 0.01);
+  EXPECT_NEAR(std::remainder(std::arg(peak) - phi, kTwoPi), 0.0, 0.05);
+}
+
+TEST(Ook, CleanDemodulationRoundTrip) {
+  Rng rng(9);
+  const SamplingParams params;
+  const TransponderId id = Packet::randomId(rng);
+  const BitVec bits = Packet::encode(id);
+  // Zero CFO, unit channel: the real part is s(t) directly.
+  const dsp::CVec wave = modulateResponse(bits, params, 0.0, 0.0);
+  const BitVec demod = demodulateOok(wave, params);
+  EXPECT_EQ(demod, bits);
+  EXPECT_TRUE(Packet::checksumOk(demod));
+}
+
+TEST(Ook, BitMarginsHighOnCleanSignal) {
+  Rng rng(10);
+  const SamplingParams params;
+  const BitVec bits = Packet::encode(Packet::randomId(rng));
+  const dsp::CVec wave = modulateResponse(bits, params, 0.0, 0.0);
+  const auto margins = ookBitMargins(wave, params);
+  for (double m : margins) EXPECT_NEAR(m, 1.0, 1e-9);
+}
+
+TEST(Protocol, PaperDerivedConstants) {
+  const SamplingParams params;
+  EXPECT_EQ(params.responseSamples(), 2048u);
+  EXPECT_EQ(params.samplesPerBit(), 8u);
+  EXPECT_EQ(params.samplesPerChip(), 4u);
+  EXPECT_NEAR(params.fftResolutionHz(), 1953.125, 1e-9);
+  EXPECT_EQ(params.cfoBins(), 614u);  // paper rounds to 615
+  EXPECT_NEAR(kCfoSpanHz, 1.2e6, 1e-3);
+  EXPECT_NEAR(kBitDuration, 2e-6, 1e-12);
+}
+
+TEST(Cfo, UniformModelStaysInBand) {
+  Rng rng(11);
+  UniformCfoModel model;
+  for (int i = 0; i < 1000; ++i) {
+    const double c = model.drawCarrierHz(rng);
+    EXPECT_GE(c, kCarrierMinHz);
+    EXPECT_LE(c, kCarrierMaxHz);
+  }
+}
+
+TEST(Cfo, EmpiricalModelMatchesPaperStatistics) {
+  Rng rng(12);
+  EmpiricalCfoModel model;
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = model.drawCarrierHz(rng);
+  EXPECT_NEAR(dsp::mean(samples), kEmpiricalCarrierMeanHz, 5e3);
+  EXPECT_NEAR(dsp::stddev(samples), kEmpiricalCarrierStddevHz, 10e3);
+  for (double s : samples) {
+    ASSERT_GE(s, kCarrierMinHz);
+    ASSERT_LE(s, kCarrierMaxHz);
+  }
+}
+
+TEST(Cfo, DriftIsSmallAndStaysLegal) {
+  Rng rng(13);
+  CfoDriftModel drift;
+  double c = 914.31e6;  // near the band edge
+  for (int i = 0; i < 10000; ++i) {
+    const double next = drift.step(c, rng);
+    EXPECT_LT(std::abs(next - c), 200.0);  // 10 sigma
+    EXPECT_GE(next, kCarrierMinHz);
+    EXPECT_LE(next, kCarrierMaxHz);
+    c = next;
+  }
+}
+
+TEST(Channel, FriisAmplitudeFallsWithDistance) {
+  const double lambda = wavelength(kCarrierNominalHz);
+  const auto h10 = rayGain({10.0, 1.0}, lambda);
+  const auto h20 = rayGain({20.0, 1.0}, lambda);
+  EXPECT_NEAR(std::abs(h10) / std::abs(h20), 2.0, 1e-9);
+}
+
+TEST(Channel, PhaseMatchesPathLength) {
+  const double lambda = 0.5;
+  // One full wavelength of path -> phase wraps to 0.
+  const auto h = rayGain({1.0, 1.0}, lambda);
+  EXPECT_NEAR(std::arg(h), 0.0, 1e-9);
+  const auto hHalf = rayGain({1.25, 1.0}, lambda);
+  EXPECT_NEAR(std::abs(std::remainder(std::arg(hHalf) + kPi, kTwoPi)), 0.0,
+              1e-9);
+}
+
+TEST(Channel, GroundReflectionUsesImage) {
+  const Vec3 a{0, 0, 4};
+  const Vec3 b{10, 0, 1};
+  const Ray r = groundReflectionRay(a, b, 0.3);
+  EXPECT_NEAR(r.pathLengthMeters, std::sqrt(100.0 + 25.0), 1e-9);
+  EXPECT_DOUBLE_EQ(r.gainScale, 0.3);
+}
+
+TEST(Channel, WallReflectionUsesImage) {
+  const Vec3 a{0, 0, 0};
+  const Vec3 b{3, 2, 0};
+  const Ray r = wallReflectionRay(a, b, 5.0, 0.2);
+  // Image of b through y=5 is (3, 8, 0).
+  EXPECT_NEAR(r.pathLengthMeters, std::sqrt(9.0 + 64.0), 1e-9);
+}
+
+TEST(Channel, AwgnHasRequestedPower) {
+  Rng rng(14);
+  dsp::CVec v(20000, dsp::cdouble{});
+  addAwgn(v, 0.1, rng);
+  double power = 0;
+  for (const auto& x : v) power += std::norm(x);
+  power /= static_cast<double>(v.size());
+  EXPECT_NEAR(power, 2 * 0.1 * 0.1, 0.001);
+}
+
+TEST(Channel, QuantizeClipsAndSnaps) {
+  dsp::CVec v{{0.5, -2.0}, {0.0101, 0.0}};
+  quantize(v, 1.0, 8);
+  EXPECT_NEAR(v[0].imag(), -1.0, 1e-12);  // clipped to full scale
+  const double step = 1.0 / 128.0;
+  EXPECT_NEAR(std::fmod(v[1].real(), step), 0.0, 1e-12);
+}
+
+TEST(Channel, VectorHelpers) {
+  const Vec3 a{1, 2, 3}, b{4, 6, 3};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  const Vec3 d = direction(a, b);
+  EXPECT_NEAR(length(d), 1.0, 1e-12);
+  EXPECT_NEAR(dot(d, Vec3{0.6, 0.8, 0.0}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace caraoke::phy

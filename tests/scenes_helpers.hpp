@@ -1,0 +1,27 @@
+// Shared scene-construction helpers for tests (mirrors bench/scenes.hpp
+// without creating a dependency between the two trees).
+#pragma once
+
+#include "common/units.hpp"
+#include "core/aoa.hpp"
+#include "sim/medium.hpp"
+
+namespace caraoke::testhelpers {
+
+inline sim::ReaderNode makeReader(double x, double y = -6.0,
+                                  double tiltDeg = 0.0) {
+  sim::ReaderNode reader;
+  reader.pole.base = {x, y, 0.0};
+  reader.pole.heightMeters = feet(12.5);
+  reader.tiltRad = deg2rad(tiltDeg);
+  return reader;
+}
+
+inline core::ArrayGeometry geometryFor(const sim::ReaderNode& reader) {
+  core::ArrayGeometry g;
+  g.elements = reader.array().elements();
+  g.pairs = sim::TriangleArray::pairs();
+  return g;
+}
+
+}  // namespace caraoke::testhelpers
