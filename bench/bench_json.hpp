@@ -1,0 +1,50 @@
+// Shared --json plumbing for the bench binaries: benches keep printing
+// their human tables, and optionally dump machine-readable results (a
+// metrics-registry snapshot) for dashboards and regression tracking.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace caraoke::bench {
+
+/// Extract `--json <path>` from argv (removing both tokens so positional
+/// arguments keep working) and return the path, or "" when absent.
+inline std::string takeJsonPath(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+/// Write `{"bench": <results registry>, "process": <global registry>}` to
+/// `path`. The bench registry holds the figures the table printed; the
+/// process registry records how much pipeline work producing them took
+/// (dsp.fft.calls, decoder.crc_*, ...).
+inline bool writeJsonReport(const std::string& path,
+                            const obs::Registry& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = "{\"bench\":" + results.jsonText() +
+                           ",\"process\":" + obs::globalRegistry().jsonText() +
+                           "}\n";
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote JSON report to %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace caraoke::bench

@@ -14,15 +14,18 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/counter.hpp"
 #include "dsp/stats.hpp"
+#include "obs/metrics.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
 
 int main(int argc, char** argv) {
+  const std::string jsonPath = bench::takeJsonPath(argc, argv);
   const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
   printBanner("Fig 11 — counting accuracy vs number of colliders (" +
               std::to_string(runs) + " runs per point)");
@@ -44,6 +47,8 @@ int main(int argc, char** argv) {
 
   Table table({"colliders", "multi-query acc", "90th pct err", "single-shot",
                "naive peaks (Eq.7)", "paper"});
+  obs::Registry results;
+  results.counter("bench.fig11.runs_per_point").inc(runs);
   dsp::RunningStats allErrors;
   for (std::size_t m = 5; m <= 50; m += 5) {
     std::vector<double> errors;
@@ -73,9 +78,19 @@ int main(int argc, char** argv) {
                   Table::num(accSingle / r * 100, 1) + "%",
                   Table::num(accNaive / r * 100, 1) + "%",
                   m < 40 ? ">99%" : "~94-97%"});
+    const std::string point = ".m" + std::to_string(m);
+    results.gauge("bench.fig11.multi_query_acc_pct" + point)
+        .set(accMulti / r * 100);
+    results.gauge("bench.fig11.p90_err_pct" + point)
+        .set(dsp::percentile(errors, 90) * 100);
+    results.gauge("bench.fig11.single_shot_acc_pct" + point)
+        .set(accSingle / r * 100);
+    results.gauge("bench.fig11.naive_acc_pct" + point).set(accNaive / r * 100);
   }
   table.print();
   std::cout << "\nOverall mean error: " << Table::num(allErrors.mean() * 100, 2)
             << "%  (paper: average error 2%, 90th percentile < 5%)\n";
+  results.gauge("bench.fig11.mean_err_pct").set(allErrors.mean() * 100);
+  if (!jsonPath.empty() && !bench::writeJsonReport(jsonPath, results)) return 1;
   return 0;
 }

@@ -8,15 +8,18 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/decoder.hpp"
 #include "dsp/stats.hpp"
+#include "obs/metrics.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
 
 int main(int argc, char** argv) {
+  const std::string jsonPath = bench::takeJsonPath(argc, argv);
   const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
   printBanner("Fig 16 — identification time vs colliders (" +
               std::to_string(runs) + " runs per point)");
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
 
   Table table({"colliders", "time mean (ms)", "90th pct (ms)", "decoded ok",
                "paper"});
+  obs::Registry results;
+  results.counter("bench.fig16.runs_per_point").inc(runs);
   for (std::size_t m = 1; m <= 10; ++m) {
     std::vector<double> times;
     std::size_t ok = 0, wrongId = 0;
@@ -68,10 +73,17 @@ int main(int argc, char** argv) {
                       (wrongId ? (" (+" + std::to_string(wrongId) +
                                   " adjacent-CFO)") : ""),
                   paperNote});
+    const std::string point = ".m" + std::to_string(m);
+    results.gauge("bench.fig16.time_mean_ms" + point).set(dsp::mean(times));
+    results.gauge("bench.fig16.time_p90_ms" + point)
+        .set(dsp::percentile(times, 90));
+    results.counter("bench.fig16.decoded_ok" + point).inc(ok);
+    results.counter("bench.fig16.adjacent_cfo" + point).inc(wrongId);
   }
   table.print();
   std::cout << "\nNote (paper §12.4): decoding all colliders reuses the same "
                "collisions — total air time equals decoding the slowest "
                "target, not the sum.\n";
+  if (!jsonPath.empty() && !bench::writeJsonReport(jsonPath, results)) return 1;
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/units.hpp"
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
 #include "phy/protocol.hpp"
 
 namespace caraoke::apps {
@@ -32,7 +34,14 @@ ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
       }()),
       analyzer_(),
       tracker_(config.tracker),
-      aoa_(geometryOf(scene.reader(readerIndex))) {
+      aoa_(geometryOf(scene.reader(readerIndex))),
+      measurementsCtr_(registry_.counter("daemon.measurements")),
+      queriesCtr_(registry_.counter("daemon.queries_sent")),
+      decodedIdsCtr_(registry_.counter("daemon.decoded_ids")),
+      uplinkFlushesCtr_(registry_.counter("daemon.uplink_flushes")),
+      uplinkBytesCtr_(registry_.counter("daemon.uplink_bytes")),
+      energyGauge_(registry_.gauge("daemon.energy_joules")),
+      windowSec_(registry_.histogram("daemon.measurement_window.seconds")) {
   // The road-parallel pair drives the tracker's cos(alpha) feed.
   double bestAlign = -1.0;
   for (std::size_t p = 0; p < aoa_.geometry().pairs.size(); ++p) {
@@ -46,27 +55,53 @@ ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
 }
 
 void ReaderDaemon::accountActive(double activeSec) {
-  stats_.energyJoules += config_.power.activeWatts * activeSec;
+  energyGauge_.add(config_.power.activeWatts * activeSec);
 }
 
 void ReaderDaemon::measurementWindow(double now) {
+  obs::ObsSpan windowSpan("daemon.measurement_window", windowSec_);
   const sim::ReaderNode& node = scene_.reader(readerIndex_);
   const double lo = node.frontEnd.sampling.loFrequencyHz;
 
   // Fire the query burst.
   std::vector<dsp::CVec> burstPrimary;           // antenna 0 per query
   std::vector<std::vector<dsp::CVec>> captures;  // all antennas per query
-  for (std::size_t q = 0; q < config_.queriesPerWindow; ++q) {
-    sim::Capture capture = scene_.query(readerIndex_, now, rng_);
-    burstPrimary.push_back(capture.antennaSamples.front());
-    captures.push_back(std::move(capture.antennaSamples));
+  {
+    obs::ObsSpan span("daemon.query_burst",
+                      registry_.histogram("daemon.query_burst.seconds"));
+    for (std::size_t q = 0; q < config_.queriesPerWindow; ++q) {
+      sim::Capture capture = scene_.query(readerIndex_, now, rng_);
+      burstPrimary.push_back(capture.antennaSamples.front());
+      captures.push_back(std::move(capture.antennaSamples));
+    }
   }
-  stats_.queriesSent += config_.queriesPerWindow;
+  queriesCtr_.inc(config_.queriesPerWindow);
   accountActive(static_cast<double>(config_.queriesPerWindow) *
                 phy::kQueryInterval);
+  if (obs::eventsAttached())
+    obs::emitEvent("daemon.query_burst",
+                   {{"t", now},
+                    {"reader_id", config_.readerId},
+                    {"queries", config_.queriesPerWindow}});
 
   // Count and report.
-  const core::CountResult count = counter_.count(burstPrimary);
+  core::CountResult count;
+  {
+    obs::ObsSpan span("daemon.count",
+                      registry_.histogram("daemon.count.seconds"));
+    count = counter_.count(burstPrimary);
+  }
+  if (obs::eventsAttached()) {
+    std::size_t multiBins = 0;
+    for (const auto occ : count.occupancy)
+      if (occ == core::BinOccupancy::kMulti) ++multiBins;
+    obs::emitEvent("daemon.count",
+                   {{"t", now},
+                    {"reader_id", config_.readerId},
+                    {"spikes", count.spikes},
+                    {"estimate", count.estimate},
+                    {"multi_bins", multiBins}});
+  }
   batcher_.add(net::Message{net::CountReport{
       config_.readerId, clock_.localTime(now),
       static_cast<std::uint32_t>(count.estimate)}});
@@ -75,6 +110,9 @@ void ReaderDaemon::measurementWindow(double now) {
   // counter's vetoed spike list (its variance/shape tests reject the
   // deterministic data lines that would otherwise spawn ghost tracks).
   // Per counted bin, the per-query channels feed a circular-mean AoA.
+  {
+  obs::ObsSpan observeSpan("daemon.observe",
+                           registry_.histogram("daemon.observe.seconds"));
   std::vector<std::vector<core::TransponderObservation>> perQuery;
   perQuery.reserve(captures.size());
   for (const auto& antennas : captures)
@@ -125,9 +163,12 @@ void ReaderDaemon::measurementWindow(double now) {
     sighting.angleRad = std::acos(std::clamp(track.cosAlpha, -1.0, 1.0));
     batcher_.add(net::Message{sighting});
   }
+  }  // observe span
 
   // Opportunistic decode: pick the strongest confirmed, unidentified
   // track and spend the decode budget combining this window's captures.
+  obs::ObsSpan decodeSpan("daemon.decode",
+                          registry_.histogram("daemon.decode.seconds"));
   const core::Track* target = nullptr;
   for (const core::Track& track : tracker_.tracks()) {
     if (!track.confirmed(config_.tracker.confirmHits)) continue;
@@ -141,6 +182,7 @@ void ReaderDaemon::measurementWindow(double now) {
     decoder.reset(target->cfoHz);
     const std::size_t budget =
         std::min(config_.decodeCollisionsPerWindow, burstPrimary.size());
+    bool decodedId = false;
     for (std::size_t q = 0; q < budget; ++q) {
       if (auto id = decoder.addCollision(burstPrimary[q])) {
         identifiedTracks_.push_back(target->trackId);
@@ -151,13 +193,21 @@ void ReaderDaemon::measurementWindow(double now) {
         report.id = *id;
         decoded_.push_back(report);
         batcher_.add(net::Message{report});
-        ++stats_.decodedIds;
+        decodedIdsCtr_.inc();
+        decodedId = true;
         break;
       }
     }
+    if (obs::eventsAttached())
+      obs::emitEvent("daemon.decode_attempt",
+                     {{"t", now},
+                      {"reader_id", config_.readerId},
+                      {"cfo_hz", target->cfoHz},
+                      {"combines", decoder.collisionsUsed()},
+                      {"crc_ok", decodedId}});
   }
 
-  ++stats_.measurements;
+  measurementsCtr_.inc();
 }
 
 void ReaderDaemon::runUntil(double untilTime) {
@@ -167,27 +217,48 @@ void ReaderDaemon::runUntil(double untilTime) {
     if (now >= nextNtp_) {
       clock_.ntpSync(now, net::kNtpResidualRmsSec, rng_);
       nextNtp_ = now + config_.ntpPeriodSec;
+      if (obs::eventsAttached())
+        obs::emitEvent("daemon.ntp_sync",
+                       {{"t", now},
+                        {"reader_id", config_.readerId},
+                        {"offset_sec", clock_.offsetSec()}});
     }
 
     measurementWindow(now);
 
     if (now >= nextUplink_ && batcher_.pending() > 0) {
       const std::size_t bytes = batcher_.byteSize();
+      const std::size_t messages = batcher_.pending();
       // Modem burst: air time at ~1 Mbps plus wake overhead.
       const double airSec = net::batchAirTimeSec(bytes, 1e6) + 0.02;
-      stats_.energyJoules += config_.power.modemBurstWatts * airSec;
-      stats_.uplinkBytes += bytes;
-      ++stats_.uplinkFlushes;
+      energyGauge_.add(config_.power.modemBurstWatts * airSec);
+      uplinkBytesCtr_.inc(bytes);
+      uplinkFlushesCtr_.inc();
+      if (obs::eventsAttached())
+        obs::emitEvent("daemon.uplink_flush",
+                       {{"t", now},
+                        {"reader_id", config_.readerId},
+                        {"bytes", bytes},
+                        {"messages", messages}});
       uplink_.push_back(batcher_.flush());
       nextUplink_ = now + config_.uplinkPeriodSec;
     }
 
     // Sleep until the next measurement.
-    stats_.energyJoules +=
-        config_.power.sleepWatts * config_.measurementPeriodSec;
+    energyGauge_.add(config_.power.sleepWatts * config_.measurementPeriodSec);
     nextMeasurement_ = now + config_.measurementPeriodSec;
   }
   now_ = untilTime;
+}
+
+const DaemonStats& ReaderDaemon::stats() const {
+  statsView_.measurements = measurementsCtr_.value();
+  statsView_.queriesSent = queriesCtr_.value();
+  statsView_.decodedIds = decodedIdsCtr_.value();
+  statsView_.uplinkFlushes = uplinkFlushesCtr_.value();
+  statsView_.uplinkBytes = uplinkBytesCtr_.value();
+  statsView_.energyJoules = energyGauge_.value();
+  return statsView_;
 }
 
 std::vector<std::vector<std::uint8_t>> ReaderDaemon::takeUplink() {

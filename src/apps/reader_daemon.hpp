@@ -18,6 +18,7 @@
 #include "core/tracker.hpp"
 #include "net/clock.hpp"
 #include "net/framing.hpp"
+#include "obs/metrics.hpp"
 #include "power/model.hpp"
 #include "sim/scene.hpp"
 
@@ -46,6 +47,11 @@ struct ReaderDaemonConfig {
 };
 
 /// Cumulative operating statistics.
+///
+/// This is a *view* over the daemon's telemetry registry — every field is
+/// read back from the `daemon.*` metrics, so the struct can never drift
+/// from what the registry exports (the counters are the single source of
+/// truth; there is no shadow accounting).
 struct DaemonStats {
   std::size_t measurements = 0;
   std::size_t queriesSent = 0;
@@ -76,7 +82,16 @@ class ReaderDaemon {
   /// net::decodeBatch / Backend::ingest).
   std::vector<std::vector<std::uint8_t>> takeUplink();
 
-  const DaemonStats& stats() const { return stats_; }
+  /// Cumulative stats, materialized from the telemetry registry on each
+  /// call (see DaemonStats).
+  const DaemonStats& stats() const;
+
+  /// This daemon's private metrics registry (`daemon.*` names). Private
+  /// per instance so two daemons in one process never alias counters;
+  /// expose it to a scraper alongside obs::globalRegistry().
+  const obs::Registry& registry() const { return registry_; }
+  obs::Registry& registry() { return registry_; }
+
   const core::TransponderTracker& tracker() const { return tracker_; }
   const net::ReaderClock& clock() const { return clock_; }
 
@@ -102,7 +117,17 @@ class ReaderDaemon {
   std::vector<net::DecodeReport> decoded_;
   /// Per-track decode state: tracks already identified (by track id).
   std::vector<std::uint64_t> identifiedTracks_;
-  DaemonStats stats_;
+  /// Telemetry. The metric handles below alias registry_ entries and are
+  /// resolved once here (registry_ must be declared before them).
+  obs::Registry registry_;
+  obs::Counter& measurementsCtr_;
+  obs::Counter& queriesCtr_;
+  obs::Counter& decodedIdsCtr_;
+  obs::Counter& uplinkFlushesCtr_;
+  obs::Counter& uplinkBytesCtr_;
+  obs::Gauge& energyGauge_;
+  obs::Histogram& windowSec_;
+  mutable DaemonStats statsView_;
   double now_ = 0.0;
   double nextMeasurement_ = 0.0;
   double nextUplink_ = 0.0;

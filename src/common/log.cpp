@@ -1,12 +1,27 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <mutex>
 
 namespace caraoke {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes sink replacement and emission so concurrent loggers never
+// interleave characters or race a sink swap.
+std::mutex& logMutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sinkStorage() {
+  static LogSink sink;
+  return sink;
+}
 
 const char* levelTag(LogLevel level) {
   switch (level) {
@@ -17,14 +32,35 @@ const char* levelTag(LogLevel level) {
     default: return "?????";
   }
 }
+
+double secondsSinceStart() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
 }  // namespace
 
 void setLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel logLevel() { return g_level.load(); }
 
+void setLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(logMutex());
+  sinkStorage() = std::move(sink);
+}
+
 void logMessage(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::cerr << "[caraoke " << levelTag(level) << "] " << message << '\n';
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[caraoke %s +%.6fs] ",
+                levelTag(level), secondsSinceStart());
+  const std::string line = prefix + message;
+  std::lock_guard<std::mutex> lock(logMutex());
+  if (const LogSink& sink = sinkStorage()) {
+    sink(level, line);
+  } else {
+    std::cerr << line << '\n';
+  }
 }
 
 }  // namespace caraoke

@@ -1,10 +1,16 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging.
 //
 // The library itself logs sparingly (benches and examples narrate their own
 // output); logging exists mainly so long simulations can surface progress
 // and so tests can silence everything.
+//
+// Thread-safe: the level is atomic and emission is serialized behind a
+// mutex. Each line carries a monotonic timestamp (seconds since process
+// start) and a level tag. Output goes through an injectable sink so tests
+// can capture it; the default sink writes to stderr.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +22,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// library users are not spammed.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/// Receives fully formatted lines ("[caraoke LEVEL +1.234567s] msg") plus
+/// the level for filtering; called under the emission lock, one line per
+/// call, no trailing newline.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replace the output sink (pass nullptr/empty to restore the stderr
+/// default).
+void setLogSink(LogSink sink);
 
 /// Emit one line at the given level (no-op when below the threshold).
 void logMessage(LogLevel level, const std::string& message);

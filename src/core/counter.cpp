@@ -7,8 +7,49 @@
 #include "dsp/fft.hpp"
 #include "dsp/filter.hpp"
 #include "dsp/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace caraoke::core {
+
+namespace {
+
+// Counting telemetry: spike totals, the per-spike ambiguity-test verdicts
+// (the §5 phase-rotation / cross-query CV tests), and stage timers.
+struct CounterMetrics {
+  obs::Counter& counts =
+      obs::globalRegistry().counter("counter.count_calls");
+  obs::Counter& spikes = obs::globalRegistry().counter("counter.spikes");
+  obs::Counter& singleBins =
+      obs::globalRegistry().counter("counter.phase_test.single");
+  obs::Counter& multiBins =
+      obs::globalRegistry().counter("counter.phase_test.multi");
+  obs::Counter& adaptiveRepasses =
+      obs::globalRegistry().counter("counter.adaptive_cfar_repasses");
+  obs::Histogram& singleShotSec =
+      obs::globalRegistry().histogram("counter.single_shot.seconds");
+  obs::Histogram& multiQuerySec =
+      obs::globalRegistry().histogram("counter.multi_query.seconds");
+};
+
+CounterMetrics& counterMetrics() {
+  static CounterMetrics metrics;
+  return metrics;
+}
+
+void recordCountResult(const CountResult& result) {
+  CounterMetrics& m = counterMetrics();
+  m.counts.inc();
+  m.spikes.inc(result.spikes);
+  for (const BinOccupancy occ : result.occupancy) {
+    if (occ == BinOccupancy::kMulti)
+      m.multiBins.inc();
+    else
+      m.singleBins.inc();
+  }
+}
+
+}  // namespace
 
 TransponderCounter::TransponderCounter(CounterConfig config)
     : config_(config) {}
@@ -30,6 +71,7 @@ dsp::CVec paddedWindowFft(dsp::CSpan samples, std::size_t offset,
 }  // namespace
 
 CountResult TransponderCounter::count(dsp::CSpan samples) const {
+  obs::ObsSpan span("counter.single_shot", counterMetrics().singleShotSec);
   const SpectrumAnalyzer analyzer(config_.analysis);
   const std::vector<double> mag = analyzer.magnitudeSpectrum(samples);
   const std::vector<dsp::Peak> peaks = analyzer.detectSpikes(mag);
@@ -41,6 +83,7 @@ CountResult TransponderCounter::count(dsp::CSpan samples) const {
   if (!config_.enableMultiDetection || peaks.empty()) {
     result.occupancy.assign(peaks.size(), BinOccupancy::kSingle);
     result.estimate = peaks.size();
+    recordCountResult(result);
     return result;
   }
 
@@ -97,6 +140,7 @@ CountResult TransponderCounter::count(dsp::CSpan samples) const {
     estimate += occ == BinOccupancy::kMulti ? 2 : 1;
   }
   result.estimate = estimate;
+  recordCountResult(result);
   return result;
 }
 
@@ -106,6 +150,7 @@ MultiQueryCounter::MultiQueryCounter(MultiQueryCounterConfig config)
 CountResult MultiQueryCounter::count(
     const std::vector<dsp::CVec>& collisions) const {
   if (collisions.empty()) return {};
+  obs::ObsSpan span("counter.multi_query", counterMetrics().multiQuerySec);
 
   // Query-averaged magnitude spectrum: spikes stay put, the floor's
   // random component shrinks by sqrt(Q). Computed once; both detection
@@ -124,8 +169,11 @@ CountResult MultiQueryCounter::count(
 
   CountResult result = countPass(collisions, avg, config_.cfarFactor);
   if (config_.adaptiveCfar && result.estimate >= config_.denseSceneSpikes &&
-      config_.denseCfarFactor < config_.cfarFactor)
+      config_.denseCfarFactor < config_.cfarFactor) {
+    counterMetrics().adaptiveRepasses.inc();
     result = countPass(collisions, avg, config_.denseCfarFactor);
+  }
+  recordCountResult(result);
   return result;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/units.hpp"
 #include "dsp/filter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phy/ook.hpp"
 #include "phy/protocol.hpp"
 #include "phy/sync.hpp"
@@ -12,6 +14,28 @@
 namespace caraoke::core {
 
 namespace {
+
+// Decode-pipeline telemetry: combine volume, CRC outcomes, and where the
+// rescues (chase / timing search) actually earn their keep.
+struct DecoderMetrics {
+  obs::Counter& combined =
+      obs::globalRegistry().counter("decoder.collisions_combined");
+  obs::Counter& fadedSkips =
+      obs::globalRegistry().counter("decoder.faded_skips");
+  obs::Counter& crcPass = obs::globalRegistry().counter("decoder.crc_pass");
+  obs::Counter& crcFail = obs::globalRegistry().counter("decoder.crc_fail");
+  obs::Counter& chaseRescues =
+      obs::globalRegistry().counter("decoder.chase_rescues");
+  obs::Counter& timingRescues =
+      obs::globalRegistry().counter("decoder.timing_rescues");
+  obs::Histogram& addCollisionSec =
+      obs::globalRegistry().histogram("decoder.add_collision.seconds");
+};
+
+DecoderMetrics& decoderMetrics() {
+  static DecoderMetrics metrics;
+  return metrics;
+}
 
 // Chase-style correction: try flipping the lowest-margin bits (singles,
 // then pairs) until the CRC passes.
@@ -62,6 +86,8 @@ void CollisionDecoder::reset(double targetCfoHz) {
 
 std::optional<phy::TransponderId> CollisionDecoder::addCollision(
     dsp::CSpan samples) {
+  DecoderMetrics& metrics = decoderMetrics();
+  obs::ObsSpan span("decoder.add_collision", metrics.addCollisionSec);
   const std::size_t n = samples.size();
   const dsp::BinMapper mapper(n, config_.sampling.sampleRateHz);
 
@@ -87,6 +113,7 @@ std::optional<phy::TransponderId> CollisionDecoder::addCollision(
     // A faded collision adds mostly amplified noise; skip it but still
     // count the query (air time was spent).
     ++used_;
+    metrics.fadedSkips.inc();
     return std::nullopt;
   }
 
@@ -103,17 +130,25 @@ std::optional<phy::TransponderId> CollisionDecoder::addCollision(
     if ((t & 1023u) == 1023u) rotor /= std::abs(rotor);
   }
   ++used_;
+  metrics.combined.inc();
 
   // 4. Demodulate and test the checksum; on a near miss, chase the
   //    weakest bits.
   const phy::BitVec bits = phy::demodulateOok(combined_, config_.sampling);
   if (phy::Packet::checksumOk(bits)) {
     auto decoded = phy::Packet::decode(bits);
-    if (decoded.ok()) return decoded.value();
+    if (decoded.ok()) {
+      metrics.crcPass.inc();
+      return decoded.value();
+    }
   }
   if (config_.chaseBits > 0) {
     const auto margins = phy::ookBitMargins(combined_, config_.sampling);
-    if (auto id = chaseDecode(bits, margins, config_.chaseBits)) return id;
+    if (auto id = chaseDecode(bits, margins, config_.chaseBits)) {
+      metrics.crcPass.inc();
+      metrics.chaseRescues.inc();
+      return id;
+    }
   }
 
   // 4b. Timing recovery: transponder turn-around jitter can shift the
@@ -129,10 +164,15 @@ std::optional<phy::TransponderId> CollisionDecoder::addCollision(
           dsp::CSpan(padded).subspan(*offset), config_.sampling);
       if (phy::Packet::checksumOk(shifted)) {
         auto decoded = phy::Packet::decode(shifted);
-        if (decoded.ok()) return decoded.value();
+        if (decoded.ok()) {
+          metrics.crcPass.inc();
+          metrics.timingRescues.inc();
+          return decoded.value();
+        }
       }
     }
   }
+  metrics.crcFail.inc();
   return std::nullopt;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace caraoke::core {
 
 namespace {
@@ -152,6 +154,15 @@ MacStats simulateMac(const MacConfig& config, Rng& rng) {
       stats.transactions == 0
           ? 0.0
           : totalDeferral / static_cast<double>(stats.transactions);
+
+  // Whole-run MAC telemetry (simulateMac is called per experiment, not
+  // per packet, so registry lookups here are off the hot path).
+  obs::Registry& registry = obs::globalRegistry();
+  registry.counter("mac.attempts").inc(stats.attempts);
+  registry.counter("mac.transactions").inc(stats.transactions);
+  registry.counter("mac.deferrals").inc(stats.deferrals);
+  registry.counter("mac.corrupted_responses").inc(stats.corruptedResponses);
+  registry.counter("mac.query_query_merges").inc(stats.queryQueryMerges);
   return stats;
 }
 

@@ -4,7 +4,29 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
 namespace caraoke::core {
+
+namespace {
+
+struct TrackerMetrics {
+  obs::Counter& observations =
+      obs::globalRegistry().counter("tracker.observations");
+  obs::Counter& opened =
+      obs::globalRegistry().counter("tracker.tracks_opened");
+  obs::Counter& dropped =
+      obs::globalRegistry().counter("tracker.tracks_dropped");
+  obs::Counter& abeam = obs::globalRegistry().counter("tracker.abeam_events");
+};
+
+TrackerMetrics& trackerMetrics() {
+  static TrackerMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 TransponderTracker::TransponderTracker(TrackerConfig config)
     : config_(config) {}
@@ -24,6 +46,7 @@ const Track* TransponderTracker::findByCfo(double cfoHz) const {
 
 void TransponderTracker::update(
     double t, const std::vector<TrackerObservation>& observations) {
+  trackerMetrics().observations.inc(observations.size());
   // Greedy association, strongest observations first: each track takes at
   // most one observation per query.
   std::vector<std::size_t> order(observations.size());
@@ -83,6 +106,7 @@ void TransponderTracker::update(
                       : t;
       event.rate = track.cosAlphaRate;
       events_.push_back(event);
+      trackerMetrics().abeam.inc();
     }
   }
 
@@ -97,14 +121,30 @@ void TransponderTracker::update(
     track.firstSeen = track.lastSeen = t;
     track.hits = 1;
     track.history.push_back({t, track.cosAlpha});
+    trackerMetrics().opened.inc();
+    if (obs::eventsAttached())
+      obs::emitEvent("tracker.track_opened",
+                     {{"t", t},
+                      {"track_id", track.trackId},
+                      {"cfo_hz", track.cfoHz}});
     tracks_.push_back(std::move(track));
   }
 
   // Drop stale tracks.
   tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
                                [&](const Track& track) {
-                                 return t - track.lastSeen >
-                                        config_.dropAfterSec;
+                                 if (t - track.lastSeen <=
+                                     config_.dropAfterSec)
+                                   return false;
+                                 trackerMetrics().dropped.inc();
+                                 if (obs::eventsAttached())
+                                   obs::emitEvent(
+                                       "tracker.track_closed",
+                                       {{"t", t},
+                                        {"track_id", track.trackId},
+                                        {"hits", track.hits},
+                                        {"cfo_hz", track.cfoHz}});
+                                 return true;
                                }),
                 tracks_.end());
 }

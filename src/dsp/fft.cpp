@@ -4,8 +4,28 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace caraoke::dsp {
+
+namespace {
+
+// Handles resolved once; per-transform cost is one relaxed fetch_add.
+obs::Counter& fftCallCounter() {
+  static obs::Counter& c = obs::globalRegistry().counter("dsp.fft.calls");
+  return c;
+}
+obs::Counter& ifftCallCounter() {
+  static obs::Counter& c = obs::globalRegistry().counter("dsp.ifft.calls");
+  return c;
+}
+obs::Counter& bluesteinCallCounter() {
+  static obs::Counter& c =
+      obs::globalRegistry().counter("dsp.fft.bluestein_calls");
+  return c;
+}
+
+}  // namespace
 
 bool isPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -90,26 +110,36 @@ CVec bluestein(CSpan input, bool invert) {
 
 }  // namespace
 
-void fftInPlace(CVec& data) { radix2(data, false); }
-void ifftInPlace(CVec& data) { radix2(data, true); }
+void fftInPlace(CVec& data) {
+  fftCallCounter().inc();
+  radix2(data, false);
+}
+void ifftInPlace(CVec& data) {
+  ifftCallCounter().inc();
+  radix2(data, true);
+}
 
 CVec fft(CSpan input) {
   if (input.empty()) return {};
+  fftCallCounter().inc();
   if (isPowerOfTwo(input.size())) {
     CVec data(input.begin(), input.end());
     radix2(data, false);
     return data;
   }
+  bluesteinCallCounter().inc();
   return bluestein(input, false);
 }
 
 CVec ifft(CSpan input) {
   if (input.empty()) return {};
+  ifftCallCounter().inc();
   if (isPowerOfTwo(input.size())) {
     CVec data(input.begin(), input.end());
     radix2(data, true);
     return data;
   }
+  bluesteinCallCounter().inc();
   return bluestein(input, true);
 }
 

@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace caraoke::net {
+
+namespace {
+
+struct BackendMetrics {
+  obs::Counter& frames =
+      obs::globalRegistry().counter("net.backend.frames_ingested");
+  obs::Counter& frameErrors =
+      obs::globalRegistry().counter("net.backend.frame_errors");
+  obs::Counter& counts =
+      obs::globalRegistry().counter("net.backend.count_reports");
+  obs::Counter& sightings =
+      obs::globalRegistry().counter("net.backend.sighting_reports");
+  obs::Counter& decodes =
+      obs::globalRegistry().counter("net.backend.decode_reports");
+  obs::Counter& fixes = obs::globalRegistry().counter("net.backend.fixes_fused");
+};
+
+BackendMetrics& backendMetrics() {
+  static BackendMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void Backend::registerReader(std::uint32_t readerId,
                              core::ArrayGeometry geometry) {
@@ -14,17 +39,24 @@ caraoke::Result<bool> Backend::ingestFrame(
     const std::vector<std::uint8_t>& frame) {
   using R = caraoke::Result<bool>;
   auto decoded = decodeMessage(frame);
-  if (!decoded.ok()) return R::failure(decoded.error());
+  if (!decoded.ok()) {
+    backendMetrics().frameErrors.inc();
+    return R::failure(decoded.error());
+  }
+  backendMetrics().frames.inc();
   ingest(decoded.value());
   return true;
 }
 
 void Backend::ingest(const Message& message) {
   if (const auto* m = std::get_if<CountReport>(&message)) {
+    backendMetrics().counts.inc();
     counts_.push_back(*m);
   } else if (const auto* m = std::get_if<SightingReport>(&message)) {
+    backendMetrics().sightings.inc();
     sightings_.push_back(*m);
   } else if (const auto* m = std::get_if<DecodeReport>(&message)) {
+    backendMetrics().decodes.inc();
     decodes_.push_back(*m);
   }
 }
@@ -84,6 +116,7 @@ std::vector<FusedFix> Backend::fuse(double now) {
       fused.readerA = a.readerId;
       fused.readerB = b.readerId;
       fixes.push_back(fused);
+      backendMetrics().fixes.inc();
       consumed[i] = consumed[j] = true;
       break;
     }

@@ -1,0 +1,290 @@
+#include "obs/events.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace caraoke::obs {
+
+namespace {
+
+std::atomic<EventSink*> g_sink{nullptr};
+
+void appendEscaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+  os << '"';
+}
+
+void appendValue(std::ostringstream& os, const FieldValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    os << *i;
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    if (!std::isfinite(*d)) {
+      os << "null";
+    } else {
+      os.precision(12);
+      os << *d;
+    }
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    os << (*b ? "true" : "false");
+  } else {
+    appendEscaped(os, std::get<std::string>(value));
+  }
+}
+
+// --- Minimal flat-object JSON parser (only what toJsonLine emits) ------
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool consume(char c) {
+    skipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool parseString(std::string& out) {
+    skipWs();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char esc = s[i++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (i + 4 > s.size()) return false;
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            if (code > 0xFF) return false;  // we only emit \u00XX
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+  bool parseValue(FieldValue& out) {
+    skipWs();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '"') {
+      std::string str;
+      if (!parseString(str)) return false;
+      out = std::move(str);
+      return true;
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+      out = true;
+      return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+      out = false;
+      return true;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+      out = std::nan("");  // null round-trips as a NaN double
+      return true;
+    }
+    // Number: integer if it has no '.', 'e' or 'E'.
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    bool isDouble = false;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      if (s[i] == '.' || s[i] == 'e' || s[i] == 'E') isDouble = true;
+      ++i;
+    }
+    if (i == start) return false;
+    const std::string token = s.substr(start, i - start);
+    try {
+      if (isDouble)
+        out = std::stod(token);
+      else
+        out = static_cast<std::int64_t>(std::stoll(token));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const FieldValue* Event::find(std::string_view key) const {
+  for (const Field& f : fields)
+    if (f.key == key) return &f.value;
+  return nullptr;
+}
+
+std::string toJsonLine(const Event& event) {
+  std::ostringstream os;
+  os << "{\"ts\":";
+  os.precision(12);
+  if (std::isfinite(event.ts))
+    os << event.ts;
+  else
+    os << "null";
+  os << ",\"type\":";
+  appendEscaped(os, event.type);
+  for (const Field& f : event.fields) {
+    os << ',';
+    appendEscaped(os, f.key);
+    os << ':';
+    appendValue(os, f.value);
+  }
+  os << '}';
+  return os.str();
+}
+
+std::optional<Event> parseJsonLine(const std::string& line) {
+  Parser p{line};
+  if (!p.consume('{')) return std::nullopt;
+  Event event;
+  bool sawTs = false, sawType = false;
+  bool first = true;
+  while (true) {
+    p.skipWs();
+    if (p.consume('}')) break;
+    if (!first && !p.consume(',')) return std::nullopt;
+    // Allow "{}" handled above; after a comma a key must follow.
+    std::string key;
+    if (!p.parseString(key)) return std::nullopt;
+    if (!p.consume(':')) return std::nullopt;
+    FieldValue value;
+    if (!p.parseValue(value)) return std::nullopt;
+    if (key == "ts") {
+      if (const auto* d = std::get_if<double>(&value))
+        event.ts = *d;
+      else if (const auto* i = std::get_if<std::int64_t>(&value))
+        event.ts = static_cast<double>(*i);
+      else
+        return std::nullopt;
+      sawTs = true;
+    } else if (key == "type") {
+      const auto* str = std::get_if<std::string>(&value);
+      if (str == nullptr) return std::nullopt;
+      event.type = *str;
+      sawType = true;
+    } else {
+      event.fields.emplace_back(Field{std::move(key), false});
+      event.fields.back().value = std::move(value);
+    }
+    first = false;
+  }
+  p.skipWs();
+  if (p.i != line.size()) return std::nullopt;
+  if (!sawTs || !sawType) return std::nullopt;
+  return event;
+}
+
+void MemoryEventSink::emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<Event> MemoryEventSink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void MemoryEventSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+JsonLinesFileSink::JsonLinesFileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonLinesFileSink::~JsonLinesFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonLinesFileSink::emit(const Event& event) {
+  const std::string line = toJsonLine(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++lines_;
+}
+
+void attachEventSink(EventSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+EventSink* eventSink() { return g_sink.load(std::memory_order_acquire); }
+
+bool eventsAttached() {
+  return g_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+void emitEvent(std::string type, std::vector<Field> fields) {
+  EventSink* sink = eventSink();
+  if (sink == nullptr) return;
+  Event event;
+  event.ts = monotonicSeconds();
+  event.type = std::move(type);
+  event.fields = std::move(fields);
+  sink->emit(event);
+}
+
+}  // namespace caraoke::obs

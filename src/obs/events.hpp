@@ -1,0 +1,127 @@
+// Structured domain-event log: JSON-lines sink for the things a reader
+// operator greps for after the fact — query fired, collision counted,
+// track opened/closed, decode attempt, uplink flush, NTP resync.
+//
+// Schema: one JSON object per line, always carrying
+//   {"ts": <monotonic process seconds>, "type": "<dotted event name>", ...}
+// plus the event's own flat fields (numbers, bools, strings). Sinks are
+// process-global and non-owning: attach a MemoryEventSink in tests, a
+// JsonLinesFileSink in tools, nothing in production hot paths (emission
+// with no sink attached is a single relaxed pointer load).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace caraoke::obs {
+
+using FieldValue = std::variant<std::int64_t, double, bool, std::string>;
+
+/// One key/value pair of an event. The constructors accept the value
+/// types instrumentation actually has in hand.
+struct Field {
+  std::string key;
+  FieldValue value;
+
+  template <typename T,
+            typename std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>,
+                                      int> = 0>
+  Field(std::string k, T v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Field(std::string k, double v) : key(std::move(k)), value(v) {}
+  Field(std::string k, bool v) : key(std::move(k)), value(v) {}
+  Field(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  Field(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+};
+
+/// One structured event.
+struct Event {
+  double ts = 0.0;    ///< Monotonic process time [s] at emission.
+  std::string type;   ///< Dotted name, e.g. "daemon.uplink_flush".
+  std::vector<Field> fields;
+
+  /// Field lookup; nullptr when absent.
+  const FieldValue* find(std::string_view key) const;
+};
+
+/// Serialize to one JSON line (no trailing newline). Strings are escaped;
+/// non-finite doubles become null.
+std::string toJsonLine(const Event& event);
+
+/// Parse one JSON line produced by toJsonLine (flat object, primitive
+/// values). Returns nullopt on malformed input — the round-trip validator
+/// tests and tools use this to check emitted files.
+std::optional<Event> parseJsonLine(const std::string& line);
+
+/// Where events go.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+};
+
+/// In-memory sink for tests.
+class MemoryEventSink : public EventSink {
+ public:
+  void emit(const Event& event) override;
+  /// Copy of everything captured so far.
+  std::vector<Event> events() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// JSON-lines file sink; each emit writes (and flushes) one line.
+class JsonLinesFileSink : public EventSink {
+ public:
+  explicit JsonLinesFileSink(const std::string& path);
+  ~JsonLinesFileSink() override;
+  void emit(const Event& event) override;
+  bool ok() const { return file_ != nullptr; }
+  std::size_t linesWritten() const { return lines_; }
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::size_t lines_ = 0;
+};
+
+/// Attach/detach the process-wide sink (non-owning; nullptr detaches).
+/// The caller keeps the sink alive while attached.
+void attachEventSink(EventSink* sink);
+EventSink* eventSink();
+/// Cheap guard for hot paths that would otherwise build Field vectors
+/// for nobody.
+bool eventsAttached();
+
+/// Stamp `ts` with the monotonic clock and forward to the attached sink
+/// (no-op when none is attached).
+void emitEvent(std::string type, std::vector<Field> fields);
+
+/// RAII helper for tests: attaches on construction, restores the previous
+/// sink on destruction.
+class ScopedEventSink {
+ public:
+  explicit ScopedEventSink(EventSink* sink)
+      : previous_(eventSink()) {
+    attachEventSink(sink);
+  }
+  ~ScopedEventSink() { attachEventSink(previous_); }
+  ScopedEventSink(const ScopedEventSink&) = delete;
+  ScopedEventSink& operator=(const ScopedEventSink&) = delete;
+
+ private:
+  EventSink* previous_;
+};
+
+}  // namespace caraoke::obs

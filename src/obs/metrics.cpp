@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace caraoke::obs {
+
+namespace {
+
+// Shortest round-trip double formatting that stays readable in text
+// exposition and JSON.
+std::string formatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+// JSON has no Inf/NaN literals; map them to null rather than emitting a
+// line that no parser accepts.
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return formatDouble(v);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("histogram bounds must be sorted ascending");
+}
+
+void Histogram::observe(double value) {
+  // First bucket whose upper bound admits the value (inclusive edges,
+  // Prometheus `le` semantics); past the last bound -> +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& defaultLatencyBucketsSec() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 1.0; decade *= 10.0)
+      for (double mant : {1.0, 2.0, 5.0}) b.push_back(mant * decade);
+    b.push_back(1.0);
+    return b;
+  }();
+  return buckets;
+}
+
+Registry::Entry& Registry::lookup(std::string_view name, Kind kind,
+                                  const std::vector<double>* upperBounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>(
+            upperBounds != nullptr ? *upperBounds : defaultLatencyBucketsSec());
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *lookup(name, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *lookup(name, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<double>& upperBounds) {
+  return *lookup(name, Kind::kHistogram, &upperBounds).histogram;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, entry.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = name;
+        h.count = entry.histogram->count();
+        h.sum = entry.histogram->sum();
+        h.upperBounds = entry.histogram->upperBounds();
+        h.bucketCounts = entry.histogram->bucketCounts();
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::string RegistrySnapshot::expositionText() const {
+  std::ostringstream os;
+  for (const auto& c : counters) {
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : gauges) {
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << ' ' << formatDouble(g.value) << '\n';
+  }
+  for (const auto& h : histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upperBounds.size(); ++i) {
+      cumulative += h.bucketCounts[i];
+      os << h.name << "_bucket{le=\"" << formatDouble(h.upperBounds[i])
+         << "\"} " << cumulative << '\n';
+    }
+    os << h.name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << h.name << "_sum " << formatDouble(h.sum) << '\n';
+    os << h.name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::string RegistrySnapshot::jsonText() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << counters[i].name << "\":" << counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << gauges[i].name << "\":" << jsonNumber(gauges[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i != 0) os << ',';
+    os << '"' << h.name << "\":{\"count\":" << h.count
+       << ",\"sum\":" << jsonNumber(h.sum) << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.bucketCounts.size(); ++b) {
+      if (b != 0) os << ',';
+      os << "{\"le\":"
+         << (b < h.upperBounds.size()
+                 ? formatDouble(h.upperBounds[b])
+                 : std::string("\"+Inf\""))
+         << ",\"count\":" << h.bucketCounts[b] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+Registry& globalRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace caraoke::obs

@@ -1,0 +1,106 @@
+// Per-stage pipeline tracing: RAII scoped timers that feed duration
+// histograms, plus an optional span sink that sees begin/end pairs so a
+// whole pipeline pass (e.g. one ReaderDaemon measurement window) can be
+// reconstructed as a span tree.
+//
+//   {
+//     obs::ObsSpan span("counter.phase_test");
+//     ... work ...
+//   }  // duration recorded into histogram "counter.phase_test"
+//
+// Nesting is tracked per thread; a sink receives the depth with each
+// begin/end, which is all SpanTreeSink needs to rebuild the call tree.
+// With no sink attached a span costs two steady_clock reads and one
+// histogram observe.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace caraoke::obs {
+
+/// Monotonic seconds since process start (steady clock); the timestamp
+/// base shared by spans, events, and the log prefix.
+double monotonicSeconds();
+
+/// A finished span as delivered to sinks.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;        ///< 0 = top-level span on its thread.
+  double startSec = 0;  ///< monotonicSeconds() at construction.
+  double endSec = 0;
+};
+
+/// Receives span begin/end notifications (same thread as the span).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onSpanBegin(const char* name, int depth, double startSec) = 0;
+  virtual void onSpanEnd(const SpanRecord& span) = 0;
+};
+
+/// Attach/detach the process-wide trace sink (non-owning; nullptr
+/// detaches). The caller keeps the sink alive while attached.
+void attachTraceSink(TraceSink* sink);
+TraceSink* traceSink();
+
+/// RAII scoped timer. The histogram lives in the given registry (global
+/// by default) under the span's name; hot paths can pre-resolve the
+/// histogram once and use the (name, histogram) constructor to skip the
+/// per-span registry lookup.
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name, Registry* registry = nullptr);
+  ObsSpan(const char* name, Histogram& histogram);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  void begin();
+  const char* name_;
+  Histogram* histogram_;
+  double startSec_ = 0.0;
+  int depth_ = 0;
+};
+
+/// Trace sink that aggregates spans into a tree keyed by call path
+/// ("daemon.window" -> "daemon.window/counter.count" -> ...), with call
+/// counts and total time per node. summary() renders it indented:
+///
+///   daemon.window                 30 calls   120.4 ms
+///     counter.count               30 calls    80.1 ms
+///     decoder.add_collision       64 calls    22.0 ms
+class SpanTreeSink : public TraceSink {
+ public:
+  void onSpanBegin(const char* name, int depth, double startSec) override;
+  void onSpanEnd(const SpanRecord& span) override;
+
+  struct Node {
+    std::string name;
+    std::size_t calls = 0;
+    double totalSec = 0.0;
+    std::vector<Node> children;
+  };
+
+  /// Aggregated roots (one per distinct top-level span name).
+  std::vector<Node> roots() const;
+  /// Human-readable indented rendering of the tree.
+  std::string summary() const;
+  void clear();
+
+ private:
+  Node* findOrAdd(std::vector<Node>& level, const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Node> roots_;
+  // Per-thread open-span path; keyed by an opaque thread token.
+  std::map<unsigned long long, std::vector<std::string>> openPaths_;
+};
+
+}  // namespace caraoke::obs

@@ -1,0 +1,318 @@
+// Unit tests for the telemetry subsystem: metric semantics (bucket edges,
+// snapshot + reset), span nesting under a trace sink, JSON-lines event
+// round-trips, and the thread-safe log sink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/log.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace caraoke {
+namespace {
+
+TEST(ObsMetrics, CounterSemantics) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsMetrics, HistogramBucketEdgesAreInclusive) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // edge: still the le=1 bucket (Prometheus semantics)
+  h.observe(1.5);   // le=2
+  h.observe(5.0);   // edge: le=5
+  h.observe(99.0);  // +Inf
+  const auto buckets = h.bucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 99.0);
+}
+
+TEST(ObsMetrics, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsMetrics, RegistryReturnsSameInstanceAndChecksKind) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("x.calls");
+  obs::Counter& b = registry.counter("x.calls");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_THROW(registry.gauge("x.calls"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x.calls"), std::logic_error);
+}
+
+TEST(ObsMetrics, SnapshotAndReset) {
+  obs::Registry registry;
+  registry.counter("a.count").inc(7);
+  registry.gauge("b.level").set(1.25);
+  registry.histogram("c.seconds", {0.1, 1.0}).observe(0.05);
+
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "a.count");
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  ASSERT_EQ(snap.histograms[0].bucketCounts.size(), 3u);
+  EXPECT_EQ(snap.histograms[0].bucketCounts[0], 1u);
+
+  registry.reset();
+  // Handles survive a reset; values are zeroed, registrations kept.
+  EXPECT_EQ(registry.counter("a.count").value(), 0u);
+  const obs::RegistrySnapshot after = registry.snapshot();
+  ASSERT_EQ(after.counters.size(), 1u);
+  EXPECT_EQ(after.counters[0].value, 0u);
+  EXPECT_EQ(after.histograms[0].count, 0u);
+
+  // The pre-reset snapshot is an independent copy.
+  EXPECT_EQ(snap.counters[0].value, 7u);
+}
+
+TEST(ObsMetrics, ExpositionTextFormat) {
+  obs::Registry registry;
+  registry.counter("decoder.crc_pass").inc(3);
+  registry.gauge("daemon.energy_joules").set(0.5);
+  obs::Histogram& h = registry.histogram("dsp.fft.seconds", {0.001, 0.01});
+  h.observe(0.0005);
+  h.observe(0.5);
+
+  const std::string text = registry.expositionText();
+  EXPECT_NE(text.find("# TYPE decoder.crc_pass counter"), std::string::npos);
+  EXPECT_NE(text.find("decoder.crc_pass 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE daemon.energy_joules gauge"), std::string::npos);
+  EXPECT_NE(text.find("dsp.fft.seconds_bucket{le=\"0.001\"} 1"),
+            std::string::npos);
+  // Cumulative buckets: the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("dsp.fft.seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dsp.fft.seconds_count 2"), std::string::npos);
+}
+
+TEST(ObsMetrics, JsonTextIsWellFormed) {
+  obs::Registry registry;
+  registry.counter("a").inc(1);
+  registry.gauge("b").set(2.0);
+  registry.histogram("c", {1.0}).observe(0.5);
+  const std::string json = registry.jsonText();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{\"a\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"+Inf\",\"count\":0}"), std::string::npos);
+}
+
+TEST(ObsTrace, SpanRecordsDurationIntoHistogram) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("stage.seconds");
+  {
+    obs::ObsSpan span("stage", h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(ObsTrace, SpanNestingUnderTraceSink) {
+  obs::SpanTreeSink sink;
+  obs::attachTraceSink(&sink);
+  obs::Registry registry;
+  for (int window = 0; window < 3; ++window) {
+    obs::ObsSpan outer("window", registry.histogram("window.seconds"));
+    {
+      obs::ObsSpan inner("count", registry.histogram("count.seconds"));
+    }
+    {
+      obs::ObsSpan inner("decode", registry.histogram("decode.seconds"));
+      obs::ObsSpan nested("combine", registry.histogram("combine.seconds"));
+    }
+  }
+  obs::attachTraceSink(nullptr);
+
+  const auto roots = sink.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "window");
+  EXPECT_EQ(roots[0].calls, 3u);
+  ASSERT_EQ(roots[0].children.size(), 2u);
+  EXPECT_EQ(roots[0].children[0].name, "count");
+  EXPECT_EQ(roots[0].children[0].calls, 3u);
+  EXPECT_EQ(roots[0].children[1].name, "decode");
+  ASSERT_EQ(roots[0].children[1].children.size(), 1u);
+  EXPECT_EQ(roots[0].children[1].children[0].name, "combine");
+  EXPECT_EQ(roots[0].children[1].children[0].calls, 3u);
+
+  const std::string summary = sink.summary();
+  EXPECT_NE(summary.find("window"), std::string::npos);
+  EXPECT_NE(summary.find("3 calls"), std::string::npos);
+}
+
+TEST(ObsEvents, JsonLineRoundTrip) {
+  obs::Event event;
+  event.ts = 12.5;
+  event.type = "daemon.uplink_flush";
+  event.fields.push_back({"bytes", std::int64_t{1234}});
+  event.fields.push_back({"duty", 0.375});
+  event.fields.push_back({"ok", true});
+  event.fields.push_back({"note", std::string("tab\there \"quoted\"\n")});
+
+  const std::string line = obs::toJsonLine(event);
+  const auto parsed = obs::parseJsonLine(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_DOUBLE_EQ(parsed->ts, 12.5);
+  EXPECT_EQ(parsed->type, "daemon.uplink_flush");
+  ASSERT_EQ(parsed->fields.size(), 4u);
+  EXPECT_EQ(std::get<std::int64_t>(*parsed->find("bytes")), 1234);
+  EXPECT_DOUBLE_EQ(std::get<double>(*parsed->find("duty")), 0.375);
+  EXPECT_EQ(std::get<bool>(*parsed->find("ok")), true);
+  EXPECT_EQ(std::get<std::string>(*parsed->find("note")),
+            "tab\there \"quoted\"\n");
+}
+
+TEST(ObsEvents, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(obs::parseJsonLine("").has_value());
+  EXPECT_FALSE(obs::parseJsonLine("{").has_value());
+  EXPECT_FALSE(obs::parseJsonLine("{}").has_value());  // missing ts/type
+  EXPECT_FALSE(obs::parseJsonLine("{\"ts\":1}").has_value());
+  EXPECT_FALSE(
+      obs::parseJsonLine("{\"ts\":1,\"type\":\"x\"} trailing").has_value());
+  EXPECT_FALSE(
+      obs::parseJsonLine("{\"ts\":\"notanumber\",\"type\":\"x\"}").has_value());
+}
+
+TEST(ObsEvents, EmitGoesToAttachedSinkOnly) {
+  obs::emitEvent("dropped.no_sink", {});  // no sink attached: no-op
+
+  obs::MemoryEventSink sink;
+  {
+    obs::ScopedEventSink scoped(&sink);
+    EXPECT_TRUE(obs::eventsAttached());
+    obs::emitEvent("captured", {{"k", 1}});
+  }
+  EXPECT_FALSE(obs::eventsAttached());
+  obs::emitEvent("dropped.after_detach", {});
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, "captured");
+  EXPECT_GE(events[0].ts, 0.0);
+}
+
+TEST(ObsEvents, FileSinkWritesParseableLines) {
+  const std::string path = ::testing::TempDir() + "obs_events_test.jsonl";
+  {
+    obs::JsonLinesFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    obs::ScopedEventSink scoped(&sink);
+    obs::emitEvent("a", {{"n", 1}});
+    obs::emitEvent("b", {{"x", 2.5}});
+    EXPECT_EQ(sink.linesWritten(), 2u);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512];
+  std::size_t lines = 0;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    std::string line(buf);
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    EXPECT_TRUE(obs::parseJsonLine(line).has_value()) << line;
+    ++lines;
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsMetrics, ConcurrentIncrementsAreLossless) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("concurrent.count");
+  obs::Histogram& h = registry.histogram("concurrent.seconds", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(0.25);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h.sum(), 0.25 * kThreads * kPerThread, 1e-6);
+}
+
+TEST(Log, SinkCapturesFormattedLines) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  setLogSink([&](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kInfo);
+
+  logDebug("below threshold");
+  logInfo("hello ", 42);
+  logError("boom");
+
+  setLogLevel(before);
+  setLogSink(nullptr);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  // Prefix: "[caraoke INFO  +<monotonic seconds>s] "
+  EXPECT_EQ(captured[0].second.rfind("[caraoke INFO ", 0), 0u);
+  EXPECT_NE(captured[0].second.find("s] hello 42"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_NE(captured[1].second.find("boom"), std::string::npos);
+}
+
+TEST(Log, ConcurrentEmissionDoesNotInterleave) {
+  std::vector<std::string> lines;
+  setLogSink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);  // called under the log mutex
+  });
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kInfo);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) logInfo("thread ", t, " line ", i);
+    });
+  for (auto& t : threads) t.join();
+  setLogLevel(before);
+  setLogSink(nullptr);
+  EXPECT_EQ(lines.size(), 400u);
+  for (const std::string& line : lines)
+    EXPECT_NE(line.find("thread "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caraoke
