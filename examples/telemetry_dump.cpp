@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   for (const auto& frame : daemon.takeUplink()) {
     const auto batch = net::decodeBatch(frame);
     if (!batch.ok()) continue;
-    for (const auto& message : batch.value()) backend.ingest(message);
+    for (const auto& message : batch.value().messages) backend.ingest(message);
   }
   backend.fuse(30.0);
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build with AddressSanitizer and run the chaos suite under it.
+#
+# The chaos tests push the fault-tolerant uplink through drops, bit
+# flips, duplication, reordering, and scripted outages — exactly the
+# paths where a lifetime or bounds bug would hide. Running them under
+# ASAN is the cheap way to prove the salvage/retry/shed machinery is
+# memory-clean under fire.
+#
+# Usage: scripts/ci_sanitize.sh [extra ctest args...]
+#   BUILD_DIR   override the sanitizer build directory (default build-asan)
+#   SANITIZER   address (default) or undefined
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-asan}"
+SANITIZER="${SANITIZER:-address}"
+
+cmake -B "${BUILD_DIR}" -S . -DCARAOKE_SANITIZE="${SANITIZER}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j --target test_chaos
+
+ctest --test-dir "${BUILD_DIR}" -L chaos --output-on-failure "$@"

@@ -19,7 +19,26 @@ core::ArrayGeometry geometryOf(const sim::ReaderNode& node) {
   return g;
 }
 
+net::OutboxConfig outboxConfigFor(const ReaderDaemonConfig& config) {
+  net::OutboxConfig out = config.outbox;
+  out.readerId = config.readerId;
+  out.metricsPrefix = "daemon.outbox";
+  return out;
+}
+
 }  // namespace
+
+const char* uplinkHealthName(UplinkHealth health) {
+  switch (health) {
+    case UplinkHealth::kHealthy:
+      return "healthy";
+    case UplinkHealth::kDegraded:
+      return "degraded";
+    case UplinkHealth::kUplinkDown:
+      return "uplink_down";
+  }
+  return "unknown";
+}
 
 ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
                            std::size_t readerIndex, Rng rng)
@@ -40,8 +59,18 @@ ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
       decodedIdsCtr_(registry_.counter("daemon.decoded_ids")),
       uplinkFlushesCtr_(registry_.counter("daemon.uplink_flushes")),
       uplinkBytesCtr_(registry_.counter("daemon.uplink_bytes")),
+      uplinkRetriesCtr_(registry_.counter("daemon.uplink_retries")),
+      sightingsReportedCtr_(registry_.counter("daemon.sightings_reported")),
+      countsReportedCtr_(registry_.counter("daemon.counts_reported")),
+      healthChangesCtr_(registry_.counter("daemon.health_changes")),
+      healthGauge_(registry_.gauge("daemon.health_state")),
       energyGauge_(registry_.gauge("daemon.energy_joules")),
-      windowSec_(registry_.histogram("daemon.measurement_window.seconds")) {
+      windowSec_(registry_.histogram("daemon.measurement_window.seconds")),
+      // The outbox's jitter stream is seeded independently of rng_ so
+      // attaching the fault-tolerant uplink does not perturb the scene's
+      // noise draws (which seed-pinned tests depend on).
+      outbox_(outboxConfigFor(config),
+              Rng(0xca0c'b0c5'0000'0000ull + config.readerId), &registry_) {
   // The road-parallel pair drives the tracker's cos(alpha) feed.
   double bestAlign = -1.0;
   for (std::size_t p = 0; p < aoa_.geometry().pairs.size(); ++p) {
@@ -102,9 +131,10 @@ void ReaderDaemon::measurementWindow(double now) {
                     {"estimate", count.estimate},
                     {"multi_bins", multiBins}});
   }
-  batcher_.add(net::Message{net::CountReport{
+  outbox_.add(net::Message{net::CountReport{
       config_.readerId, clock_.localTime(now),
       static_cast<std::uint32_t>(count.estimate)}});
+  countsReportedCtr_.inc();
 
   // Observe: the tracker gets one update per window, built from the
   // counter's vetoed spike list (its variance/shape tests reject the
@@ -161,7 +191,8 @@ void ReaderDaemon::measurementWindow(double now) {
     sighting.cfoHz = track.cfoHz;
     sighting.pairIndex = static_cast<std::uint32_t>(roadPair_);
     sighting.angleRad = std::acos(std::clamp(track.cosAlpha, -1.0, 1.0));
-    batcher_.add(net::Message{sighting});
+    outbox_.add(net::Message{sighting});
+    sightingsReportedCtr_.inc();
   }
   }  // observe span
 
@@ -192,7 +223,7 @@ void ReaderDaemon::measurementWindow(double now) {
         report.cfoHz = target->cfoHz;
         report.id = *id;
         decoded_.push_back(report);
-        batcher_.add(net::Message{report});
+        outbox_.add(net::Message{report});
         decodedIdsCtr_.inc();
         decodedId = true;
         break;
@@ -208,6 +239,86 @@ void ReaderDaemon::measurementWindow(double now) {
   }
 
   measurementsCtr_.inc();
+}
+
+void ReaderDaemon::attachUplink(net::UplinkLink* tx, net::UplinkLink* ackRx) {
+  uplinkTx_ = tx;
+  ackRx_ = ackRx;
+}
+
+void ReaderDaemon::pumpUplink(double now) {
+  // Drain acks that arrived over the downlink since the last tick.
+  if (ackRx_ != nullptr)
+    for (const auto& frame : ackRx_->deliver(now))
+      outbox_.onAckFrame(frame, now);
+
+  // Seal the open batch on the flush period (footnote 15: batch, then
+  // wake the modem once).
+  if (now >= nextUplink_ && outbox_.openMessages() > 0) {
+    outbox_.seal(now);
+    nextUplink_ = now + config_.uplinkPeriodSec;
+  }
+
+  // Transmit everything due: freshly sealed batches and expired-backoff
+  // retries. One modem wake covers the burst.
+  const auto transmissions = outbox_.collectTransmissions(now);
+  if (!transmissions.empty()) {
+    std::size_t bytes = 0;
+    for (const auto& tx : transmissions) bytes += tx.frame.size();
+    uplinkBytesCtr_.inc(bytes);
+    uplinkFlushesCtr_.inc();
+    // Modem burst: air time at ~1 Mbps plus wake overhead.
+    const double airSec = net::batchAirTimeSec(bytes, 1e6) + 0.02;
+    energyGauge_.add(config_.power.modemBurstWatts * airSec);
+    if (obs::eventsAttached())
+      obs::emitEvent("daemon.uplink_flush",
+                     {{"t", now},
+                      {"reader_id", config_.readerId},
+                      {"bytes", bytes},
+                      {"frames", transmissions.size()}});
+    for (const auto& tx : transmissions) {
+      if (tx.attempt > 1) {
+        uplinkRetriesCtr_.inc();
+        if (obs::eventsAttached())
+          obs::emitEvent("daemon.uplink_retry",
+                         {{"t", now},
+                          {"reader_id", config_.readerId},
+                          {"seq", tx.seq},
+                          {"attempt", tx.attempt}});
+      }
+      if (uplinkTx_ != nullptr) {
+        uplinkTx_->send(tx.frame, now);
+      } else {
+        // Fire-and-forget legacy mode: hand the frame to takeUplink()
+        // and treat it as delivered (no retransmission without a link).
+        uplink_.push_back(tx.frame);
+        outbox_.onAck(tx.seq, now);
+      }
+    }
+  }
+
+  updateHealth(now);
+}
+
+void ReaderDaemon::updateHealth(double now) {
+  const std::size_t failures = outbox_.consecutiveFailures();
+  UplinkHealth next = UplinkHealth::kHealthy;
+  if (failures >= config_.downAfterFailures)
+    next = UplinkHealth::kUplinkDown;
+  else if (failures >= config_.degradedAfterFailures)
+    next = UplinkHealth::kDegraded;
+  if (next == health_) return;
+  const UplinkHealth previous = health_;
+  health_ = next;
+  healthGauge_.set(static_cast<double>(static_cast<int>(next)));
+  healthChangesCtr_.inc();
+  if (obs::eventsAttached())
+    obs::emitEvent("daemon.health_change",
+                   {{"t", now},
+                    {"reader_id", config_.readerId},
+                    {"from", uplinkHealthName(previous)},
+                    {"to", uplinkHealthName(next)},
+                    {"consecutive_failures", failures}});
 }
 
 void ReaderDaemon::runUntil(double untilTime) {
@@ -226,23 +337,7 @@ void ReaderDaemon::runUntil(double untilTime) {
 
     measurementWindow(now);
 
-    if (now >= nextUplink_ && batcher_.pending() > 0) {
-      const std::size_t bytes = batcher_.byteSize();
-      const std::size_t messages = batcher_.pending();
-      // Modem burst: air time at ~1 Mbps plus wake overhead.
-      const double airSec = net::batchAirTimeSec(bytes, 1e6) + 0.02;
-      energyGauge_.add(config_.power.modemBurstWatts * airSec);
-      uplinkBytesCtr_.inc(bytes);
-      uplinkFlushesCtr_.inc();
-      if (obs::eventsAttached())
-        obs::emitEvent("daemon.uplink_flush",
-                       {{"t", now},
-                        {"reader_id", config_.readerId},
-                        {"bytes", bytes},
-                        {"messages", messages}});
-      uplink_.push_back(batcher_.flush());
-      nextUplink_ = now + config_.uplinkPeriodSec;
-    }
+    pumpUplink(now);
 
     // Sleep until the next measurement.
     energyGauge_.add(config_.power.sleepWatts * config_.measurementPeriodSec);
@@ -257,6 +352,7 @@ const DaemonStats& ReaderDaemon::stats() const {
   statsView_.decodedIds = decodedIdsCtr_.value();
   statsView_.uplinkFlushes = uplinkFlushesCtr_.value();
   statsView_.uplinkBytes = uplinkBytesCtr_.value();
+  statsView_.uplinkRetries = uplinkRetriesCtr_.value();
   statsView_.energyJoules = energyGauge_.value();
   return statsView_;
 }

@@ -18,11 +18,24 @@
 #include "core/tracker.hpp"
 #include "net/clock.hpp"
 #include "net/framing.hpp"
+#include "net/link.hpp"
+#include "net/outbox.hpp"
 #include "obs/metrics.hpp"
 #include "power/model.hpp"
 #include "sim/scene.hpp"
 
 namespace caraoke::apps {
+
+/// Uplink health as seen by the daemon's watchdog, driven by consecutive
+/// unacknowledged retransmissions.
+enum class UplinkHealth {
+  kHealthy = 0,
+  kDegraded = 1,    ///< Retries happening, but recent enough to recover.
+  kUplinkDown = 2,  ///< Sustained failure: modem/backhaul presumed dead.
+};
+
+/// Human-readable health-state name (for events and logs).
+const char* uplinkHealthName(UplinkHealth health);
 
 /// Daemon configuration.
 struct ReaderDaemonConfig {
@@ -39,11 +52,18 @@ struct ReaderDaemonConfig {
   /// combines) per active window, spent on the strongest unidentified
   /// track.
   std::size_t decodeCollisionsPerWindow = 4;
+  /// Watchdog: consecutive unacked retransmissions before the uplink is
+  /// reported degraded / down.
+  std::size_t degradedAfterFailures = 3;
+  std::size_t downAfterFailures = 8;
 
   core::MultiQueryCounterConfig counter{};
   core::TrackerConfig tracker{};
   core::DecoderConfig decoder{};
   power::PowerProfile power{};
+  /// Store-and-forward uplink queue tuning. readerId and metricsPrefix
+  /// are overridden by the daemon (readerId above; "daemon.outbox").
+  net::OutboxConfig outbox{};
 };
 
 /// Cumulative operating statistics.
@@ -58,6 +78,7 @@ struct DaemonStats {
   std::size_t decodedIds = 0;
   std::size_t uplinkFlushes = 0;
   std::size_t uplinkBytes = 0;
+  std::size_t uplinkRetries = 0;
   double energyJoules = 0.0;
 
   /// Average electrical power over the run.
@@ -78,9 +99,24 @@ class ReaderDaemon {
   /// every measurement/uplink/sync due in between.
   void runUntil(double untilTime);
 
+  /// Route uplink traffic through a lossy link pair: `tx` carries batch
+  /// frames toward the backend, `ackRx` carries acks back. Both pointers
+  /// are non-owning and must outlive the daemon (or be detached with
+  /// nullptrs). Without links attached, flushed batches land in
+  /// takeUplink() and are treated as delivered (fire-and-forget legacy
+  /// mode — no retries).
+  void attachUplink(net::UplinkLink* tx, net::UplinkLink* ackRx);
+
   /// Batches flushed since the last call (wire bytes, ready for
-  /// net::decodeBatch / Backend::ingest).
+  /// net::decodeBatch / Backend::ingestBatch). Only populated when no
+  /// uplink link is attached.
   std::vector<std::vector<std::uint8_t>> takeUplink();
+
+  /// Watchdog state of the uplink path.
+  UplinkHealth health() const { return health_; }
+
+  /// The store-and-forward queue (pending batches, retry state).
+  const net::Outbox& outbox() const { return outbox_; }
 
   /// Cumulative stats, materialized from the telemetry registry on each
   /// call (see DaemonStats).
@@ -101,6 +137,8 @@ class ReaderDaemon {
  private:
   void measurementWindow(double now);
   void accountActive(double activeSec);
+  void pumpUplink(double now);
+  void updateHealth(double now);
 
   ReaderDaemonConfig config_;
   sim::Scene& scene_;
@@ -112,7 +150,9 @@ class ReaderDaemon {
   core::AoaEstimator aoa_;
   std::size_t roadPair_ = 0;
   net::ReaderClock clock_;
-  net::FrameBatcher batcher_;
+  net::UplinkLink* uplinkTx_ = nullptr;
+  net::UplinkLink* ackRx_ = nullptr;
+  UplinkHealth health_ = UplinkHealth::kHealthy;
   std::vector<std::vector<std::uint8_t>> uplink_;
   std::vector<net::DecodeReport> decoded_;
   /// Per-track decode state: tracks already identified (by track id).
@@ -125,8 +165,16 @@ class ReaderDaemon {
   obs::Counter& decodedIdsCtr_;
   obs::Counter& uplinkFlushesCtr_;
   obs::Counter& uplinkBytesCtr_;
+  obs::Counter& uplinkRetriesCtr_;
+  obs::Counter& sightingsReportedCtr_;
+  obs::Counter& countsReportedCtr_;
+  obs::Counter& healthChangesCtr_;
+  obs::Gauge& healthGauge_;
   obs::Gauge& energyGauge_;
   obs::Histogram& windowSec_;
+  /// Store-and-forward uplink queue. Declared after registry_ because its
+  /// metrics live there (daemon.outbox.*).
+  net::Outbox outbox_;
   mutable DaemonStats statsView_;
   double now_ = 0.0;
   double nextMeasurement_ = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/outbox.hpp"
 #include "obs/metrics.hpp"
 
 namespace caraoke::net {
@@ -21,6 +22,20 @@ struct BackendMetrics {
   obs::Counter& decodes =
       obs::globalRegistry().counter("net.backend.decode_reports");
   obs::Counter& fixes = obs::globalRegistry().counter("net.backend.fixes_fused");
+  obs::Counter& batches =
+      obs::globalRegistry().counter("net.backend.batches_ingested");
+  obs::Counter& batchErrors =
+      obs::globalRegistry().counter("net.backend.batch_errors");
+  obs::Counter& duplicateBatches =
+      obs::globalRegistry().counter("net.backend.duplicate_batches");
+  obs::Counter& salvagedDrops =
+      obs::globalRegistry().counter("net.backend.salvaged_message_drops");
+  obs::Counter& gapsOpened =
+      obs::globalRegistry().counter("net.backend.seq_gaps_opened");
+  obs::Counter& gapsFilled =
+      obs::globalRegistry().counter("net.backend.seq_gaps_filled");
+  obs::Counter& acksSent =
+      obs::globalRegistry().counter("net.backend.acks_sent");
 };
 
 BackendMetrics& backendMetrics() {
@@ -46,6 +61,65 @@ caraoke::Result<bool> Backend::ingestFrame(
   backendMetrics().frames.inc();
   ingest(decoded.value());
   return true;
+}
+
+caraoke::Result<BatchIngestStats> Backend::ingestBatch(
+    const std::vector<std::uint8_t>& frame) {
+  using R = caraoke::Result<BatchIngestStats>;
+  auto decoded = decodeBatch(frame, BatchDecodePolicy::kSalvage);
+  if (!decoded.ok()) {
+    backendMetrics().batchErrors.inc();
+    return R::failure(decoded.error());
+  }
+  const DecodedBatch& batch = decoded.value();
+  BatchIngestStats stats;
+  stats.droppedMessages = batch.droppedMessages;
+  if (batch.droppedMessages > 0)
+    backendMetrics().salvagedDrops.inc(batch.droppedMessages);
+
+  if (batch.hasHeader) {
+    stats.readerId = batch.header.readerId;
+    stats.seq = batch.header.seq;
+    stats.hasAck = true;
+    stats.ack = encodeAck({batch.header.readerId, batch.header.seq});
+    backendMetrics().acksSent.inc();
+
+    ReaderSeqState& state = seqState_[batch.header.readerId];
+    if (state.seen.count(batch.header.seq) > 0) {
+      // Retransmission of a batch we already have: re-ack, ingest nothing.
+      stats.deduplicated = true;
+      backendMetrics().duplicateBatches.inc();
+      return stats;
+    }
+    state.seen.insert(batch.header.seq);
+    if (batch.header.seq > state.maxSeq) {
+      const std::uint32_t expected = state.maxSeq + 1;
+      if (batch.header.seq > expected)
+        backendMetrics().gapsOpened.inc(batch.header.seq - expected);
+      state.maxSeq = batch.header.seq;
+    } else {
+      // Out-of-order arrival below the high-water mark fills a gap.
+      backendMetrics().gapsFilled.inc();
+    }
+  }
+
+  for (const auto& message : batch.messages) {
+    ingest(message);
+    ++stats.accepted;
+  }
+  backendMetrics().batches.inc();
+  return stats;
+}
+
+std::size_t Backend::gapCount(std::uint32_t readerId) const {
+  const auto it = seqState_.find(readerId);
+  if (it == seqState_.end()) return 0;
+  return static_cast<std::size_t>(it->second.maxSeq) - it->second.seen.size();
+}
+
+std::uint32_t Backend::highestSeq(std::uint32_t readerId) const {
+  const auto it = seqState_.find(readerId);
+  return it == seqState_.end() ? 0 : it->second.maxSeq;
 }
 
 void Backend::ingest(const Message& message) {

@@ -9,10 +9,12 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/aoa.hpp"
 #include "core/localizer.hpp"
+#include "net/framing.hpp"
 #include "net/message.hpp"
 
 namespace caraoke::net {
@@ -41,6 +43,19 @@ struct BackendConfig {
   std::vector<double> preferredRowsY{};
 };
 
+/// Outcome of ingesting one uplink batch frame.
+struct BatchIngestStats {
+  std::uint32_t readerId = 0;
+  std::uint32_t seq = 0;
+  /// The batch's seq was already seen: nothing ingested (the ack is
+  /// still regenerated — the reader clearly missed the first one).
+  bool deduplicated = false;
+  std::size_t accepted = 0;         ///< Messages ingested.
+  std::size_t droppedMessages = 0;  ///< Undecodable inner messages skipped.
+  bool hasAck = false;              ///< v2 frames always get an ack.
+  std::vector<std::uint8_t> ack;    ///< Send this back to the reader.
+};
+
 /// Collects reports and produces fused fixes.
 class Backend {
  public:
@@ -52,6 +67,16 @@ class Backend {
 
   /// Ingest a framed message (as received from the modem link).
   caraoke::Result<bool> ingestFrame(const std::vector<std::uint8_t>& frame);
+
+  /// Ingest one uplink batch frame from the lossy link. Hardened: inner
+  /// messages that fail to decode are skipped (salvage), v2 envelopes are
+  /// deduplicated by (readerId, seq) so retransmissions never double-count,
+  /// out-of-order arrival is tolerated, and sequence gaps are accounted.
+  /// Fails only when the whole frame is unusable (bad magic, CRC
+  /// mismatch) — no ack is generated then, which is what triggers the
+  /// reader's retransmission.
+  caraoke::Result<BatchIngestStats> ingestBatch(
+      const std::vector<std::uint8_t>& frame);
 
   /// Ingest an already-decoded message.
   void ingest(const Message& message);
@@ -67,11 +92,29 @@ class Backend {
   /// Decoded identities seen so far.
   const std::vector<DecodeReport>& decodes() const { return decodes_; }
 
+  /// Sightings currently buffered (not yet fused or expired).
+  const std::vector<SightingReport>& sightings() const { return sightings_; }
+
   std::size_t pendingSightings() const { return sightings_.size(); }
 
+  /// Sequence numbers from this reader still missing below its highest
+  /// seen seq (a drop not yet repaired by retransmission). Zero once the
+  /// link heals and the outbox drains.
+  std::size_t gapCount(std::uint32_t readerId) const;
+
+  /// Highest batch seq seen from a reader (0 = none yet).
+  std::uint32_t highestSeq(std::uint32_t readerId) const;
+
  private:
+  /// Per-reader uplink sequence accounting.
+  struct ReaderSeqState {
+    std::set<std::uint32_t> seen;
+    std::uint32_t maxSeq = 0;
+  };
+
   BackendConfig config_;
   std::map<std::uint32_t, core::ArrayGeometry> readers_;
+  std::map<std::uint32_t, ReaderSeqState> seqState_;
   std::vector<SightingReport> sightings_;
   std::vector<CountReport> counts_;
   std::vector<DecodeReport> decodes_;

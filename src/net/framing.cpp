@@ -1,5 +1,9 @@
 #include "net/framing.hpp"
 
+#include <span>
+
+#include "phy/crc.hpp"
+
 namespace caraoke::net {
 
 void FrameBatcher::add(const Message& message) {
@@ -12,51 +16,143 @@ std::size_t FrameBatcher::byteSize() const {
   return size;
 }
 
+namespace {
+
+void appendEntries(std::vector<std::uint8_t>& out,
+                   const std::vector<std::vector<std::uint8_t>>& encoded) {
+  for (const auto& m : encoded) {
+    const auto len = static_cast<std::uint16_t>(m.size());
+    out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.insert(out.end(), m.begin(), m.end());
+  }
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> FrameBatcher::flush() {
+  if (encoded_.empty()) return {};
   ByteWriter writer;
   writer.u16(kMagic);
   writer.u16(static_cast<std::uint16_t>(encoded_.size()));
   std::vector<std::uint8_t> out = writer.bytes();
-  for (const auto& m : encoded_) {
-    ByteWriter lenWriter;
-    lenWriter.u16(static_cast<std::uint16_t>(m.size()));
-    out.insert(out.end(), lenWriter.bytes().begin(), lenWriter.bytes().end());
-    out.insert(out.end(), m.begin(), m.end());
-  }
+  appendEntries(out, encoded_);
   encoded_.clear();
   return out;
 }
 
-caraoke::Result<std::vector<Message>> decodeBatch(
-    const std::vector<std::uint8_t>& bytes) {
-  using R = caraoke::Result<std::vector<Message>>;
-  ByteReader reader(bytes);
-  std::uint16_t magic = 0, count = 0;
-  if (!reader.u16(magic) || magic != FrameBatcher::kMagic)
-    return R::failure("bad batch magic");
-  if (!reader.u16(count)) return R::failure("truncated batch header");
+namespace {
 
-  // Re-walk the buffer manually for the variable-length payloads.
-  std::size_t cursor = 4;
-  std::vector<Message> messages;
+std::vector<std::uint8_t> encodeEnvelope(
+    const BatchHeader& header,
+    const std::vector<std::vector<std::uint8_t>>& encoded) {
+  ByteWriter writer;
+  writer.u16(FrameBatcher::kMagicV2);
+  writer.u32(header.readerId);
+  writer.u32(header.seq);
+  writer.u16(static_cast<std::uint16_t>(encoded.size()));
+  std::vector<std::uint8_t> out = writer.bytes();
+  appendEntries(out, encoded);
+  const std::uint32_t crc = phy::crc32(out);
+  ByteWriter trailer;
+  trailer.u32(crc);
+  out.insert(out.end(), trailer.bytes().begin(), trailer.bytes().end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> FrameBatcher::flush(const BatchHeader& header) {
+  if (encoded_.empty()) return {};
+  auto out = encodeEnvelope(header, encoded_);
+  encoded_.clear();
+  return out;
+}
+
+std::vector<std::uint8_t> encodeBatchV2(const BatchHeader& header,
+                                        const std::vector<Message>& messages) {
+  std::vector<std::vector<std::uint8_t>> encoded;
+  encoded.reserve(messages.size());
+  for (const auto& m : messages) encoded.push_back(encodeMessage(m));
+  return encodeEnvelope(header, encoded);
+}
+
+caraoke::Result<DecodedBatch> decodeBatch(const std::vector<std::uint8_t>& bytes,
+                                          BatchDecodePolicy policy) {
+  using R = caraoke::Result<DecodedBatch>;
+  const bool strict = policy == BatchDecodePolicy::kStrict;
+  if (bytes.size() < 4) return R::failure("truncated batch header");
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+
+  DecodedBatch out;
+  std::size_t cursor = 2;
+  std::size_t end = bytes.size();
+  std::uint16_t count = 0;
+  if (magic == FrameBatcher::kMagicV2) {
+    // Envelope: readerId + seq after the magic, crc32 trailer at the end.
+    if (bytes.size() < 16) return R::failure("truncated batch header");
+    const std::uint32_t stored =
+        static_cast<std::uint32_t>(bytes[bytes.size() - 4]) |
+        (static_cast<std::uint32_t>(bytes[bytes.size() - 3]) << 8) |
+        (static_cast<std::uint32_t>(bytes[bytes.size() - 2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[bytes.size() - 1]) << 24);
+    const std::uint32_t computed = phy::crc32(
+        std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+    if (stored != computed) return R::failure("batch crc mismatch");
+    auto u32At = [&](std::size_t at) {
+      return static_cast<std::uint32_t>(bytes[at]) |
+             (static_cast<std::uint32_t>(bytes[at + 1]) << 8) |
+             (static_cast<std::uint32_t>(bytes[at + 2]) << 16) |
+             (static_cast<std::uint32_t>(bytes[at + 3]) << 24);
+    };
+    out.hasHeader = true;
+    out.header.readerId = u32At(2);
+    out.header.seq = u32At(6);
+    count = static_cast<std::uint16_t>(bytes[10] | (bytes[11] << 8));
+    cursor = 12;
+    end = bytes.size() - 4;
+  } else if (magic == FrameBatcher::kMagic) {
+    count = static_cast<std::uint16_t>(bytes[2] | (bytes[3] << 8));
+    cursor = 4;
+  } else {
+    return R::failure("bad batch magic");
+  }
+
   for (std::uint16_t i = 0; i < count; ++i) {
-    if (cursor + 2 > bytes.size()) return R::failure("truncated batch");
-    const std::size_t len = bytes[cursor] |
-                            (static_cast<std::size_t>(bytes[cursor + 1])
-                             << 8);
+    if (cursor + 2 > end) {
+      if (strict) return R::failure("truncated batch");
+      out.droppedMessages += static_cast<std::size_t>(count - i);
+      cursor = end;
+      break;
+    }
+    const std::size_t len =
+        bytes[cursor] | (static_cast<std::size_t>(bytes[cursor + 1]) << 8);
     cursor += 2;
-    if (cursor + len > bytes.size()) return R::failure("truncated message");
+    if (cursor + len > end) {
+      if (strict) return R::failure("truncated message");
+      out.droppedMessages += static_cast<std::size_t>(count - i);
+      cursor = end;
+      break;
+    }
     std::vector<std::uint8_t> inner(bytes.begin() + static_cast<long>(cursor),
                                     bytes.begin() +
                                         static_cast<long>(cursor + len));
     cursor += len;
     auto decoded = decodeMessage(inner);
-    if (!decoded.ok())
-      return R::failure("bad inner message: " + decoded.error());
-    messages.push_back(decoded.value());
+    if (!decoded.ok()) {
+      if (strict)
+        return R::failure("bad inner message: " + decoded.error());
+      ++out.droppedMessages;
+      continue;
+    }
+    out.messages.push_back(decoded.value());
   }
-  if (cursor != bytes.size()) return R::failure("trailing bytes in batch");
-  return messages;
+  if (cursor != end) {
+    if (strict) return R::failure("trailing bytes in batch");
+    ++out.droppedMessages;  // unclaimed fragment: something was lost
+  }
+  return out;
 }
 
 double batchAirTimeSec(std::size_t batchBytes, double uplinkBitsPerSec) {

@@ -2,8 +2,18 @@
 // kbits per query and keeps the LTE modem asleep most of the time by
 // batching many messages into one transmission burst.
 //
-// Batch wire format (little-endian):
-//   [magic u16 = 0xCA0C] [count u16] { [len u16] [message bytes] } x count
+// Batch wire formats (little-endian):
+//   v1 (magic 0xCA0C):
+//     [magic u16] [count u16] { [len u16] [message bytes] } x count
+//   v2 (magic 0xCA0D):
+//     [magic u16] [readerId u32] [seq u32] [count u16]
+//     { [len u16] [message bytes] } x count [crc32 u32]
+//
+// v2 adds the store-and-forward envelope (reader id + per-batch sequence
+// number, so the backend can ack, dedup retransmissions, and account for
+// gaps) and a CRC-32 trailer over everything before it, so bit corruption
+// on the lossy uplink is *detected* rather than discovered by parse luck.
+// Decoders accept both versions; v1 remains for pre-envelope peers.
 #pragma once
 
 #include <vector>
@@ -11,6 +21,13 @@
 #include "net/message.hpp"
 
 namespace caraoke::net {
+
+/// v2 envelope header: who sent the batch and where it sits in that
+/// reader's sequence space (seq starts at 1 and increments per batch).
+struct BatchHeader {
+  std::uint32_t readerId = 0;
+  std::uint32_t seq = 0;
+};
 
 /// Accumulates messages and emits them as one framed batch.
 class FrameBatcher {
@@ -21,23 +38,66 @@ class FrameBatcher {
   /// Messages currently queued.
   std::size_t pending() const { return encoded_.size(); }
 
-  /// Bytes the next flush would transmit (including batch header).
+  /// Bytes the next legacy flush() would transmit (including batch
+  /// header). Add kEnvelopeOverheadBytes for the v2 flush(header) form.
   std::size_t byteSize() const;
 
-  /// Serialize everything queued and clear the queue.
+  /// Serialize everything queued as a legacy v1 frame and clear the
+  /// queue. An empty queue yields an empty vector (nothing to send), not
+  /// a header-only batch.
   std::vector<std::uint8_t> flush();
 
-  /// The batch magic number.
+  /// Serialize everything queued as a v2 envelope frame (header +
+  /// CRC-32 trailer) and clear the queue. Empty queue -> empty vector.
+  std::vector<std::uint8_t> flush(const BatchHeader& header);
+
+  /// The legacy batch magic number.
   static constexpr std::uint16_t kMagic = 0xCA0C;
+  /// The envelope (v2) batch magic number.
+  static constexpr std::uint16_t kMagicV2 = 0xCA0D;
+  /// Extra bytes a v2 frame carries over v1: readerId + seq + crc32.
+  static constexpr std::size_t kEnvelopeOverheadBytes = 12;
 
  private:
   std::vector<std::vector<std::uint8_t>> encoded_;
 };
 
-/// Parse a batch back into messages. Fails on bad magic, truncation, or
-/// any undecodable inner message.
-caraoke::Result<std::vector<Message>> decodeBatch(
-    const std::vector<std::uint8_t>& bytes);
+/// Encode a v2 envelope frame directly from messages. Unlike
+/// FrameBatcher::flush, an empty message list is legal and yields a
+/// count=0 frame — the store-and-forward outbox uses this to keep a
+/// reader's sequence space dense when shedding empties a batch.
+std::vector<std::uint8_t> encodeBatchV2(const BatchHeader& header,
+                                        const std::vector<Message>& messages);
+
+/// How decodeBatch treats a batch whose envelope parsed but whose inner
+/// messages are damaged.
+enum class BatchDecodePolicy {
+  /// Skip undecodable inner messages, return the siblings that parsed
+  /// plus a count of what was lost (the production posture: one corrupt
+  /// message must not destroy the rest of the batch).
+  kSalvage,
+  /// Any inner damage fails the whole batch (the pre-robustness
+  /// behaviour, kept for tests that want to assert it).
+  kStrict,
+};
+
+/// What decodeBatch recovered.
+struct DecodedBatch {
+  std::vector<Message> messages;
+  /// Inner messages (or trailing fragments) that could not be decoded
+  /// and were skipped. Always 0 in strict mode (damage fails instead).
+  std::size_t droppedMessages = 0;
+  /// True for v2 frames; header then carries readerId/seq.
+  bool hasHeader = false;
+  BatchHeader header{};
+};
+
+/// Parse a batch (either wire version) back into messages. Fails on bad
+/// magic, a truncated header, or a CRC-32 mismatch (v2); inner-message
+/// damage is salvaged or fatal per the policy.
+caraoke::Result<DecodedBatch> decodeBatch(
+    const std::vector<std::uint8_t>& bytes,
+    BatchDecodePolicy policy = BatchDecodePolicy::kSalvage);
 
 /// Modem air-time estimate for a batch at a given uplink rate [bit/s] —
 /// the quantity the §12.5 footnote's duty-cycling argument depends on.

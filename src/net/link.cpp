@@ -1,0 +1,111 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace caraoke::net {
+
+namespace {
+
+struct LinkMetrics {
+  obs::Counter& sent = obs::globalRegistry().counter("net.link.sent");
+  obs::Counter& dropped = obs::globalRegistry().counter("net.link.dropped");
+  obs::Counter& outageDrops =
+      obs::globalRegistry().counter("net.link.outage_drops");
+  obs::Counter& corrupted =
+      obs::globalRegistry().counter("net.link.corrupted");
+  obs::Counter& duplicated =
+      obs::globalRegistry().counter("net.link.duplicated");
+  obs::Counter& delivered =
+      obs::globalRegistry().counter("net.link.delivered");
+};
+
+LinkMetrics& linkMetrics() {
+  static LinkMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+UplinkLink::UplinkLink(LinkConfig config, Rng rng, FaultPlan plan)
+    : config_(config), rng_(rng), plan_(std::move(plan)) {}
+
+void UplinkLink::enqueue(std::vector<std::uint8_t> frame, double now,
+                         bool duplicate) {
+  InFlightFrame f;
+  f.arrivalSec = now + config_.latencyMeanSec +
+                 (config_.latencyJitterSec > 0.0
+                      ? rng_.uniform(0.0, config_.latencyJitterSec)
+                      : 0.0);
+  if (!duplicate && rng_.chance(config_.reorderProbability)) {
+    f.arrivalSec += config_.reorderHoldbackFactor * config_.latencyMeanSec;
+    ++stats_.reordered;
+  }
+  f.sendIndex = sendCounter_++;
+  f.frame = std::move(frame);
+  inFlight_.push_back(std::move(f));
+}
+
+void UplinkLink::send(std::vector<std::uint8_t> frame, double now) {
+  ++stats_.sent;
+  linkMetrics().sent.inc();
+  if (plan_.outageActive(now)) {
+    ++stats_.outageDrops;
+    linkMetrics().outageDrops.inc();
+    return;
+  }
+  if (rng_.chance(config_.dropProbability)) {
+    ++stats_.dropped;
+    linkMetrics().dropped.inc();
+    return;
+  }
+  if (config_.bitFlipPerBit > 0.0) {
+    bool flipped = false;
+    for (auto& byte : frame) {
+      for (int bit = 0; bit < 8; ++bit) {
+        if (rng_.chance(config_.bitFlipPerBit)) {
+          byte ^= static_cast<std::uint8_t>(1u << bit);
+          flipped = true;
+        }
+      }
+    }
+    if (flipped) {
+      ++stats_.corrupted;
+      linkMetrics().corrupted.inc();
+    }
+  }
+  const bool duplicate = rng_.chance(config_.duplicateProbability);
+  if (duplicate) {
+    ++stats_.duplicated;
+    linkMetrics().duplicated.inc();
+    enqueue(frame, now, /*duplicate=*/true);
+  }
+  enqueue(std::move(frame), now, /*duplicate=*/false);
+}
+
+std::vector<std::vector<std::uint8_t>> UplinkLink::deliver(double now) {
+  std::vector<InFlightFrame> due;
+  std::vector<InFlightFrame> later;
+  for (auto& f : inFlight_) {
+    if (f.arrivalSec <= now)
+      due.push_back(std::move(f));
+    else
+      later.push_back(std::move(f));
+  }
+  inFlight_ = std::move(later);
+  std::sort(due.begin(), due.end(),
+            [](const InFlightFrame& a, const InFlightFrame& b) {
+              if (a.arrivalSec != b.arrivalSec)
+                return a.arrivalSec < b.arrivalSec;
+              return a.sendIndex < b.sendIndex;
+            });
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(due.size());
+  for (auto& f : due) out.push_back(std::move(f.frame));
+  stats_.delivered += out.size();
+  linkMetrics().delivered.inc(out.size());
+  return out;
+}
+
+}  // namespace caraoke::net

@@ -1,0 +1,104 @@
+// Lossy uplink channel model: the simulated LTE hop between a reader and
+// the backend.
+//
+// Real vehicular links drop, corrupt, duplicate, reorder, and delay
+// frames; the paper's readers report over exactly such a duty-cycled
+// cellular modem (§10, footnote 15). UplinkLink models one direction of
+// that channel deterministically (all randomness comes from the injected
+// Rng, so chaos runs replay bit-for-bit), and a FaultPlan lets tests
+// script hard outages ("drop everything in [t1, t2)") on top of the
+// steady-state loss process.
+//
+// Usage: `send(frame, now)` enqueues a frame through the loss/latency
+// process; `deliver(now)` returns everything that has arrived by `now`,
+// in arrival order. A reader<->backend pair uses two instances: one for
+// data uplink, one for the ack downlink.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace caraoke::net {
+
+/// Steady-state channel impairments. Probabilities are per frame except
+/// bitFlipPerBit, which is per transmitted bit.
+struct LinkConfig {
+  double dropProbability = 0.0;       ///< Frame vanishes entirely.
+  double bitFlipPerBit = 0.0;         ///< Independent bit-corruption rate.
+  double duplicateProbability = 0.0;  ///< Frame also arrives a second time.
+  double reorderProbability = 0.0;    ///< Frame is held back extra long.
+  double latencyMeanSec = 0.05;       ///< Base one-way delay.
+  double latencyJitterSec = 0.02;     ///< Uniform extra delay in [0, j).
+  /// Held-back (reordered) frames get this many extra latency means.
+  double reorderHoldbackFactor = 3.0;
+};
+
+/// A scripted total outage: every frame sent with startSec <= t < endSec
+/// is dropped, regardless of the steady-state drop rate.
+struct FaultWindow {
+  double startSec = 0.0;
+  double endSec = 0.0;
+};
+
+/// Outage schedule for scripting chaos scenarios.
+struct FaultPlan {
+  std::vector<FaultWindow> outages;
+
+  bool outageActive(double t) const {
+    for (const auto& w : outages)
+      if (t >= w.startSec && t < w.endSec) return true;
+    return false;
+  }
+};
+
+/// Per-instance delivery statistics (the aggregate view also lands in the
+/// global obs registry under net.link.*).
+struct LinkStats {
+  std::uint64_t sent = 0;        ///< Frames handed to send().
+  std::uint64_t dropped = 0;     ///< Random drops.
+  std::uint64_t outageDrops = 0; ///< Drops forced by the fault plan.
+  std::uint64_t corrupted = 0;   ///< Frames with >= 1 flipped bit.
+  std::uint64_t duplicated = 0;  ///< Extra copies injected.
+  std::uint64_t reordered = 0;   ///< Frames held back past later sends.
+  std::uint64_t delivered = 0;   ///< Frames returned by deliver().
+};
+
+/// One direction of a lossy, delayed frame pipe.
+class UplinkLink {
+ public:
+  UplinkLink(LinkConfig config, Rng rng, FaultPlan plan = {});
+
+  /// Push a frame into the channel at time `now`.
+  void send(std::vector<std::uint8_t> frame, double now);
+
+  /// Frames that have arrived by `now`, in arrival order; each is
+  /// returned exactly once.
+  std::vector<std::vector<std::uint8_t>> deliver(double now);
+
+  /// Frames in the pipe that have not been delivered yet.
+  std::size_t inFlight() const { return inFlight_.size(); }
+
+  const LinkStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+  FaultPlan& plan() { return plan_; }
+
+ private:
+  struct InFlightFrame {
+    double arrivalSec = 0.0;
+    std::uint64_t sendIndex = 0;  ///< Tie-break: FIFO for equal arrivals.
+    std::vector<std::uint8_t> frame;
+  };
+
+  void enqueue(std::vector<std::uint8_t> frame, double now, bool duplicate);
+
+  LinkConfig config_;
+  Rng rng_;
+  FaultPlan plan_;
+  std::vector<InFlightFrame> inFlight_;
+  std::uint64_t sendCounter_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace caraoke::net

@@ -1,0 +1,204 @@
+#include "net/outbox.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "phy/crc.hpp"
+
+namespace caraoke::net {
+
+std::vector<std::uint8_t> encodeAck(const Ack& ack) {
+  ByteWriter w;
+  w.u16(kAckMagic);
+  w.u32(ack.readerId);
+  w.u32(ack.seq);
+  std::vector<std::uint8_t> out = w.bytes();
+  const std::uint32_t crc = phy::crc32(out);
+  ByteWriter trailer;
+  trailer.u32(crc);
+  out.insert(out.end(), trailer.bytes().begin(), trailer.bytes().end());
+  return out;
+}
+
+caraoke::Result<Ack> decodeAck(const std::vector<std::uint8_t>& bytes) {
+  using R = caraoke::Result<Ack>;
+  if (bytes.size() != 14) return R::failure("bad ack length");
+  ByteReader r(bytes);
+  std::uint16_t magic = 0;
+  Ack ack;
+  std::uint32_t storedCrc = 0;
+  if (!r.u16(magic) || magic != kAckMagic) return R::failure("bad ack magic");
+  if (!r.u32(ack.readerId) || !r.u32(ack.seq) || !r.u32(storedCrc))
+    return R::failure("truncated ack");
+  const std::uint32_t computed =
+      phy::crc32(std::span<const std::uint8_t>(bytes.data(), 10));
+  if (storedCrc != computed) return R::failure("ack crc mismatch");
+  return ack;
+}
+
+namespace {
+
+std::string prefixed(const std::string& prefix, const char* name) {
+  return prefix + "." + name;
+}
+
+}  // namespace
+
+Outbox::Outbox(OutboxConfig config, Rng rng, obs::Registry* registry)
+    : config_(std::move(config)),
+      rng_(rng),
+      sealedCtr_((registry ? *registry : obs::globalRegistry())
+                     .counter(prefixed(config_.metricsPrefix, "sealed"))),
+      transmissionsCtr_(
+          (registry ? *registry : obs::globalRegistry())
+              .counter(prefixed(config_.metricsPrefix, "transmissions"))),
+      retriesCtr_((registry ? *registry : obs::globalRegistry())
+                      .counter(prefixed(config_.metricsPrefix, "retries"))),
+      ackedCtr_((registry ? *registry : obs::globalRegistry())
+                    .counter(prefixed(config_.metricsPrefix, "acked"))),
+      shedCountsCtr_(
+          (registry ? *registry : obs::globalRegistry())
+              .counter(prefixed(config_.metricsPrefix, "shed_counts"))),
+      shedBatchesCtr_(
+          (registry ? *registry : obs::globalRegistry())
+              .counter(prefixed(config_.metricsPrefix, "shed_batches"))),
+      expiredCtr_((registry ? *registry : obs::globalRegistry())
+                      .counter(prefixed(config_.metricsPrefix, "expired"))),
+      pendingBytesGauge_(
+          (registry ? *registry : obs::globalRegistry())
+              .gauge(prefixed(config_.metricsPrefix, "pending_bytes"))),
+      pendingBatchesGauge_(
+          (registry ? *registry : obs::globalRegistry())
+              .gauge(prefixed(config_.metricsPrefix, "pending_batches"))) {}
+
+void Outbox::add(const Message& message) { open_.push_back(message); }
+
+void Outbox::updateGauge() {
+  pendingBytesGauge_.set(static_cast<double>(bufferedBytes_));
+  pendingBatchesGauge_.set(static_cast<double>(pending_.size()));
+}
+
+void Outbox::rebuildFrame(PendingBatch& batch) {
+  bufferedBytes_ -= batch.frame.size();
+  batch.frame = encodeBatchV2({config_.readerId, batch.seq}, batch.messages);
+  bufferedBytes_ += batch.frame.size();
+}
+
+bool Outbox::seal(double now) {
+  if (open_.empty()) return false;
+  PendingBatch batch;
+  batch.seq = nextSeq_++;
+  batch.messages = std::move(open_);
+  open_.clear();
+  batch.frame = encodeBatchV2({config_.readerId, batch.seq}, batch.messages);
+  batch.attempts = 0;
+  batch.nextAttemptSec = now;  // eligible immediately
+  batch.backoffSec = config_.initialBackoffSec;
+  bufferedBytes_ += batch.frame.size();
+  pending_.push_back(std::move(batch));
+  sealedCtr_.inc();
+  enforceBudget();
+  updateGauge();
+  return true;
+}
+
+void Outbox::enforceBudget() {
+  if (bufferedBytes_ <= config_.maxBufferedBytes) return;
+
+  // Pass 1: shed CountReports, oldest batch first. Counts are periodic
+  // samples the backend can re-derive from later reports; identities and
+  // sightings are unrecoverable, so they stay.
+  for (auto& batch : pending_) {
+    if (bufferedBytes_ <= config_.maxBufferedBytes) break;
+    std::size_t before = batch.messages.size();
+    batch.messages.erase(
+        std::remove_if(batch.messages.begin(), batch.messages.end(),
+                       [](const Message& m) {
+                         return std::holds_alternative<CountReport>(m);
+                       }),
+        batch.messages.end());
+    const std::size_t shed = before - batch.messages.size();
+    if (shed == 0) continue;
+    shedCountsCtr_.inc(shed);
+    rebuildFrame(batch);
+  }
+
+  // Pass 2: nothing left to shed gently — drop whole batches, oldest
+  // first. This loses data (and leaves a permanent sequence gap the
+  // backend will account); it is the policy of last resort.
+  while (bufferedBytes_ > config_.maxBufferedBytes && pending_.size() > 1) {
+    bufferedBytes_ -= pending_.front().frame.size();
+    pending_.pop_front();
+    shedBatchesCtr_.inc();
+  }
+}
+
+std::vector<OutboxTransmission> Outbox::collectTransmissions(double now) {
+  std::vector<OutboxTransmission> out;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->nextAttemptSec > now) {
+      ++it;
+      continue;
+    }
+    ++it->attempts;
+    transmissionsCtr_.inc();
+    if (it->attempts > 1) {
+      retriesCtr_.inc();
+      ++consecutiveFailures_;
+    }
+    OutboxTransmission tx;
+    tx.seq = it->seq;
+    tx.attempt = it->attempts;
+    tx.frame = it->frame;
+    out.push_back(std::move(tx));
+
+    if (config_.maxAttempts > 0 && it->attempts >= config_.maxAttempts) {
+      // Final attempt: transmit it, then stop holding the batch.
+      bufferedBytes_ -= it->frame.size();
+      it = pending_.erase(it);
+      expiredCtr_.inc();
+      continue;
+    }
+    const double jitter =
+        config_.jitterFraction > 0.0
+            ? rng_.uniform(-config_.jitterFraction, config_.jitterFraction)
+            : 0.0;
+    it->nextAttemptSec = now + it->backoffSec * (1.0 + jitter);
+    it->backoffSec =
+        std::min(it->backoffSec * config_.backoffMultiplier,
+                 config_.maxBackoffSec);
+    ++it;
+  }
+  if (!out.empty()) updateGauge();
+  return out;
+}
+
+bool Outbox::onAckFrame(const std::vector<std::uint8_t>& frame, double now) {
+  const auto ack = decodeAck(frame);
+  if (!ack.ok()) return false;
+  if (ack.value().readerId != config_.readerId) return false;
+  return onAck(ack.value().seq, now);
+}
+
+bool Outbox::onAck(std::uint32_t seq, double) {
+  // Any well-formed ack addressed to us proves the round trip works.
+  consecutiveFailures_ = 0;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->seq != seq) continue;
+    bufferedBytes_ -= it->frame.size();
+    pending_.erase(it);
+    ackedCtr_.inc();
+    updateGauge();
+    return true;
+  }
+  return false;  // duplicate/late ack for an already-forgotten batch
+}
+
+double Outbox::nextAttemptTime() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& batch : pending_)
+    earliest = std::min(earliest, batch.nextAttemptSec);
+  return earliest;
+}
+
+}  // namespace caraoke::net

@@ -1,0 +1,160 @@
+// Store-and-forward uplink outbox: the reader-side half of the
+// fault-tolerant uplink.
+//
+// The fire-and-forget path ("flush the batch, hope the modem got it")
+// silently loses sightings whenever the LTE hop drops or corrupts one
+// transmission. The outbox instead keeps every sealed batch until the
+// backend acknowledges its sequence number, retransmitting with
+// exponential backoff + jitter.
+//
+// Batch lifecycle:
+//
+//      add()            seal()               collectTransmissions()
+//   [open batch] ---> [pending, seq=N] ---> [in flight, backoff armed]
+//                          ^                        |
+//                          |  backoff expires       | onAck(N)
+//                          +------------------------+----> forgotten
+//                          |
+//                          +--> expired (attempt cap, if configured)
+//                          +--> shed (byte budget exceeded)
+//
+// Degradation policy when the byte budget is exceeded (a long outage):
+// shed CountReports from the *oldest* batches first — counts are periodic
+// and recoverable from later samples, decoded identities and sightings
+// are not — and only once every count is gone drop whole batches, oldest
+// first. A batch whose messages were all shed still transmits as an empty
+// envelope so the backend's per-reader sequence space stays dense.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "net/framing.hpp"
+#include "obs/metrics.hpp"
+
+namespace caraoke::net {
+
+/// Retry/backoff/budget tuning.
+struct OutboxConfig {
+  std::uint32_t readerId = 0;
+  /// Byte budget across all pending (unacked) frames; exceeding it
+  /// triggers the shed policy. Sized for minutes of outage at typical
+  /// report rates.
+  std::size_t maxBufferedBytes = 64 * 1024;
+  /// Transmission attempts per batch before it is abandoned; 0 = retry
+  /// forever (the byte budget still bounds memory).
+  std::size_t maxAttempts = 0;
+  double initialBackoffSec = 2.0;
+  double backoffMultiplier = 2.0;
+  double maxBackoffSec = 30.0;
+  /// Uniform +/- fraction applied to each backoff interval so a fleet of
+  /// readers recovering from the same outage does not retry in lockstep.
+  double jitterFraction = 0.1;
+  /// Metric name prefix inside the registry handed to the constructor.
+  std::string metricsPrefix = "outbox";
+};
+
+/// Ack wire format (little-endian, CRC-protected — acks cross the same
+/// lossy channel):
+///   [magic u16 = 0xCAAC] [readerId u32] [seq u32] [crc32 u32]
+struct Ack {
+  std::uint32_t readerId = 0;
+  std::uint32_t seq = 0;
+};
+
+inline constexpr std::uint16_t kAckMagic = 0xCAAC;
+
+std::vector<std::uint8_t> encodeAck(const Ack& ack);
+caraoke::Result<Ack> decodeAck(const std::vector<std::uint8_t>& bytes);
+
+/// One frame the outbox wants transmitted now.
+struct OutboxTransmission {
+  std::uint32_t seq = 0;
+  std::size_t attempt = 0;  ///< 1 = first transmission, >1 = retry.
+  std::vector<std::uint8_t> frame;
+};
+
+/// The store-and-forward queue. All timing is caller-provided simulated
+/// time; all randomness (jitter) comes from the injected Rng.
+class Outbox {
+ public:
+  /// Metrics land in `registry` (nullptr -> obs::globalRegistry()) under
+  /// config.metricsPrefix.
+  Outbox(OutboxConfig config, Rng rng, obs::Registry* registry = nullptr);
+
+  /// Append a message to the open (not yet sealed) batch.
+  void add(const Message& message);
+
+  /// Messages in the open batch.
+  std::size_t openMessages() const { return open_.size(); }
+
+  /// Freeze the open batch into the pending queue, assigning the next
+  /// sequence number. Returns false (and does nothing) when the open
+  /// batch is empty. Applies the shed policy if the byte budget is now
+  /// exceeded.
+  bool seal(double now);
+
+  /// Every pending frame whose (re)transmission timer has expired at
+  /// `now`. Arms the next backoff interval per returned batch and drops
+  /// batches that just used their final attempt.
+  std::vector<OutboxTransmission> collectTransmissions(double now);
+
+  /// Feed a received ack frame; returns true when it acked a pending
+  /// batch of ours.
+  bool onAckFrame(const std::vector<std::uint8_t>& frame, double now);
+
+  /// Ack by sequence number. Any structurally valid ack for this reader
+  /// resets the consecutive-failure watchdog (the link is evidently
+  /// alive) even when the seq was already forgotten (duplicate ack).
+  bool onAck(std::uint32_t seq, double now);
+
+  std::size_t pendingBatches() const { return pending_.size(); }
+  /// Bytes across all pending frames (the quantity the budget bounds).
+  std::size_t bufferedBytes() const { return bufferedBytes_; }
+  /// Retransmissions issued since the last ack arrived — the daemon's
+  /// uplink-health watchdog input.
+  std::size_t consecutiveFailures() const { return consecutiveFailures_; }
+  /// Sequence number the next sealed batch will get.
+  std::uint32_t nextSeq() const { return nextSeq_; }
+  /// Earliest pending transmission time, +inf when nothing is pending.
+  double nextAttemptTime() const;
+
+ private:
+  struct PendingBatch {
+    std::uint32_t seq = 0;
+    std::vector<Message> messages;
+    std::vector<std::uint8_t> frame;
+    std::size_t attempts = 0;
+    double nextAttemptSec = 0.0;
+    double backoffSec = 0.0;
+  };
+
+  void rebuildFrame(PendingBatch& batch);
+  void enforceBudget();
+  void updateGauge();
+
+  OutboxConfig config_;
+  Rng rng_;
+  std::vector<Message> open_;
+  std::deque<PendingBatch> pending_;
+  std::size_t bufferedBytes_ = 0;
+  std::uint32_t nextSeq_ = 1;
+  std::size_t consecutiveFailures_ = 0;
+
+  obs::Counter& sealedCtr_;
+  obs::Counter& transmissionsCtr_;
+  obs::Counter& retriesCtr_;
+  obs::Counter& ackedCtr_;
+  obs::Counter& shedCountsCtr_;
+  obs::Counter& shedBatchesCtr_;
+  obs::Counter& expiredCtr_;
+  obs::Gauge& pendingBytesGauge_;
+  obs::Gauge& pendingBatchesGauge_;
+};
+
+}  // namespace caraoke::net

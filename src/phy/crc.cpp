@@ -21,6 +21,19 @@ std::array<std::uint16_t, 256> makeTable() {
 
 const std::array<std::uint16_t, 256> kTable = makeTable();
 
+std::array<std::uint32_t, 256> makeTable32() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : (crc >> 1);
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable32 = makeTable32();
+
 }  // namespace
 
 std::uint16_t crc16(std::span<const std::uint8_t> bytes) {
@@ -36,6 +49,12 @@ std::uint16_t crc16Bits(std::span<const std::uint8_t> bits) {
   for (std::size_t i = 0; i < bits.size(); ++i)
     if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
   return crc16(bytes);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) crc = (crc >> 8) ^ kTable32[(crc ^ b) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace caraoke::phy

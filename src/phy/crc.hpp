@@ -18,4 +18,9 @@ std::uint16_t crc16(std::span<const std::uint8_t> bytes);
 /// left-aligned in the final byte).
 std::uint16_t crc16Bits(std::span<const std::uint8_t> bits);
 
+/// CRC-32 (IEEE 802.3, reflected poly 0xEDB88320, init/xorout 0xFFFFFFFF)
+/// over bytes. Used as the uplink batch-frame trailer so the lossy-link
+/// model's bit corruption is detected instead of relying on parse luck.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
 }  // namespace caraoke::phy

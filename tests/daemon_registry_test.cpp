@@ -53,7 +53,7 @@ TEST(ReaderDaemon, ProducesCountsSightingsAndDecodes) {
   for (const auto& frame : daemon.takeUplink()) {
     const auto messages = net::decodeBatch(frame);
     ASSERT_TRUE(messages.ok()) << messages.error();
-    for (const auto& m : messages.value()) backend.ingest(m);
+    for (const auto& m : messages.value().messages) backend.ingest(m);
   }
   ASSERT_FALSE(backend.counts().empty());
   double meanCount = 0;

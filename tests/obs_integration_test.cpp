@@ -190,8 +190,8 @@ TEST(ObsIntegration, GlobalRegistrySeesPipelineAndBackendCounters) {
   for (const auto& frame : daemon.takeUplink()) {
     const auto messages = net::decodeBatch(frame);
     ASSERT_TRUE(messages.ok()) << messages.error();
-    for (const auto& m : messages.value()) backend.ingest(m);
-    reports += messages.value().size();
+    for (const auto& m : messages.value().messages) backend.ingest(m);
+    reports += messages.value().messages.size();
     ++batches;
   }
   ASSERT_GT(batches, 0u);

@@ -152,34 +152,111 @@ TEST(Framing, BatchRoundTrip) {
 
   const auto decoded = net::decodeBatch(bytes);
   ASSERT_TRUE(decoded.ok()) << decoded.error();
-  ASSERT_EQ(decoded.value().size(), 3u);
-  EXPECT_TRUE(std::holds_alternative<net::CountReport>(decoded.value()[0]));
-  EXPECT_TRUE(
-      std::holds_alternative<net::SightingReport>(decoded.value()[1]));
-  const auto& d = std::get<net::DecodeReport>(decoded.value()[2]);
+  const auto& messages = decoded.value().messages;
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(decoded.value().droppedMessages, 0u);
+  EXPECT_FALSE(decoded.value().hasHeader);  // legacy v1 frame
+  EXPECT_TRUE(std::holds_alternative<net::CountReport>(messages[0]));
+  EXPECT_TRUE(std::holds_alternative<net::SightingReport>(messages[1]));
+  const auto& d = std::get<net::DecodeReport>(messages[2]);
   EXPECT_EQ(d.id, decode.id);
 }
 
-TEST(Framing, EmptyBatchIsValid) {
+TEST(Framing, EnvelopeRoundTripCarriesHeaderAndCrc) {
   net::FrameBatcher batcher;
-  const auto decoded = net::decodeBatch(batcher.flush());
-  ASSERT_TRUE(decoded.ok());
-  EXPECT_TRUE(decoded.value().empty());
+  batcher.add(net::Message{net::CountReport{9, 2.0, 4}});
+  batcher.add(net::Message{net::SightingReport{9, 2.1, 640e3, 1, 0.8, 0.4}});
+  const std::size_t v1Size = batcher.byteSize();
+  const auto bytes = batcher.flush(net::BatchHeader{9, 77});
+  EXPECT_EQ(bytes.size(),
+            v1Size + net::FrameBatcher::kEnvelopeOverheadBytes);
+  EXPECT_EQ(batcher.pending(), 0u);
+
+  const auto decoded = net::decodeBatch(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(decoded.value().hasHeader);
+  EXPECT_EQ(decoded.value().header.readerId, 9u);
+  EXPECT_EQ(decoded.value().header.seq, 77u);
+  ASSERT_EQ(decoded.value().messages.size(), 2u);
+
+  // Any single-bit corruption is caught by the CRC-32 trailer, in either
+  // decode policy — the link model's bit flips cannot slip a damaged
+  // frame through by parse luck.
+  for (std::size_t byte :
+       {std::size_t{0}, std::size_t{5}, std::size_t{12}, bytes.size() - 1}) {
+    auto corrupt = bytes;
+    corrupt[byte] ^= 0x10;
+    EXPECT_FALSE(net::decodeBatch(corrupt).ok()) << byte;
+  }
+}
+
+TEST(Framing, EmptyFlushEmitsNothing) {
+  // Regression: flush() on an empty queue used to emit a header-only
+  // batch; it must emit nothing (there is nothing to transmit).
+  net::FrameBatcher batcher;
+  EXPECT_TRUE(batcher.flush().empty());
+  EXPECT_TRUE(batcher.flush(net::BatchHeader{1, 1}).empty());
+
+  // encodeBatchV2 *does* allow an empty batch (the outbox needs count=0
+  // frames to keep the seq space dense after shedding).
+  const auto empty = net::encodeBatchV2(net::BatchHeader{1, 3}, {});
+  const auto decoded = net::decodeBatch(empty);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(decoded.value().messages.empty());
+  EXPECT_EQ(decoded.value().header.seq, 3u);
+}
+
+TEST(Framing, SalvageSkipsCorruptInnerMessages) {
+  // Build a v1 frame by hand with a poisoned middle message: salvage
+  // returns the siblings, strict destroys the batch (the old
+  // all-or-nothing behaviour, preserved as an opt-in).
+  net::FrameBatcher batcher;
+  batcher.add(net::Message{net::CountReport{1, 1.0, 1}});
+  batcher.add(net::Message{net::CountReport{1, 2.0, 2}});
+  batcher.add(net::Message{net::CountReport{1, 3.0, 3}});
+  auto bytes = batcher.flush();
+  bytes[4 + 2] ^= 0xFF;  // first message's type tag -> unknown
+
+  const auto salvage = net::decodeBatch(bytes);
+  ASSERT_TRUE(salvage.ok()) << salvage.error();
+  EXPECT_EQ(salvage.value().messages.size(), 2u);
+  EXPECT_EQ(salvage.value().droppedMessages, 1u);
+  EXPECT_EQ(std::get<net::CountReport>(salvage.value().messages[0]).count,
+            2u);
+
+  EXPECT_FALSE(
+      net::decodeBatch(bytes, net::BatchDecodePolicy::kStrict).ok());
 }
 
 TEST(Framing, RejectsCorruption) {
   net::FrameBatcher batcher;
   batcher.add(net::Message{net::CountReport{1, 1.0, 1}});
+  batcher.add(net::Message{net::CountReport{1, 2.0, 2}});
   auto bytes = batcher.flush();
   auto badMagic = bytes;
   badMagic[0] ^= 0xFF;
   EXPECT_FALSE(net::decodeBatch(badMagic).ok());
+
+  // Structural damage in strict mode: fatal.
   auto truncated = bytes;
   truncated.resize(truncated.size() - 3);
-  EXPECT_FALSE(net::decodeBatch(truncated).ok());
+  EXPECT_FALSE(
+      net::decodeBatch(truncated, net::BatchDecodePolicy::kStrict).ok());
   auto trailing = bytes;
   trailing.push_back(0x00);
-  EXPECT_FALSE(net::decodeBatch(trailing).ok());
+  EXPECT_FALSE(
+      net::decodeBatch(trailing, net::BatchDecodePolicy::kStrict).ok());
+
+  // The same damage in salvage mode: earlier siblings survive and the
+  // loss is reported.
+  const auto salvaged = net::decodeBatch(truncated);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_EQ(salvaged.value().messages.size(), 1u);
+  EXPECT_EQ(salvaged.value().droppedMessages, 1u);
+  const auto trailed = net::decodeBatch(trailing);
+  ASSERT_TRUE(trailed.ok());
+  EXPECT_EQ(trailed.value().messages.size(), 2u);
+  EXPECT_EQ(trailed.value().droppedMessages, 1u);
 }
 
 TEST(Framing, AirTimeSupportsDutyCyclingClaim) {
