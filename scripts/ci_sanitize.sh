@@ -1,23 +1,49 @@
 #!/usr/bin/env bash
-# Build with AddressSanitizer and run the chaos suite under it.
+# Build and run the FULL test suite under a sanitizer.
 #
-# The chaos tests push the fault-tolerant uplink through drops, bit
-# flips, duplication, reordering, and scripted outages — exactly the
-# paths where a lifetime or bounds bug would hide. Running them under
-# ASAN is the cheap way to prove the salvage/retry/shed machinery is
-# memory-clean under fire.
+# ASan/UBSan prove the salvage/retry/shed machinery is memory- and
+# UB-clean under fire; TSan proves the paths that claim thread-safety
+# (obs metrics/tracing/logging, outbox, backend ingestion) are race-free
+# while the `race`-labelled stress rig hammers them from 8+ threads.
 #
 # Usage: scripts/ci_sanitize.sh [extra ctest args...]
-#   BUILD_DIR   override the sanitizer build directory (default build-asan)
-#   SANITIZER   address (default) or undefined
+#   SANITIZER   address (default), undefined, or thread
+#   BUILD_DIR   override the build tree (default build-<sanitizer short>)
+#   CTEST_LABEL restrict to one ctest label (e.g. race, chaos); default
+#               runs everything
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${BUILD_DIR:-build-asan}"
 SANITIZER="${SANITIZER:-address}"
 
-cmake -B "${BUILD_DIR}" -S . -DCARAOKE_SANITIZE="${SANITIZER}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD_DIR}" -j --target test_chaos
+case "${SANITIZER}" in
+  address)   DEFAULT_DIR=build-asan ;;
+  undefined) DEFAULT_DIR=build-ubsan ;;
+  thread)    DEFAULT_DIR=build-tsan ;;
+  *)
+    echo "SANITIZER must be address, undefined or thread" >&2
+    exit 2
+    ;;
+esac
+BUILD_DIR="${BUILD_DIR:-${DEFAULT_DIR}}"
 
-ctest --test-dir "${BUILD_DIR}" -L chaos --output-on-failure "$@"
+# TSan halts on the first report so CI fails fast and loudly; a
+# suppressions file is only consulted if one exists (policy: toolchain
+# noise only, each entry justified — see DESIGN.md §10).
+if [[ "${SANITIZER}" == thread ]]; then
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  if [[ -f tools/tsan.supp ]]; then
+    TSAN_OPTIONS+=" suppressions=$(pwd)/tools/tsan.supp"
+  fi
+  export TSAN_OPTIONS
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCARAOKE_SANITIZE="${SANITIZER}" \
+  -DCARAOKE_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j
+
+if [[ -n "${CTEST_LABEL:-}" ]]; then
+  ctest --test-dir "${BUILD_DIR}" -L "${CTEST_LABEL}" --output-on-failure "$@"
+else
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure "$@"
+fi

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Full static-analysis / correctness matrix for CI:
+#
+#   lint   tools/caraoke_lint.py (repo invariants: determinism, wire
+#          magics + CRC pairing, metric-name grammar, units discipline)
+#   tidy   clang-tidy over src/ against the checked-in .clang-tidy,
+#          using the CMake-exported compilation database. Skipped (with
+#          a loud SKIP line) when clang-tidy is not installed — the
+#          baked-in toolchain here is gcc-only.
+#   asan   full test suite under AddressSanitizer
+#   ubsan  full test suite under UndefinedBehaviorSanitizer
+#   tsan   the `race`-labelled concurrency stress rig (plus chaos and
+#          determinism suites) under ThreadSanitizer. Set CI_TSAN_FULL=1
+#          to run the entire suite under TSan instead (slow).
+#
+# Stops at the first failing stage (non-zero exit) and always prints a
+# per-stage summary. Every compile runs with CARAOKE_WERROR=ON: CI has
+# no budget for "just a warning".
+#
+# Usage: scripts/ci_static.sh [stage...]   (default: all stages)
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+STAGES=("$@")
+if [[ ${#STAGES[@]} -eq 0 ]]; then
+  STAGES=(lint tidy asan ubsan tsan)
+fi
+
+SUMMARY=()
+
+finish() {
+  echo
+  echo "=== ci_static summary ==="
+  for line in "${SUMMARY[@]}"; do
+    echo "  ${line}"
+  done
+}
+
+fail_stage() {
+  SUMMARY+=("$1: FAIL")
+  finish
+  exit 1
+}
+
+run_lint() {
+  python3 tools/caraoke_lint.py --root . --selftest || return 1
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    return 2  # skip: tool not in this toolchain image
+  fi
+  cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
+    || return 1
+  local sources
+  sources=$(find src -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    run-clang-tidy -quiet -p build-tidy ${sources} || return 1
+  else
+    local failed=0
+    for f in ${sources}; do
+      clang-tidy --quiet -p build-tidy "$f" || failed=1
+    done
+    [[ ${failed} -eq 0 ]] || return 1
+  fi
+}
+
+for stage in "${STAGES[@]}"; do
+  echo
+  echo "=== ci_static stage: ${stage} ==="
+  case "${stage}" in
+    lint)
+      run_lint || fail_stage lint
+      SUMMARY+=("lint: OK")
+      ;;
+    tidy)
+      run_tidy
+      case $? in
+        0) SUMMARY+=("tidy: OK") ;;
+        2)
+          echo "clang-tidy not installed; stage skipped"
+          SUMMARY+=("tidy: SKIP (clang-tidy not installed)")
+          ;;
+        *) fail_stage tidy ;;
+      esac
+      ;;
+    asan)
+      SANITIZER=address scripts/ci_sanitize.sh || fail_stage asan
+      SUMMARY+=("asan: OK")
+      ;;
+    ubsan)
+      SANITIZER=undefined scripts/ci_sanitize.sh || fail_stage ubsan
+      SUMMARY+=("ubsan: OK")
+      ;;
+    tsan)
+      if [[ "${CI_TSAN_FULL:-0}" == "1" ]]; then
+        SANITIZER=thread scripts/ci_sanitize.sh || fail_stage tsan
+      else
+        SANITIZER=thread CTEST_LABEL='race|chaos|determinism' \
+          scripts/ci_sanitize.sh || fail_stage tsan
+      fi
+      SUMMARY+=("tsan: OK")
+      ;;
+    *)
+      echo "unknown stage '${stage}' (valid: lint tidy asan ubsan tsan)" >&2
+      fail_stage "${stage}"
+      ;;
+  esac
+done
+
+finish

@@ -102,7 +102,7 @@ EigenResult eigHermitian(const CMatrix& input, double tolerance,
       for (std::size_t q = p + 1; q < n; ++q) {
         const cdouble apq = a(p, q);
         const double mag = std::abs(apq);
-        if (mag <= tolerance * scale * 1e-3) continue;
+        if (mag <= tolerance * scale * 1e-3) continue;  // caraoke-lint: allow(units): dimensionless sweep threshold, not a time
         const double app = a(p, p).real();
         const double aqq = a(q, q).real();
         // Complex Jacobi rotation: diagonalize the 2x2 Hermitian block

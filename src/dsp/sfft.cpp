@@ -61,7 +61,7 @@ std::vector<SparseComponent> sparseFft(CSpan signal,
     const double med = median(mags);
     // Floor against numeric dust on exactly-sparse inputs (leakage of a
     // double-precision FFT is ~1e-13 of the peak).
-    const double dust = 1e-6 * maxValue(mags);
+    const double dust = 1e-6 * maxValue(mags);  // caraoke-lint: allow(units): relative magnitude fraction, not a physical quantity
     const double threshold =
         std::max({config.bucketThreshold * med, dust, 1e-12});
 

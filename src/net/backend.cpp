@@ -47,6 +47,7 @@ BackendMetrics& backendMetrics() {
 
 void Backend::registerReader(std::uint32_t readerId,
                              core::ArrayGeometry geometry) {
+  std::lock_guard<std::mutex> lock(mutex_);
   readers_[readerId] = std::move(geometry);
 }
 
@@ -63,6 +64,21 @@ caraoke::Result<bool> Backend::ingestFrame(
   return true;
 }
 
+std::size_t Backend::pendingSightings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sightings_.size();
+}
+
+std::size_t Backend::countsSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_.size();
+}
+
+std::size_t Backend::decodesSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decodes_.size();
+}
+
 caraoke::Result<BatchIngestStats> Backend::ingestBatch(
     const std::vector<std::uint8_t>& frame) {
   using R = caraoke::Result<BatchIngestStats>;
@@ -77,6 +93,9 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
   if (batch.droppedMessages > 0)
     backendMetrics().salvagedDrops.inc(batch.droppedMessages);
 
+  // Frame decoding above touched no shared state; the dedup/gap
+  // accounting and report buffers below do.
+  std::lock_guard<std::mutex> lock(mutex_);
   if (batch.hasHeader) {
     stats.readerId = batch.header.readerId;
     stats.seq = batch.header.seq;
@@ -104,7 +123,7 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
   }
 
   for (const auto& message : batch.messages) {
-    ingest(message);
+    ingestLocked(message);
     ++stats.accepted;
   }
   backendMetrics().batches.inc();
@@ -112,30 +131,38 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
 }
 
 std::size_t Backend::gapCount(std::uint32_t readerId) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = seqState_.find(readerId);
   if (it == seqState_.end()) return 0;
   return static_cast<std::size_t>(it->second.maxSeq) - it->second.seen.size();
 }
 
 std::uint32_t Backend::highestSeq(std::uint32_t readerId) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = seqState_.find(readerId);
   return it == seqState_.end() ? 0 : it->second.maxSeq;
 }
 
 void Backend::ingest(const Message& message) {
-  if (const auto* m = std::get_if<CountReport>(&message)) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ingestLocked(message);
+}
+
+void Backend::ingestLocked(const Message& message) {
+  if (const auto* count = std::get_if<CountReport>(&message)) {
     backendMetrics().counts.inc();
-    counts_.push_back(*m);
-  } else if (const auto* m = std::get_if<SightingReport>(&message)) {
+    counts_.push_back(*count);
+  } else if (const auto* sighting = std::get_if<SightingReport>(&message)) {
     backendMetrics().sightings.inc();
-    sightings_.push_back(*m);
-  } else if (const auto* m = std::get_if<DecodeReport>(&message)) {
+    sightings_.push_back(*sighting);
+  } else if (const auto* decode = std::get_if<DecodeReport>(&message)) {
     backendMetrics().decodes.inc();
-    decodes_.push_back(*m);
+    decodes_.push_back(*decode);
   }
 }
 
 std::vector<FusedFix> Backend::fuse(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<FusedFix> fixes;
   std::vector<bool> consumed(sightings_.size(), false);
 

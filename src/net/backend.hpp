@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -57,6 +58,15 @@ struct BatchIngestStats {
 };
 
 /// Collects reports and produces fused fixes.
+///
+/// Thread-safe for the ingestion surface: registerReader, ingestFrame,
+/// ingestBatch, ingest, fuse, and the scalar accessors (gapCount,
+/// highestSeq, pendingSightings, countsSize/decodesSize) all serialize
+/// on an internal mutex, so one backend can ingest many readers' uplink
+/// streams from concurrent threads. The by-reference accessors
+/// (counts(), decodes(), sightings()) hand out views into live storage
+/// and therefore require the caller to quiesce ingestion first — they
+/// are audit/reporting APIs, not hot-path ones.
 class Backend {
  public:
   explicit Backend(BackendConfig config = {}) : config_(config) {}
@@ -86,16 +96,21 @@ class Backend {
   /// of the time window.
   std::vector<FusedFix> fuse(double now);
 
-  /// Count time series per reader (traffic monitoring feed).
+  /// Count time series per reader (traffic monitoring feed). Requires
+  /// quiesced ingestion (see class comment).
   const std::vector<CountReport>& counts() const { return counts_; }
 
-  /// Decoded identities seen so far.
+  /// Decoded identities seen so far. Requires quiesced ingestion.
   const std::vector<DecodeReport>& decodes() const { return decodes_; }
 
-  /// Sightings currently buffered (not yet fused or expired).
+  /// Sightings currently buffered (not yet fused or expired). Requires
+  /// quiesced ingestion.
   const std::vector<SightingReport>& sightings() const { return sightings_; }
 
-  std::size_t pendingSightings() const { return sightings_.size(); }
+  std::size_t pendingSightings() const;
+  /// Count/decode report totals, safe under concurrent ingestion.
+  std::size_t countsSize() const;
+  std::size_t decodesSize() const;
 
   /// Sequence numbers from this reader still missing below its highest
   /// seen seq (a drop not yet repaired by retransmission). Zero once the
@@ -112,6 +127,11 @@ class Backend {
     std::uint32_t maxSeq = 0;
   };
 
+  /// ingest() body; assumes mutex_ is held.
+  void ingestLocked(const Message& message);
+
+  /// Guards all mutable state below.
+  mutable std::mutex mutex_;
   BackendConfig config_;
   std::map<std::uint32_t, core::ArrayGeometry> readers_;
   std::map<std::uint32_t, ReaderSeqState> seqState_;

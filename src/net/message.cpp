@@ -66,28 +66,28 @@ enum class Tag : std::uint8_t { kCount = 1, kSighting = 2, kDecode = 3 };
 
 std::vector<std::uint8_t> encodeMessage(const Message& message) {
   ByteWriter w;
-  if (const auto* m = std::get_if<CountReport>(&message)) {
+  if (const auto* count = std::get_if<CountReport>(&message)) {
     w.u8(static_cast<std::uint8_t>(Tag::kCount));
-    w.u32(m->readerId);
-    w.f64(m->timestamp);
-    w.u32(m->count);
-  } else if (const auto* m = std::get_if<SightingReport>(&message)) {
+    w.u32(count->readerId);
+    w.f64(count->timestamp);
+    w.u32(count->count);
+  } else if (const auto* sighting = std::get_if<SightingReport>(&message)) {
     w.u8(static_cast<std::uint8_t>(Tag::kSighting));
-    w.u32(m->readerId);
-    w.f64(m->timestamp);
-    w.f64(m->cfoHz);
-    w.u32(m->pairIndex);
-    w.f64(m->angleRad);
-    w.f64(m->peakMagnitude);
-  } else if (const auto* m = std::get_if<DecodeReport>(&message)) {
+    w.u32(sighting->readerId);
+    w.f64(sighting->timestamp);
+    w.f64(sighting->cfoHz);
+    w.u32(sighting->pairIndex);
+    w.f64(sighting->angleRad);
+    w.f64(sighting->peakMagnitude);
+  } else if (const auto* decode = std::get_if<DecodeReport>(&message)) {
     w.u8(static_cast<std::uint8_t>(Tag::kDecode));
-    w.u32(m->readerId);
-    w.f64(m->timestamp);
-    w.f64(m->cfoHz);
-    w.u64(m->id.factoryId);
-    w.u32(m->id.agencyId);
-    w.u64(m->id.programmable);
-    w.u32(m->id.flags);
+    w.u32(decode->readerId);
+    w.f64(decode->timestamp);
+    w.f64(decode->cfoHz);
+    w.u64(decode->id.factoryId);
+    w.u32(decode->id.agencyId);
+    w.u64(decode->id.programmable);
+    w.u32(decode->id.flags);
   }
   return w.bytes();
 }

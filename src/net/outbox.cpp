@@ -71,7 +71,35 @@ Outbox::Outbox(OutboxConfig config, Rng rng, obs::Registry* registry)
           (registry ? *registry : obs::globalRegistry())
               .gauge(prefixed(config_.metricsPrefix, "pending_batches"))) {}
 
-void Outbox::add(const Message& message) { open_.push_back(message); }
+void Outbox::add(const Message& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_.push_back(message);
+}
+
+std::size_t Outbox::openMessages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_.size();
+}
+
+std::size_t Outbox::pendingBatches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t Outbox::bufferedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bufferedBytes_;
+}
+
+std::size_t Outbox::consecutiveFailures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutiveFailures_;
+}
+
+std::uint32_t Outbox::nextSeq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nextSeq_;
+}
 
 void Outbox::updateGauge() {
   pendingBytesGauge_.set(static_cast<double>(bufferedBytes_));
@@ -85,6 +113,7 @@ void Outbox::rebuildFrame(PendingBatch& batch) {
 }
 
 bool Outbox::seal(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (open_.empty()) return false;
   PendingBatch batch;
   batch.seq = nextSeq_++;
@@ -134,6 +163,7 @@ void Outbox::enforceBudget() {
 }
 
 std::vector<OutboxTransmission> Outbox::collectTransmissions(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<OutboxTransmission> out;
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->nextAttemptSec > now) {
@@ -174,13 +204,19 @@ std::vector<OutboxTransmission> Outbox::collectTransmissions(double now) {
 }
 
 bool Outbox::onAckFrame(const std::vector<std::uint8_t>& frame, double now) {
+  // Decode outside the lock: CRC checking needs no outbox state.
   const auto ack = decodeAck(frame);
   if (!ack.ok()) return false;
   if (ack.value().readerId != config_.readerId) return false;
   return onAck(ack.value().seq, now);
 }
 
-bool Outbox::onAck(std::uint32_t seq, double) {
+bool Outbox::onAck(std::uint32_t seq, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return onAckLocked(seq, now);
+}
+
+bool Outbox::onAckLocked(std::uint32_t seq, double) {
   // Any well-formed ack addressed to us proves the round trip works.
   consecutiveFailures_ = 0;
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
@@ -195,6 +231,7 @@ bool Outbox::onAck(std::uint32_t seq, double) {
 }
 
 double Outbox::nextAttemptTime() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double earliest = std::numeric_limits<double>::infinity();
   for (const auto& batch : pending_)
     earliest = std::min(earliest, batch.nextAttemptSec);

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,13 @@ struct OutboxTransmission {
 
 /// The store-and-forward queue. All timing is caller-provided simulated
 /// time; all randomness (jitter) comes from the injected Rng.
+///
+/// Thread-safe: every member serializes on an internal mutex, so a
+/// producer thread can add()/seal() while a modem thread collects
+/// transmissions and an ack-ingestion thread feeds onAckFrame(). Note
+/// that multi-call sequences (e.g. "add then seal exactly my message")
+/// are not atomic as a unit — interleave-sensitive callers hold their
+/// own coarser lock.
 class Outbox {
  public:
   /// Metrics land in `registry` (nullptr -> obs::globalRegistry()) under
@@ -91,7 +99,7 @@ class Outbox {
   void add(const Message& message);
 
   /// Messages in the open batch.
-  std::size_t openMessages() const { return open_.size(); }
+  std::size_t openMessages() const;
 
   /// Freeze the open batch into the pending queue, assigning the next
   /// sequence number. Returns false (and does nothing) when the open
@@ -113,14 +121,14 @@ class Outbox {
   /// alive) even when the seq was already forgotten (duplicate ack).
   bool onAck(std::uint32_t seq, double now);
 
-  std::size_t pendingBatches() const { return pending_.size(); }
+  std::size_t pendingBatches() const;
   /// Bytes across all pending frames (the quantity the budget bounds).
-  std::size_t bufferedBytes() const { return bufferedBytes_; }
+  std::size_t bufferedBytes() const;
   /// Retransmissions issued since the last ack arrived — the daemon's
   /// uplink-health watchdog input.
-  std::size_t consecutiveFailures() const { return consecutiveFailures_; }
+  std::size_t consecutiveFailures() const;
   /// Sequence number the next sealed batch will get.
-  std::uint32_t nextSeq() const { return nextSeq_; }
+  std::uint32_t nextSeq() const;
   /// Earliest pending transmission time, +inf when nothing is pending.
   double nextAttemptTime() const;
 
@@ -134,10 +142,14 @@ class Outbox {
     double backoffSec = 0.0;
   };
 
+  // Mutators that assume mutex_ is already held by the caller.
   void rebuildFrame(PendingBatch& batch);
   void enforceBudget();
   void updateGauge();
+  bool onAckLocked(std::uint32_t seq, double now);
 
+  /// Guards every field below; all public members lock it on entry.
+  mutable std::mutex mutex_;
   OutboxConfig config_;
   Rng rng_;
   std::vector<Message> open_;

@@ -11,39 +11,39 @@ namespace caraoke::phy {
 // --- Air-interface timing (Fig 2a) ---------------------------------------
 
 /// Reader query: an unmodulated sine at the carrier, 20 us long.
-inline constexpr double kQueryDuration = 20e-6;
+inline constexpr double kQueryDuration = usec(20.0);
 /// Gap between the end of the query and the start of the response.
-inline constexpr double kQueryResponseGap = 100e-6;
+inline constexpr double kQueryResponseGap = usec(100.0);
 /// Transponder response duration: 256 bits in 512 us.
-inline constexpr double kResponseDuration = 512e-6;
+inline constexpr double kResponseDuration = usec(512.0);
 /// Response payload length in bits (Fig 2b).
 inline constexpr std::size_t kResponseBits = 256;
 /// Bit period: 512 us / 256 bits = 2 us.
 inline constexpr double kBitDuration = kResponseDuration / kResponseBits;
 /// Interval between successive queries when decoding (§12.4: "queries are
 /// separated by 1 ms").
-inline constexpr double kQueryInterval = 1e-3;
+inline constexpr double kQueryInterval = msec(1.0);
 /// CSMA listen window before a reader may transmit (§9: query 20 us +
 /// 100 us gap, so 120 us of silence guarantees no response is pending).
-inline constexpr double kCsmaListenWindow = 120e-6;
+inline constexpr double kCsmaListenWindow = usec(120.0);
 
 // --- Carrier band (§3, §5) ------------------------------------------------
 
 /// Lowest transponder carrier frequency.
-inline constexpr double kCarrierMinHz = 914.3e6;
+inline constexpr double kCarrierMinHz = MHz(914.3);
 /// Highest transponder carrier frequency.
-inline constexpr double kCarrierMaxHz = 915.5e6;
+inline constexpr double kCarrierMaxHz = MHz(915.5);
 /// Nominal carrier.
-inline constexpr double kCarrierNominalHz = 915.0e6;
+inline constexpr double kCarrierNominalHz = MHz(915.0);
 /// CFO span the counter searches: 1.2 MHz.
 inline constexpr double kCfoSpanHz = kCarrierMaxHz - kCarrierMinHz;
 /// Empirical carrier statistics from the paper's 155-transponder capture
 /// (§5 footnote 7).
-inline constexpr double kEmpiricalCarrierMeanHz = 914.84e6;
-inline constexpr double kEmpiricalCarrierStddevHz = 0.21e6;
+inline constexpr double kEmpiricalCarrierMeanHz = MHz(914.84);
+inline constexpr double kEmpiricalCarrierStddevHz = MHz(0.21);
 
 /// Radio range of a Caraoke reader (§9 footnote: 100 feet).
-inline constexpr double kReaderRangeMeters = 30.48;
+inline constexpr double kReaderRangeMeters = feet(100.0);
 
 // --- Reader sampling --------------------------------------------------------
 
@@ -52,7 +52,7 @@ inline constexpr double kReaderRangeMeters = 30.48;
 /// samples, delta_f = 1.953 kHz, and the 1.2 MHz CFO span covers 615 bins.
 struct SamplingParams {
   /// Complex baseband sample rate [Hz].
-  double sampleRateHz = 4e6;
+  double sampleRateHz = MHz(4.0);
   /// Local oscillator; at the bottom of the band so CFO is in [0, 1.2 MHz].
   double loFrequencyHz = kCarrierMinHz;
 

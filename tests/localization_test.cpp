@@ -118,7 +118,6 @@ TEST(Aoa, CalibrationRecoversCableOffsets) {
   // own per-antenna phase offsets; applying them restores AoA accuracy.
   Rng rng(2);
   const double carrier = 915.0e6;
-  const double lambda = wavelength(carrier);
   ArrayGeometry g;
   g.elements = {Vec3{0, 0, 4}, Vec3{0.165, 0, 4}, Vec3{0.08, 0.1, 4.1}};
   g.pairs = {{0, 1}, {1, 2}, {2, 0}};

@@ -262,8 +262,9 @@ TEST(Intersection, NoCarPassesStopLineOnRed) {
         // Cars that crossed before red may be past the line; cars behind
         // the line must not cross during red. We check no car sits just
         // past the line at low speed (i.e., crossed while stopped).
-        if (car.position > 0.0 && car.position < 2.0)
+        if (car.position > 0.0 && car.position < 2.0) {
           EXPECT_GT(car.speed, 1.0);
+        }
       }
     }
   }

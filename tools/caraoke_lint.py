@@ -1,0 +1,388 @@
+#!/usr/bin/env python3
+"""caraoke-lint: repo-specific invariant checker for the Caraoke codebase.
+
+Generic tools (clang-tidy, sanitizers) cannot know this repo's contracts.
+This linter enforces the ones the architecture depends on:
+
+  randomness   No ambient entropy outside common/rng: rand()/srand,
+               std::random_device, or raw <random> engine construction
+               anywhere else in src/ breaks seeded replay.
+  wallclock    No clock reads in src/{dsp,phy,sim,core}: simulation and
+               signal-processing code runs on caller-provided simulated
+               time only, so a run is a pure function of its seed.
+  wiremagic    Every wire-format magic constant is unique (a collision
+               would make frame types indistinguishable on the wire),
+               and every file that encodes a magic-framed message also
+               computes a CRC trailer (corruption must be *detected*,
+               not discovered by parse luck).
+  metricnames  Metric/event/span name literals follow the dotted
+               lowercase grammar (`net.backend.frames_ingested`), and no
+               metric name is registered at more than one source
+               location or under two different kinds — exposition and
+               dashboards key on exact names.
+  units        Frequency/time literals in src/{dsp,phy} go through
+               common/units.hpp helpers (MHz(915.0), usec(512)) instead
+               of raw scientific notation — the 914.3–915.5 MHz CFO
+               math is exactly where a silent kHz/MHz slip hides.
+
+Suppression: append `// caraoke-lint: allow(<rule>): <reason>` to the
+offending line. A marker without a reason is itself a finding — the
+policy is the same as NOLINT-with-reason in .clang-tidy.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+Run as a ctest: `ctest -L lint` (registered in tests/CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from collections import defaultdict
+
+# ----------------------------------------------------------------- util --
+
+ALLOW_RE = re.compile(
+    r"//\s*caraoke-lint:\s*allow\((?P<rule>[a-z]+)\)(?P<reason>:.*)?")
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+
+
+class Finding:
+    def __init__(self, rule, path, lineno, message):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def strip_line_comment(line):
+    """Drop a trailing // comment (naive but fine for this codebase)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def allowed(line, rule, findings, path, lineno):
+    """True when the line carries a well-formed allow marker for `rule`.
+
+    A marker with no reason text is reported as its own finding: the
+    suppression policy requires a justification.
+    """
+    m = ALLOW_RE.search(line)
+    if not m or m.group("rule") != rule:
+        return False
+    reason = (m.group("reason") or "").lstrip(":").strip()
+    if not reason:
+        findings.append(Finding(
+            rule, path, lineno,
+            "allow marker without a reason; write "
+            f"`// caraoke-lint: allow({rule}): <why>`"))
+    return True
+
+
+def iter_source_lines(files):
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            continue
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            yield path, lineno, line
+
+
+# ---------------------------------------------------------------- rules --
+
+RANDOMNESS_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:rand|srand)\s*\("
+    r"|std::random_device|random_device\s+\w"
+    r"|std::(?:mt19937(?:_64)?|minstd_rand0?|ranlux\d+(?:_48)?|knuth_b)\s+\w")
+
+
+def check_randomness(files, rel, findings):
+    """Entropy may only enter through common/rng's injected Rng."""
+    for path, lineno, line in iter_source_lines(files):
+        rp = rel(path)
+        if rp.startswith("src/common/rng"):
+            continue
+        code = line if ALLOW_RE.search(line) else strip_line_comment(line)
+        if not RANDOMNESS_RE.search(strip_line_comment(code)):
+            continue
+        if allowed(line, "randomness", findings, rp, lineno):
+            continue
+        findings.append(Finding(
+            "randomness", rp, lineno,
+            "ambient randomness outside common/rng — draw from an "
+            "injected caraoke::Rng instead"))
+
+
+WALLCLOCK_RE = re.compile(
+    r"system_clock|steady_clock|high_resolution_clock"
+    r"|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b"
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)|\bclock\s*\(\s*\)")
+
+DETERMINISTIC_DIRS = ("src/dsp/", "src/phy/", "src/sim/", "src/core/")
+
+
+def check_wallclock(files, rel, findings):
+    """Replay determinism: no real-time reads in simulation/DSP code."""
+    for path, lineno, line in iter_source_lines(files):
+        rp = rel(path)
+        if not rp.startswith(DETERMINISTIC_DIRS):
+            continue
+        if not WALLCLOCK_RE.search(strip_line_comment(line)):
+            continue
+        if allowed(line, "wallclock", findings, rp, lineno):
+            continue
+        findings.append(Finding(
+            "wallclock", rp, lineno,
+            "clock read in deterministic code — time must be "
+            "caller-provided simulated seconds"))
+
+
+MAGIC_DEF_RE = re.compile(
+    r"constexpr\s+std::uint16_t\s+(?P<name>k\w*Magic\w*)\s*=\s*"
+    r"(?P<value>0[xX][0-9a-fA-F]+)")
+MAGIC_ENCODE_RE = re.compile(r"\bu16\s*\(\s*(?:\w+::)*k\w*Magic\w*\s*\)")
+
+
+def check_wiremagic(files, rel, findings):
+    """Wire magics unique; every encoder file computes a CRC trailer."""
+    by_value = defaultdict(list)          # value -> [(path, lineno, name)]
+    encoders = defaultdict(list)          # path -> [lineno]
+    has_crc = set()                       # paths referencing crc32
+    for path, lineno, line in iter_source_lines(files):
+        rp = rel(path)
+        code = strip_line_comment(line)
+        m = MAGIC_DEF_RE.search(code)
+        if m:
+            by_value[int(m.group("value"), 16)].append(
+                (rp, lineno, m.group("name")))
+        if MAGIC_ENCODE_RE.search(code):
+            encoders[rp].append(lineno)
+        if "crc32" in code:
+            has_crc.add(rp)
+
+    for value, sites in sorted(by_value.items()):
+        if len(sites) > 1:
+            where = ", ".join(f"{p}:{n} ({name})" for p, n, name in sites)
+            findings.append(Finding(
+                "wiremagic", sites[0][0], sites[0][1],
+                f"magic 0x{value:04X} defined more than once: {where}"))
+
+    for rp, linenos in sorted(encoders.items()):
+        if rp in has_crc:
+            continue
+        findings.append(Finding(
+            "wiremagic", rp, linenos[0],
+            "file encodes a magic-framed message but never computes a "
+            "crc32 trailer — corruption would go undetected"))
+
+
+NAME_GRAMMAR_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+METRIC_REG_RE = re.compile(
+    r"\.(?P<kind>counter|gauge|histogram)\s*\(\s*\"(?P<name>[^\"]+)\"")
+EVENT_EMIT_RE = re.compile(
+    r"(?:emitEvent|ObsSpan\b[^(]*)\(\s*\"(?P<name>[^\"]+)\"")
+
+
+def check_metricnames(files, rel, findings):
+    """Dotted-lowercase grammar; one registration site and kind per name."""
+    registrations = defaultdict(list)     # name -> [(kind, path, lineno)]
+    for path, lineno, line in iter_source_lines(files):
+        rp = rel(path)
+        code = strip_line_comment(line)
+        for m in METRIC_REG_RE.finditer(code):
+            name, kind = m.group("name"), m.group("kind")
+            if not NAME_GRAMMAR_RE.match(name):
+                if not allowed(line, "metricnames", findings, rp, lineno):
+                    findings.append(Finding(
+                        "metricnames", rp, lineno,
+                        f"metric name '{name}' violates the dotted "
+                        "lowercase grammar (e.g. net.backend.frames)"))
+            registrations[name].append((kind, rp, lineno))
+        for m in EVENT_EMIT_RE.finditer(code):
+            name = m.group("name")
+            if not NAME_GRAMMAR_RE.match(name):
+                if not allowed(line, "metricnames", findings, rp, lineno):
+                    findings.append(Finding(
+                        "metricnames", rp, lineno,
+                        f"event/span name '{name}' violates the dotted "
+                        "lowercase grammar"))
+
+    for name, sites in sorted(registrations.items()):
+        kinds = {kind for kind, _, _ in sites}
+        if len(kinds) > 1:
+            where = ", ".join(f"{p}:{n} ({k})" for k, p, n in sites)
+            findings.append(Finding(
+                "metricnames", sites[0][1], sites[0][2],
+                f"metric '{name}' registered under conflicting kinds: "
+                f"{where}"))
+        if len(sites) > 1:
+            where = ", ".join(f"{p}:{n}" for _, p, n in sites)
+            findings.append(Finding(
+                "metricnames", sites[0][1], sites[0][2],
+                f"metric '{name}' registered at {len(sites)} sites "
+                f"({where}) — resolve the handle once and share it"))
+
+
+# Frequency-or-time magnitudes: kHz/MHz/GHz (e3/e6/e9) and ms/us
+# (e-3/e-6). Dimensionless epsilons (1e-12, 1e-15, ...) are untouched.
+UNITS_RE = re.compile(r"(?<![\w.])\d+(?:\.\d+)?e[+]?(?:3|6|9)\b"
+                      r"|(?<![\w.])\d+(?:\.\d+)?e-(?:3|6)\b")
+UNITS_HELPER_RE = re.compile(
+    r"\b(?:kHz|MHz|GHz|usec|msec|sec|feet|inches|cm|mph|mW|uW)\s*\(")
+UNITS_DIRS = ("src/dsp/", "src/phy/")
+
+
+def check_units(files, rel, findings):
+    """Physical literals in DSP/PHY code go through common/units.hpp."""
+    for path, lineno, line in iter_source_lines(files):
+        rp = rel(path)
+        if not rp.startswith(UNITS_DIRS):
+            continue
+        code = strip_line_comment(line)
+        if not UNITS_RE.search(code):
+            continue
+        if UNITS_HELPER_RE.search(code):
+            continue  # already expressed through a units helper
+        if allowed(line, "units", findings, rp, lineno):
+            continue
+        findings.append(Finding(
+            "units", rp, lineno,
+            "raw frequency/time literal — use common/units.hpp "
+            "(MHz(915.0), usec(512), msec(1)) so the magnitude is "
+            "readable and greppable"))
+
+
+RULES = {
+    "randomness": check_randomness,
+    "wallclock": check_wallclock,
+    "wiremagic": check_wiremagic,
+    "metricnames": check_metricnames,
+    "units": check_units,
+}
+
+
+# ------------------------------------------------------------- selftest --
+
+SELFTEST_CASES = [
+    # (rule, relative path, line, should_flag)
+    ("randomness", "src/core/foo.cpp", "int x = rand();", True),
+    ("randomness", "src/core/foo.cpp", "std::random_device rd;", True),
+    ("randomness", "src/core/foo.cpp", "std::mt19937_64 eng(seed);", True),
+    ("randomness", "src/common/rng.cpp", "std::mt19937_64 eng_(seed);", False),
+    ("randomness", "src/core/foo.cpp", "rng.uniform(0.0, 1.0);", False),
+    ("randomness", "src/core/foo.cpp",
+     "int x = rand();  // caraoke-lint: allow(randomness): legacy shim",
+     False),
+    ("wallclock", "src/sim/foo.cpp",
+     "auto t = std::chrono::steady_clock::now();", True),
+    ("wallclock", "src/dsp/foo.cpp", "time(nullptr);", True),
+    ("wallclock", "src/obs/trace.cpp",
+     "auto t = std::chrono::steady_clock::now();", False),
+    ("wallclock", "src/sim/foo.cpp", "double timeOfArrival = 3.0;", False),
+    ("metricnames", "src/core/foo.cpp",
+     'registry.counter("BadName");', True),
+    ("metricnames", "src/core/foo.cpp",
+     'registry.counter("good.dotted_name");', False),
+    ("units", "src/phy/foo.cpp", "double f = 914.3e6;", True),
+    ("units", "src/phy/foo.cpp", "double f = MHz(914.3);", False),
+    ("units", "src/dsp/foo.cpp", "double eps = 1e-12;", False),
+    ("units", "src/net/foo.cpp", "double f = 914.3e6;", False),
+]
+
+
+class FakePath:
+    """Stands in for pathlib.Path in selftest: one line of content."""
+
+    def __init__(self, rel, line):
+        self.rel = rel
+        self.line = line
+
+    def read_text(self, encoding="utf-8"):
+        return self.line
+
+
+def selftest():
+    failures = []
+    for rule, rel_path, line, should_flag in SELFTEST_CASES:
+        findings = []
+        fake = FakePath(rel_path, line)
+        RULES[rule]([fake], lambda p: p.rel, findings)
+        hits = [f for f in findings if f.rule == rule]
+        if bool(hits) != should_flag:
+            verb = "should have flagged" if should_flag else "wrongly flagged"
+            failures.append(f"selftest [{rule}] {verb}: {line!r}")
+
+    # Cross-file wiremagic cases need two files.
+    findings = []
+    dup = [FakePath("src/net/a.hpp",
+                    "constexpr std::uint16_t kAMagic = 0xCA0D;"),
+           FakePath("src/net/b.hpp",
+                    "constexpr std::uint16_t kBMagic = 0xCA0D;")]
+    check_wiremagic(dup, lambda p: p.rel, findings)
+    if not findings:
+        failures.append("selftest [wiremagic] missed a duplicate magic")
+
+    findings = []
+    nocrc = [FakePath("src/net/enc.cpp", "w.u16(kAckMagic);")]
+    check_wiremagic(nocrc, lambda p: p.rel, findings)
+    if not findings:
+        failures.append("selftest [wiremagic] missed an encoder with no CRC")
+
+    findings = []
+    twice = [FakePath("src/a.cpp", 'reg.counter("dup.name");'),
+             FakePath("src/b.cpp", 'reg.counter("dup.name");')]
+    check_metricnames(twice, lambda p: p.rel, findings)
+    if not any("2 sites" in f.message for f in findings):
+        failures.append("selftest [metricnames] missed double registration")
+
+    for f in failures:
+        print(f, file=sys.stderr)
+    return not failures
+
+
+# ----------------------------------------------------------------- main --
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
+                        help="repository root (directory containing src/)")
+    parser.add_argument("--rule", choices=sorted(RULES), action="append",
+                        help="run only these rules (default: all)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in rule selftest first")
+    args = parser.parse_args()
+
+    if args.selftest and not selftest():
+        print("caraoke-lint: selftest FAILED", file=sys.stderr)
+        return 2
+
+    src = (args.root / "src").resolve()
+    if not src.is_dir():
+        print(f"caraoke-lint: no src/ under {args.root}", file=sys.stderr)
+        return 2
+    files = sorted(p for p in src.rglob("*")
+                   if p.suffix in SOURCE_SUFFIXES and p.is_file())
+
+    def rel(path):
+        return path.resolve().relative_to(src.parent).as_posix()
+
+    findings = []
+    for name in (args.rule or sorted(RULES)):
+        RULES[name](files, rel, findings)
+
+    for finding in findings:
+        print(finding)
+    summary = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"caraoke-lint: {len(files)} files, {summary}"
+          + (" (selftest ok)" if args.selftest else ""))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
