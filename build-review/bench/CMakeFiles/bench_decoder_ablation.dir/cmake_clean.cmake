@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoder_ablation.dir/decoder_ablation.cpp.o"
+  "CMakeFiles/bench_decoder_ablation.dir/decoder_ablation.cpp.o.d"
+  "bench_decoder_ablation"
+  "bench_decoder_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoder_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

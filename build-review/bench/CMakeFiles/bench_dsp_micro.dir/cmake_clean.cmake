@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsp_micro.dir/dsp_micro.cpp.o"
+  "CMakeFiles/bench_dsp_micro.dir/dsp_micro.cpp.o.d"
+  "bench_dsp_micro"
+  "bench_dsp_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsp_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq7_counting_probability.dir/eq7_counting_probability.cpp.o"
+  "CMakeFiles/bench_eq7_counting_probability.dir/eq7_counting_probability.cpp.o.d"
+  "bench_eq7_counting_probability"
+  "bench_eq7_counting_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq7_counting_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

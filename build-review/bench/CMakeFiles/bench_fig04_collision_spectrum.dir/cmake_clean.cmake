@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_collision_spectrum.dir/fig04_collision_spectrum.cpp.o"
+  "CMakeFiles/bench_fig04_collision_spectrum.dir/fig04_collision_spectrum.cpp.o.d"
+  "bench_fig04_collision_spectrum"
+  "bench_fig04_collision_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_collision_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_decoding_averaging.dir/fig08_decoding_averaging.cpp.o"
+  "CMakeFiles/bench_fig08_decoding_averaging.dir/fig08_decoding_averaging.cpp.o.d"
+  "bench_fig08_decoding_averaging"
+  "bench_fig08_decoding_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_decoding_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_multipath_profile.dir/fig14_multipath_profile.cpp.o"
+  "CMakeFiles/bench_fig14_multipath_profile.dir/fig14_multipath_profile.cpp.o.d"
+  "bench_fig14_multipath_profile"
+  "bench_fig14_multipath_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_multipath_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

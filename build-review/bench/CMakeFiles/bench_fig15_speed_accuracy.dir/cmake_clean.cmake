@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_speed_accuracy.dir/fig15_speed_accuracy.cpp.o"
+  "CMakeFiles/bench_fig15_speed_accuracy.dir/fig15_speed_accuracy.cpp.o.d"
+  "bench_fig15_speed_accuracy"
+  "bench_fig15_speed_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_speed_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mac_csma_ablation.dir/mac_csma_ablation.cpp.o"
+  "CMakeFiles/bench_mac_csma_ablation.dir/mac_csma_ablation.cpp.o.d"
+  "bench_mac_csma_ablation"
+  "bench_mac_csma_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mac_csma_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

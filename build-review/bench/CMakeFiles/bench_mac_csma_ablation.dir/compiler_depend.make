@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_mac_csma_ablation.
+# This may be replaced when dependencies are built.

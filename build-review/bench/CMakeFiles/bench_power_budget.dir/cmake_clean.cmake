@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_budget.dir/power_budget.cpp.o"
+  "CMakeFiles/bench_power_budget.dir/power_budget.cpp.o.d"
+  "bench_power_budget"
+  "bench_power_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

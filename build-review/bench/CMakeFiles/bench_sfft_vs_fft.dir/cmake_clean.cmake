@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfft_vs_fft.dir/sfft_vs_fft.cpp.o"
+  "CMakeFiles/bench_sfft_vs_fft.dir/sfft_vs_fft.cpp.o.d"
+  "bench_sfft_vs_fft"
+  "bench_sfft_vs_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfft_vs_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

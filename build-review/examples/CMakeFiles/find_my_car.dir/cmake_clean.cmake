@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_my_car.dir/find_my_car.cpp.o"
+  "CMakeFiles/find_my_car.dir/find_my_car.cpp.o.d"
+  "find_my_car"
+  "find_my_car.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_my_car.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

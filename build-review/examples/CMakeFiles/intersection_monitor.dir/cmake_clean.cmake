@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_monitor.dir/intersection_monitor.cpp.o"
+  "CMakeFiles/intersection_monitor.dir/intersection_monitor.cpp.o.d"
+  "intersection_monitor"
+  "intersection_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

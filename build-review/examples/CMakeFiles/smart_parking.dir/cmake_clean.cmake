@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_parking.dir/smart_parking.cpp.o"
+  "CMakeFiles/smart_parking.dir/smart_parking.cpp.o.d"
+  "smart_parking"
+  "smart_parking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_parking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

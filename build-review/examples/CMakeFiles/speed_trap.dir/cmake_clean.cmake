@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_trap.dir/speed_trap.cpp.o"
+  "CMakeFiles/speed_trap.dir/speed_trap.cpp.o.d"
+  "speed_trap"
+  "speed_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

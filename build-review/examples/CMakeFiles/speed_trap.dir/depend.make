@@ -1,0 +1,2 @@
+# Empty dependencies file for speed_trap.
+# This may be replaced when dependencies are built.

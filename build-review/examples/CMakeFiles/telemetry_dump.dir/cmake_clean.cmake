@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_dump.dir/telemetry_dump.cpp.o"
+  "CMakeFiles/telemetry_dump.dir/telemetry_dump.cpp.o.d"
+  "telemetry_dump"
+  "telemetry_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toll_plaza.dir/toll_plaza.cpp.o"
+  "CMakeFiles/toll_plaza.dir/toll_plaza.cpp.o.d"
+  "toll_plaza"
+  "toll_plaza.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toll_plaza.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

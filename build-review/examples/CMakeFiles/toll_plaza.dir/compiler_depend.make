@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for toll_plaza.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for toll_plaza.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/car_finder.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/car_finder.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/car_finder.cpp.o.d"
+  "/root/repo/src/apps/cfo_registry.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/cfo_registry.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/cfo_registry.cpp.o.d"
+  "/root/repo/src/apps/parking.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/parking.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/parking.cpp.o.d"
+  "/root/repo/src/apps/reader_daemon.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/reader_daemon.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/reader_daemon.cpp.o.d"
+  "/root/repo/src/apps/red_light.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/red_light.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/red_light.cpp.o.d"
+  "/root/repo/src/apps/speed_enforcement.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/speed_enforcement.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/speed_enforcement.cpp.o.d"
+  "/root/repo/src/apps/tolling.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/tolling.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/tolling.cpp.o.d"
+  "/root/repo/src/apps/traffic_monitor.cpp" "src/apps/CMakeFiles/caraoke_apps.dir/traffic_monitor.cpp.o" "gcc" "src/apps/CMakeFiles/caraoke_apps.dir/traffic_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/caraoke_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/caraoke_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/caraoke_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/caraoke_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/caraoke_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/caraoke_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/caraoke_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/caraoke_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

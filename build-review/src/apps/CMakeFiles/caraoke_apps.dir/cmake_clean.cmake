@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_apps.dir/car_finder.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/car_finder.cpp.o.d"
+  "CMakeFiles/caraoke_apps.dir/cfo_registry.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/cfo_registry.cpp.o.d"
+  "CMakeFiles/caraoke_apps.dir/parking.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/parking.cpp.o.d"
+  "CMakeFiles/caraoke_apps.dir/reader_daemon.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/reader_daemon.cpp.o.d"
+  "CMakeFiles/caraoke_apps.dir/red_light.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/red_light.cpp.o.d"
+  "CMakeFiles/caraoke_apps.dir/speed_enforcement.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/speed_enforcement.cpp.o.d"
+  "CMakeFiles/caraoke_apps.dir/tolling.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/tolling.cpp.o.d"
+  "CMakeFiles/caraoke_apps.dir/traffic_monitor.cpp.o"
+  "CMakeFiles/caraoke_apps.dir/traffic_monitor.cpp.o.d"
+  "libcaraoke_apps.a"
+  "libcaraoke_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_common.dir/log.cpp.o"
+  "CMakeFiles/caraoke_common.dir/log.cpp.o.d"
+  "CMakeFiles/caraoke_common.dir/rng.cpp.o"
+  "CMakeFiles/caraoke_common.dir/rng.cpp.o.d"
+  "CMakeFiles/caraoke_common.dir/table.cpp.o"
+  "CMakeFiles/caraoke_common.dir/table.cpp.o.d"
+  "libcaraoke_common.a"
+  "libcaraoke_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

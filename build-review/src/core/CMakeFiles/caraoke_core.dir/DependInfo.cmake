@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aoa.cpp" "src/core/CMakeFiles/caraoke_core.dir/aoa.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/aoa.cpp.o.d"
+  "/root/repo/src/core/counter.cpp" "src/core/CMakeFiles/caraoke_core.dir/counter.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/counter.cpp.o.d"
+  "/root/repo/src/core/counting_analysis.cpp" "src/core/CMakeFiles/caraoke_core.dir/counting_analysis.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/counting_analysis.cpp.o.d"
+  "/root/repo/src/core/decoder.cpp" "src/core/CMakeFiles/caraoke_core.dir/decoder.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/decoder.cpp.o.d"
+  "/root/repo/src/core/localizer.cpp" "src/core/CMakeFiles/caraoke_core.dir/localizer.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/localizer.cpp.o.d"
+  "/root/repo/src/core/mac.cpp" "src/core/CMakeFiles/caraoke_core.dir/mac.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/mac.cpp.o.d"
+  "/root/repo/src/core/multipath.cpp" "src/core/CMakeFiles/caraoke_core.dir/multipath.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/multipath.cpp.o.d"
+  "/root/repo/src/core/reader.cpp" "src/core/CMakeFiles/caraoke_core.dir/reader.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/reader.cpp.o.d"
+  "/root/repo/src/core/spectrum_analysis.cpp" "src/core/CMakeFiles/caraoke_core.dir/spectrum_analysis.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/spectrum_analysis.cpp.o.d"
+  "/root/repo/src/core/speed.cpp" "src/core/CMakeFiles/caraoke_core.dir/speed.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/speed.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/caraoke_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/caraoke_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/caraoke_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/caraoke_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/caraoke_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/caraoke_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

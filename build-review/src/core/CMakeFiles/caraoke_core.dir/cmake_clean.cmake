@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_core.dir/aoa.cpp.o"
+  "CMakeFiles/caraoke_core.dir/aoa.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/counter.cpp.o"
+  "CMakeFiles/caraoke_core.dir/counter.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/counting_analysis.cpp.o"
+  "CMakeFiles/caraoke_core.dir/counting_analysis.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/decoder.cpp.o"
+  "CMakeFiles/caraoke_core.dir/decoder.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/localizer.cpp.o"
+  "CMakeFiles/caraoke_core.dir/localizer.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/mac.cpp.o"
+  "CMakeFiles/caraoke_core.dir/mac.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/multipath.cpp.o"
+  "CMakeFiles/caraoke_core.dir/multipath.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/reader.cpp.o"
+  "CMakeFiles/caraoke_core.dir/reader.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/spectrum_analysis.cpp.o"
+  "CMakeFiles/caraoke_core.dir/spectrum_analysis.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/speed.cpp.o"
+  "CMakeFiles/caraoke_core.dir/speed.cpp.o.d"
+  "CMakeFiles/caraoke_core.dir/tracker.cpp.o"
+  "CMakeFiles/caraoke_core.dir/tracker.cpp.o.d"
+  "libcaraoke_core.a"
+  "libcaraoke_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filter.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/filter.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/filter.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/linalg.cpp.o.d"
+  "/root/repo/src/dsp/music.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/music.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/music.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/sfft.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/sfft.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/sfft.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/stats.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/caraoke_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/caraoke_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/caraoke_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/caraoke_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

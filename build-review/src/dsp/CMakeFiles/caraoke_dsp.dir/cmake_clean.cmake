@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_dsp.dir/fft.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/filter.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/linalg.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/linalg.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/music.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/music.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/sfft.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/sfft.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/stats.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/caraoke_dsp.dir/window.cpp.o"
+  "CMakeFiles/caraoke_dsp.dir/window.cpp.o.d"
+  "libcaraoke_dsp.a"
+  "libcaraoke_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/backend.cpp" "src/net/CMakeFiles/caraoke_net.dir/backend.cpp.o" "gcc" "src/net/CMakeFiles/caraoke_net.dir/backend.cpp.o.d"
+  "/root/repo/src/net/clock.cpp" "src/net/CMakeFiles/caraoke_net.dir/clock.cpp.o" "gcc" "src/net/CMakeFiles/caraoke_net.dir/clock.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/net/CMakeFiles/caraoke_net.dir/framing.cpp.o" "gcc" "src/net/CMakeFiles/caraoke_net.dir/framing.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/caraoke_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/caraoke_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/caraoke_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/caraoke_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/outbox.cpp" "src/net/CMakeFiles/caraoke_net.dir/outbox.cpp.o" "gcc" "src/net/CMakeFiles/caraoke_net.dir/outbox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/caraoke_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/caraoke_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/caraoke_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/caraoke_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/caraoke_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_net.dir/backend.cpp.o"
+  "CMakeFiles/caraoke_net.dir/backend.cpp.o.d"
+  "CMakeFiles/caraoke_net.dir/clock.cpp.o"
+  "CMakeFiles/caraoke_net.dir/clock.cpp.o.d"
+  "CMakeFiles/caraoke_net.dir/framing.cpp.o"
+  "CMakeFiles/caraoke_net.dir/framing.cpp.o.d"
+  "CMakeFiles/caraoke_net.dir/link.cpp.o"
+  "CMakeFiles/caraoke_net.dir/link.cpp.o.d"
+  "CMakeFiles/caraoke_net.dir/message.cpp.o"
+  "CMakeFiles/caraoke_net.dir/message.cpp.o.d"
+  "CMakeFiles/caraoke_net.dir/outbox.cpp.o"
+  "CMakeFiles/caraoke_net.dir/outbox.cpp.o.d"
+  "libcaraoke_net.a"
+  "libcaraoke_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_obs.dir/events.cpp.o"
+  "CMakeFiles/caraoke_obs.dir/events.cpp.o.d"
+  "CMakeFiles/caraoke_obs.dir/metrics.cpp.o"
+  "CMakeFiles/caraoke_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/caraoke_obs.dir/trace.cpp.o"
+  "CMakeFiles/caraoke_obs.dir/trace.cpp.o.d"
+  "libcaraoke_obs.a"
+  "libcaraoke_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

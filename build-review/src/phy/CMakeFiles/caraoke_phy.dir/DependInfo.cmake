@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/cfo.cpp" "src/phy/CMakeFiles/caraoke_phy.dir/cfo.cpp.o" "gcc" "src/phy/CMakeFiles/caraoke_phy.dir/cfo.cpp.o.d"
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/caraoke_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/caraoke_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/caraoke_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/caraoke_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/manchester.cpp" "src/phy/CMakeFiles/caraoke_phy.dir/manchester.cpp.o" "gcc" "src/phy/CMakeFiles/caraoke_phy.dir/manchester.cpp.o.d"
+  "/root/repo/src/phy/ook.cpp" "src/phy/CMakeFiles/caraoke_phy.dir/ook.cpp.o" "gcc" "src/phy/CMakeFiles/caraoke_phy.dir/ook.cpp.o.d"
+  "/root/repo/src/phy/packet.cpp" "src/phy/CMakeFiles/caraoke_phy.dir/packet.cpp.o" "gcc" "src/phy/CMakeFiles/caraoke_phy.dir/packet.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/caraoke_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/caraoke_phy.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/caraoke_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/caraoke_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/caraoke_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_phy.dir/cfo.cpp.o"
+  "CMakeFiles/caraoke_phy.dir/cfo.cpp.o.d"
+  "CMakeFiles/caraoke_phy.dir/channel.cpp.o"
+  "CMakeFiles/caraoke_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/caraoke_phy.dir/crc.cpp.o"
+  "CMakeFiles/caraoke_phy.dir/crc.cpp.o.d"
+  "CMakeFiles/caraoke_phy.dir/manchester.cpp.o"
+  "CMakeFiles/caraoke_phy.dir/manchester.cpp.o.d"
+  "CMakeFiles/caraoke_phy.dir/ook.cpp.o"
+  "CMakeFiles/caraoke_phy.dir/ook.cpp.o.d"
+  "CMakeFiles/caraoke_phy.dir/packet.cpp.o"
+  "CMakeFiles/caraoke_phy.dir/packet.cpp.o.d"
+  "CMakeFiles/caraoke_phy.dir/sync.cpp.o"
+  "CMakeFiles/caraoke_phy.dir/sync.cpp.o.d"
+  "libcaraoke_phy.a"
+  "libcaraoke_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

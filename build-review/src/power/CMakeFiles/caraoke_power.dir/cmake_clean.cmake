@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_power.dir/model.cpp.o"
+  "CMakeFiles/caraoke_power.dir/model.cpp.o.d"
+  "libcaraoke_power.a"
+  "libcaraoke_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

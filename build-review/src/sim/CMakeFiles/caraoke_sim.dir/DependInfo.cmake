@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/events.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/events.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/events.cpp.o.d"
+  "/root/repo/src/sim/geometry.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/geometry.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/geometry.cpp.o.d"
+  "/root/repo/src/sim/intersection.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/intersection.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/intersection.cpp.o.d"
+  "/root/repo/src/sim/medium.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/medium.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/medium.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/mobility.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/scene.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/scene.cpp.o.d"
+  "/root/repo/src/sim/traffic_light.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/traffic_light.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/traffic_light.cpp.o.d"
+  "/root/repo/src/sim/transponder.cpp" "src/sim/CMakeFiles/caraoke_sim.dir/transponder.cpp.o" "gcc" "src/sim/CMakeFiles/caraoke_sim.dir/transponder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/caraoke_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/caraoke_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/caraoke_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/caraoke_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caraoke_sim.dir/events.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/events.cpp.o.d"
+  "CMakeFiles/caraoke_sim.dir/geometry.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/geometry.cpp.o.d"
+  "CMakeFiles/caraoke_sim.dir/intersection.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/intersection.cpp.o.d"
+  "CMakeFiles/caraoke_sim.dir/medium.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/caraoke_sim.dir/mobility.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/caraoke_sim.dir/scene.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/scene.cpp.o.d"
+  "CMakeFiles/caraoke_sim.dir/traffic_light.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/traffic_light.cpp.o.d"
+  "CMakeFiles/caraoke_sim.dir/transponder.cpp.o"
+  "CMakeFiles/caraoke_sim.dir/transponder.cpp.o.d"
+  "libcaraoke_sim.a"
+  "libcaraoke_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caraoke_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_smoke.dir/core_smoke_test.cpp.o"
+  "CMakeFiles/test_core_smoke.dir/core_smoke_test.cpp.o.d"
+  "test_core_smoke"
+  "test_core_smoke.pdb"
+  "test_core_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

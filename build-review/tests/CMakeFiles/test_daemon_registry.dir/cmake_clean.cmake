@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daemon_registry.dir/daemon_registry_test.cpp.o"
+  "CMakeFiles/test_daemon_registry.dir/daemon_registry_test.cpp.o.d"
+  "test_daemon_registry"
+  "test_daemon_registry.pdb"
+  "test_daemon_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daemon_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

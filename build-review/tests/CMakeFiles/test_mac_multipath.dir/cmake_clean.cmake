@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_multipath.dir/mac_multipath_test.cpp.o"
+  "CMakeFiles/test_mac_multipath.dir/mac_multipath_test.cpp.o.d"
+  "test_mac_multipath"
+  "test_mac_multipath.pdb"
+  "test_mac_multipath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

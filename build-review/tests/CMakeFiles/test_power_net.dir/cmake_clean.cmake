@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_net.dir/power_net_test.cpp.o"
+  "CMakeFiles/test_power_net.dir/power_net_test.cpp.o.d"
+  "test_power_net"
+  "test_power_net.pdb"
+  "test_power_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

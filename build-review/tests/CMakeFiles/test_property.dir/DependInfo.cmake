@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/test_property.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/apps/CMakeFiles/caraoke_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/caraoke_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/caraoke_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/caraoke_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/caraoke_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/caraoke_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/caraoke_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/caraoke_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/caraoke_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracker_framing.dir/tracker_framing_test.cpp.o"
+  "CMakeFiles/test_tracker_framing.dir/tracker_framing_test.cpp.o.d"
+  "test_tracker_framing"
+  "test_tracker_framing.pdb"
+  "test_tracker_framing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracker_framing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

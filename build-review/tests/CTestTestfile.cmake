@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_phy[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core_smoke[1]_include.cmake")
+include("/root/repo/build-review/tests/test_counting[1]_include.cmake")
+include("/root/repo/build-review/tests/test_localization[1]_include.cmake")
+include("/root/repo/build-review/tests/test_decoder[1]_include.cmake")
+include("/root/repo/build-review/tests/test_mac_multipath[1]_include.cmake")
+include("/root/repo/build-review/tests/test_power_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tracker_framing[1]_include.cmake")
+include("/root/repo/build-review/tests/test_daemon_registry[1]_include.cmake")
+include("/root/repo/build-review/tests/test_property[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obs_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_chaos[1]_include.cmake")
+include("/root/repo/build-review/tests/test_race[1]_include.cmake")
+include("/root/repo/build-review/tests/test_determinism[1]_include.cmake")
+add_test(caraoke_lint "/root/.pyenv/shims/python3" "/root/repo/tools/caraoke_lint.py" "--root" "/root/repo" "--selftest")
+set_tests_properties(caraoke_lint PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")
