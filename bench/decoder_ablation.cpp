@@ -13,6 +13,7 @@
 #include "core/counter.hpp"
 #include "core/decoder.hpp"
 #include "dsp/stats.hpp"
+#include "harness.hpp"
 #include "phy/ook.hpp"
 #include "scenes.hpp"
 
@@ -47,10 +48,8 @@ std::size_t decodeWithoutChannelCorrection(
   return maxCollisions;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+int run(const bench::BenchArgs& args, obs::Registry& results) {
+  const std::size_t runs = args.sizeAt(0, 10);
   Rng rng(4242);
   const sim::ReaderNode reader = bench::makeReader(0.0);
   phy::EmpiricalCfoModel cfoModel;
@@ -94,6 +93,11 @@ int main(int argc, char** argv) {
       if (success) ++okWithout;
       withoutH.add(static_cast<double>(used));
     }
+    const std::string point = ".m" + std::to_string(m);
+    results.gauge("bench.decoder.ok_with_h" + point)
+        .set(static_cast<double>(okWith));
+    results.gauge("bench.decoder.ok_without_h" + point)
+        .set(static_cast<double>(okWithout));
     decodeTable.addRow(
         {std::to_string(m),
          Table::num(withH.mean(), 1) + " (" + std::to_string(okWith) + "/" +
@@ -142,7 +146,13 @@ int main(int argc, char** argv) {
                        Table::num(b / n * 100, 1) + "%",
                        Table::num(c / n * 100, 1) + "%",
                        Table::num(d / n * 100, 1) + "%"});
+    results.gauge("bench.decoder.acc_multiquery_pct.m" + std::to_string(m))
+        .set(a / n * 100);
   }
   countTable.print();
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return bench::benchMain(argc, argv, "", run); }

@@ -3,7 +3,6 @@
 // Goertzel channel probes, coherent combining) and the heavier estimators.
 #include <benchmark/benchmark.h>
 
-#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "core/counter.hpp"
 #include "core/spectrum_analysis.hpp"
@@ -11,6 +10,7 @@
 #include "dsp/filter.hpp"
 #include "dsp/linalg.hpp"
 #include "dsp/peaks.hpp"
+#include "harness_gbench.hpp"
 #include "phy/cfo.hpp"
 #include "phy/ook.hpp"
 
@@ -108,17 +108,4 @@ BENCHMARK(BM_HermitianEig)->Arg(8)->Arg(16)->Arg(36);
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN with --json support: after the benchmarks run,
-// optionally dump the process metrics registry — the dsp.* call counters
-// record exactly how many transforms the run performed, which is what a
-// perf dashboard trends against wall time.
-int main(int argc, char** argv) {
-  const std::string jsonPath = bench::takeJsonPath(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  obs::Registry results;  // bench figures live in the process registry
-  if (!jsonPath.empty() && !bench::writeJsonReport(jsonPath, results)) return 1;
-  return 0;
-}
+int main(int argc, char** argv) { return bench::gbenchMain(argc, argv); }

@@ -10,13 +10,15 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/counting_analysis.hpp"
+#include "harness.hpp"
 
 using namespace caraoke;
 
-int main() {
-  printBanner("Eq. 7 / Eq. 9 — probability of a correct count (N = 615)");
+namespace {
+
+int run(const bench::BenchArgs& args, obs::Registry& results) {
   const std::size_t bins = 615;
-  const std::size_t trials = 200000;
+  const std::size_t trials = args.sizeAt(0, 200000);
   Rng rng(7);
 
   Table table({"m", "Eq.7 naive", "MC naive", "Eq.9 bound", "exact no-triple",
@@ -40,6 +42,9 @@ int main() {
                   Table::num(eq9 * 100, 2) + "%",
                   Table::num(exact * 100, 2) + "%",
                   Table::num(mcPair * 100, 2) + "%", row.naive, row.pair});
+    const std::string point = ".m" + std::to_string(row.m);
+    results.gauge("bench.eq7.mc_naive_pct" + point).set(mcNaive * 100);
+    results.gauge("bench.eq7.mc_pair_pct" + point).set(mcPair * 100);
   }
   table.print();
 
@@ -53,5 +58,14 @@ int main() {
                              100, 2) + "%"});
   }
   sweep.print();
+  results.counter("bench.eq7.mc_trials").inc(trials);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::benchMain(
+      argc, argv, "Eq. 7 / Eq. 9 — probability of a correct count (N = 615)",
+      run);
 }

@@ -13,13 +13,15 @@
 #include "common/units.hpp"
 #include "core/counter.hpp"
 #include "core/spectrum_analysis.hpp"
+#include "harness.hpp"
 #include "phy/cfo.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
 
-int main() {
-  printBanner("Fig 4 — collision spectrum of five transponders");
+namespace {
+
+int run(const bench::BenchArgs&, obs::Registry& results) {
   Rng rng(404);
   const sim::ReaderNode reader = bench::makeReader(0.0);
   sim::MultipathConfig multipath;
@@ -95,5 +97,17 @@ int main() {
   table.print();
   std::cout << "\nPaper: 5 peaks for 5 colliding transponders."
             << "  Measured: " << spikes.size() << " peaks.\n";
+  results.gauge("bench.fig04.spikes_detected")
+      .set(static_cast<double>(spikes.size()));
+  results.gauge("bench.fig04.count_estimate")
+      .set(static_cast<double>(counted.estimate));
   return spikes.size() == 5 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::benchMain(argc, argv,
+                          "Fig 4 — collision spectrum of five transponders",
+                          run);
 }

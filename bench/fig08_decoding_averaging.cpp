@@ -12,13 +12,15 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/decoder.hpp"
+#include "harness.hpp"
 #include "phy/ook.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
 
-int main() {
-  printBanner("Fig 8 — decoding by coherent combining (5-way collision)");
+namespace {
+
+int run(const bench::BenchArgs&, obs::Registry& results) {
   Rng rng(808);
   const sim::ReaderNode reader = bench::makeReader(0.0);
   sim::MultipathConfig multipath;
@@ -77,5 +79,14 @@ int main() {
   std::cout << "\nPaper: decodable after ~16 averages; measured CRC at 16: "
             << (decodedAt16 ? "pass" : "fail (see table for crossover)")
             << "\n";
+  results.gauge("bench.fig08.crc_pass_at_16").set(decodedAt16 ? 1.0 : 0.0);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::benchMain(
+      argc, argv, "Fig 8 — decoding by coherent combining (5-way collision)",
+      run);
 }

@@ -11,22 +11,22 @@
 // Paper: accuracy stays above 99% while colliders < 40, average error 2%,
 // 90th percentile < 5%.
 #include <cmath>
-#include <cstdlib>
 #include <iostream>
 
-#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/counter.hpp"
 #include "dsp/stats.hpp"
+#include "harness.hpp"
 #include "obs/metrics.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
 
-int main(int argc, char** argv) {
-  const std::string jsonPath = bench::takeJsonPath(argc, argv);
-  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+namespace {
+
+int run(const bench::BenchArgs& args, obs::Registry& results) {
+  const std::size_t runs = args.sizeAt(0, 120);
   printBanner("Fig 11 — counting accuracy vs number of colliders (" +
               std::to_string(runs) + " runs per point)");
   Rng rng(2015);
@@ -47,7 +47,6 @@ int main(int argc, char** argv) {
 
   Table table({"colliders", "multi-query acc", "90th pct err", "single-shot",
                "naive peaks (Eq.7)", "paper"});
-  obs::Registry results;
   results.counter("bench.fig11.runs_per_point").inc(runs);
   dsp::RunningStats allErrors;
   for (std::size_t m = 5; m <= 50; m += 5) {
@@ -91,6 +90,9 @@ int main(int argc, char** argv) {
   std::cout << "\nOverall mean error: " << Table::num(allErrors.mean() * 100, 2)
             << "%  (paper: average error 2%, 90th percentile < 5%)\n";
   results.gauge("bench.fig11.mean_err_pct").set(allErrors.mean() * 100);
-  if (!jsonPath.empty() && !bench::writeJsonReport(jsonPath, results)) return 1;
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return bench::benchMain(argc, argv, "", run); }

@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "apps/traffic_monitor.hpp"
 #include "dsp/stats.hpp"
+#include "harness.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
@@ -27,10 +28,7 @@ const char* phaseName(sim::LightPhase phase) {
   }
 }
 
-}  // namespace
-
-int main() {
-  printBanner("Fig 12 — traffic monitoring at an intersection");
+int run(const bench::BenchArgs&, obs::Registry& results) {
   Rng rng(1212);
 
   // Cycle 94 s. Street C green 60 s, street A green 20 s (3x ratio),
@@ -110,5 +108,17 @@ int main() {
   std::cout << "RF-count error vs in-range tagged cars: mean |err| C = "
             << Table::num(errC.mean(), 2) << ", A = "
             << Table::num(errA.mean(), 2) << " cars\n";
+  results.gauge("bench.fig12.mean_abs_err_c").set(errC.mean());
+  results.gauge("bench.fig12.mean_abs_err_a").set(errA.mean());
+  results.gauge("bench.fig12.volume_ratio")
+      .set(volumeA > 0 ? volumeC / volumeA : 0.0);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::benchMain(argc, argv,
+                          "Fig 12 — traffic monitoring at an intersection",
+                          run);
 }

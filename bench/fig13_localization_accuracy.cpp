@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "core/aoa.hpp"
 #include "dsp/stats.hpp"
+#include "harness.hpp"
 #include "scenes.hpp"
 #include "sim/geometry.hpp"
 
@@ -98,10 +99,8 @@ std::vector<dsp::RunningStats> runExperiment(double tiltDeg, std::size_t runs,
   return stats;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+int run(const bench::BenchArgs& args, obs::Registry& results) {
+  const std::size_t runs = args.sizeAt(0, 30);
   printBanner("Fig 13 — AoA error by parking spot (" + std::to_string(runs) +
               " runs per spot)");
   Rng rng(1313);
@@ -125,5 +124,11 @@ int main(int argc, char** argv) {
             << Table::num(overall.mean(), 2)
             << " deg (paper: ~4 deg average; worst at spots 1 and 6; the "
                "tilt balances error across spots)\n";
+  results.counter("bench.fig13.runs_per_spot").inc(runs);
+  results.gauge("bench.fig13.mean_err_deg_tilted").set(overall.mean());
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return bench::benchMain(argc, argv, "", run); }

@@ -15,6 +15,7 @@
 #include "core/multipath.hpp"
 #include "core/spectrum_analysis.hpp"
 #include "dsp/stats.hpp"
+#include "harness.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
@@ -55,10 +56,8 @@ dsp::CVec sweepAperture(const core::SarConfig& sar, sim::Transponder& device,
   return snapshots;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+int run(const bench::BenchArgs& args, obs::Registry& results) {
+  const std::size_t runs = args.sizeAt(0, 100);
   printBanner("Fig 14 — multipath profile via synthetic aperture (" +
               std::to_string(runs) + " runs)");
   Rng rng(1414);
@@ -122,5 +121,13 @@ int main(int argc, char** argv) {
                 Table::num(100.0 * ratios.count() / runs, 0) + "% measured",
                 "order of magnitude"});
   table.print();
+  results.gauge("bench.fig14.peak_ratio_mean").set(ratios.mean());
+  results.gauge("bench.fig14.dominant_los_pct")
+      .set(100.0 * static_cast<double>(ratios.count()) /
+           static_cast<double>(runs));
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return bench::benchMain(argc, argv, "", run); }

@@ -12,6 +12,7 @@
 #include "core/aoa.hpp"
 #include "core/speed.hpp"
 #include "dsp/stats.hpp"
+#include "harness.hpp"
 #include "net/clock.hpp"
 #include "scenes.hpp"
 
@@ -68,10 +69,8 @@ std::vector<core::AngleSample> trackPassage(
   return samples;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+int run(const bench::BenchArgs& args, obs::Registry& results) {
+  const std::size_t runs = args.sizeAt(0, 10);
   printBanner("Fig 15 — speed detection accuracy (" + std::to_string(runs) +
               " runs per speed)");
   Rng rng(1515);
@@ -121,5 +120,11 @@ int main(int argc, char** argv) {
   std::cout << "\nOverall mean relative error: "
             << Table::num(allErrors.mean() * 100, 1)
             << "%  (paper: within 8%)\n";
+  results.counter("bench.fig15.runs_per_speed").inc(runs);
+  results.gauge("bench.fig15.mean_rel_err_pct").set(allErrors.mean() * 100);
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return bench::benchMain(argc, argv, "", run); }

@@ -5,22 +5,22 @@
 // 5, within ~50 ms for 10 — and decoding all colliders costs the same air
 // time as decoding one (the same collisions serve every target).
 #include <cmath>
-#include <cstdlib>
 #include <iostream>
 
-#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/decoder.hpp"
 #include "dsp/stats.hpp"
+#include "harness.hpp"
 #include "obs/metrics.hpp"
 #include "scenes.hpp"
 
 using namespace caraoke;
 
-int main(int argc, char** argv) {
-  const std::string jsonPath = bench::takeJsonPath(argc, argv);
-  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+namespace {
+
+int run(const bench::BenchArgs& args, obs::Registry& results) {
+  const std::size_t runs = args.sizeAt(0, 10);
   printBanner("Fig 16 — identification time vs colliders (" +
               std::to_string(runs) + " runs per point)");
   Rng rng(1616);
@@ -33,7 +33,6 @@ int main(int argc, char** argv) {
 
   Table table({"colliders", "time mean (ms)", "90th pct (ms)", "decoded ok",
                "paper"});
-  obs::Registry results;
   results.counter("bench.fig16.runs_per_point").inc(runs);
   for (std::size_t m = 1; m <= 10; ++m) {
     std::vector<double> times;
@@ -84,6 +83,9 @@ int main(int argc, char** argv) {
   std::cout << "\nNote (paper §12.4): decoding all colliders reuses the same "
                "collisions — total air time equals decoding the slowest "
                "target, not the sum.\n";
-  if (!jsonPath.empty() && !bench::writeJsonReport(jsonPath, results)) return 1;
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return bench::benchMain(argc, argv, "", run); }

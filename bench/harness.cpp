@@ -1,0 +1,97 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "common/table.hpp"
+#include "obs/trace.hpp"
+
+namespace caraoke::bench {
+
+std::size_t BenchArgs::sizeAt(std::size_t index, std::size_t fallback) const {
+  if (index >= positional.size()) return fallback;
+  char* end = nullptr;
+  const unsigned long value =
+      std::strtoul(positional[index].c_str(), &end, 10);
+  if (end == positional[index].c_str()) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+std::string takeJsonPath(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+bool writeJsonReport(const std::string& path, const obs::Registry& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  // Span-latency percentiles, extracted from the process registry's
+  // histograms so the perf trajectory can trend e.g.
+  // daemon.measurement_window.seconds p90 without re-deriving it from
+  // bucket counts.
+  const obs::RegistrySnapshot process = obs::globalRegistry().snapshot();
+  std::string quantiles = "{";
+  bool first = true;
+  for (const auto& h : process.histograms) {
+    if (h.count == 0) continue;
+    if (!first) quantiles += ',';
+    first = false;
+    quantiles += '"' + h.name + "\":{\"p50\":" +
+                 std::to_string(obs::histogramQuantile(h, 0.50)) +
+                 ",\"p90\":" +
+                 std::to_string(obs::histogramQuantile(h, 0.90)) +
+                 ",\"p99\":" +
+                 std::to_string(obs::histogramQuantile(h, 0.99)) + '}';
+  }
+  quantiles += '}';
+
+  const std::string body = "{\"bench\":" + results.jsonText() +
+                           ",\"process\":" + process.jsonText() +
+                           ",\"quantiles\":" + quantiles + "}\n";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote JSON report to %s\n", path.c_str());
+  return true;
+}
+
+int benchMain(int argc, char** argv, const std::string& title,
+              const ScenarioFn& scenario) {
+  const std::string jsonPath = takeJsonPath(argc, argv);
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) args.positional.emplace_back(argv[i]);
+  if (!title.empty()) printBanner(title);
+
+  obs::Registry results;
+  const double startSec = obs::monotonicSeconds();
+  int rc = 1;
+  try {
+    rc = scenario(args, results);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench scenario failed: %s\n", e.what());
+    return 1;
+  }
+  results.gauge("bench.wall_seconds")
+      .set(obs::monotonicSeconds() - startSec);
+
+  if (!jsonPath.empty() && !writeJsonReport(jsonPath, results)) return 1;
+  return rc;
+}
+
+}  // namespace caraoke::bench

@@ -1,0 +1,58 @@
+// Unified bench entry point. Every bench binary's `main` is one call:
+//
+//   int main(int argc, char** argv) {
+//     return bench::benchMain(argc, argv, "fig11 — counting accuracy",
+//                             [](const bench::BenchArgs& args,
+//                                obs::Registry& results) { ... });
+//   }
+//
+// The harness owns the argv plumbing the benches used to copy-paste:
+// it extracts `--json <path>`, hands the scenario its remaining
+// positional arguments and a results registry, stamps the scenario's
+// wall time into `bench.wall_seconds`, and writes the machine-readable
+// report tools/benchgate.py consumes:
+//
+//   {"bench":     <results registry>,      figures the table printed
+//    "process":   <global registry>,       pipeline work (dsp.fft.calls…)
+//    "quantiles": {hist: {p50,p90,p99}}}   span-latency percentiles
+//
+// Google-benchmark binaries get the same contract from gbenchMain in
+// harness_gbench.hpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace caraoke::bench {
+
+/// Positional arguments remaining after the harness flags are removed.
+struct BenchArgs {
+  std::vector<std::string> positional;
+
+  /// positional[index] parsed as a count, or `fallback` when absent or
+  /// unparsable — the "runs per point" convention every bench uses.
+  std::size_t sizeAt(std::size_t index, std::size_t fallback) const;
+};
+
+/// A bench body: fill `results` with the figures the run produced;
+/// non-zero return fails the binary (and the benchgate run).
+using ScenarioFn = std::function<int(const BenchArgs&, obs::Registry&)>;
+
+/// Shared main. `title` becomes the printBanner header (empty skips the
+/// banner, for scenarios that print their own).
+int benchMain(int argc, char** argv, const std::string& title,
+              const ScenarioFn& scenario);
+
+/// Extract `--json <path>` from argv (removing both tokens so positional
+/// arguments keep working); "" when absent.
+std::string takeJsonPath(int& argc, char** argv);
+
+/// Write the consolidated report (see file header) for `results` plus
+/// the process-global registry. False on I/O failure.
+bool writeJsonReport(const std::string& path, const obs::Registry& results);
+
+}  // namespace caraoke::bench

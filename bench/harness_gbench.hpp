@@ -1,0 +1,32 @@
+// Google-benchmark flavor of the unified entry point: same --json
+// contract as bench::benchMain, with the microbenchmark registry run in
+// between. The JSON report's `process` section carries the dsp.* call
+// counters the run generated — what a perf dashboard trends against the
+// wall time tools/benchgate.py measures around the binary.
+//
+// Header-only (and the only place <benchmark/benchmark.h> meets the
+// harness) so plain table benches never link google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "harness.hpp"
+#include "obs/trace.hpp"
+
+namespace caraoke::bench {
+
+inline int gbenchMain(int argc, char** argv) {
+  const std::string jsonPath = takeJsonPath(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  obs::Registry results;
+  const double startSec = obs::monotonicSeconds();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  results.gauge("bench.wall_seconds")
+      .set(obs::monotonicSeconds() - startSec);
+  if (!jsonPath.empty() && !writeJsonReport(jsonPath, results)) return 1;
+  return 0;
+}
+
+}  // namespace caraoke::bench

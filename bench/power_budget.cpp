@@ -7,13 +7,15 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "power/model.hpp"
 
 using namespace caraoke;
 using namespace caraoke::power;
 
-int main() {
-  printBanner("§12.5 — reader power budget");
+namespace {
+
+int run(const bench::BenchArgs&, obs::Registry& results) {
   const PowerProfile profile;
   const DutyCycle duty;
   const SolarPanel panel;
@@ -61,5 +63,17 @@ int main() {
   sim.print();
   std::cout << "\nPaper: energy from 3 h of sun runs the reader for a week "
                "regardless of weather.\n";
+  std::size_t brownouts = 0;
+  for (const auto& day : days) brownouts += day.brownout ? 1 : 0;
+  results.gauge("bench.power.harvest_margin").set(margin);
+  results.gauge("bench.power.average_mw").set(average * 1e3);
+  results.gauge("bench.power.brownout_days")
+      .set(static_cast<double>(brownouts));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::benchMain(argc, argv, "§12.5 — reader power budget", run);
 }

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "harness_gbench.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/sfft.hpp"
 #include "phy/cfo.hpp"
@@ -77,4 +78,4 @@ BENCHMARK(BM_SparseFftVsSparsity)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return bench::gbenchMain(argc, argv); }

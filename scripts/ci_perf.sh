@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf smoke for CI: build the bench binaries (optimized, no sanitizer),
+# then run tools/benchgate.py in the smoke profile — every bench binary
+# N times with --json, aggregated into BENCH_*.json and gated against
+# the newest committed baseline (exit non-zero on a wall-clock
+# regression beyond the threshold).
+#
+# Environment knobs:
+#   BUILD_DIR   build tree to use            (default build-perf)
+#   PROFILE     smoke | full                 (default smoke)
+#   REPEATS     runs per bench               (default 3)
+#   THRESHOLD   fractional slowdown gate     (default 0.10)
+#   OUT         consolidated report path     (default BENCH_PR4.tmp.json,
+#               gitignored so CI runs never dirty the tree)
+#   GATE_ARGS   extra benchgate.py args (e.g. --update-baseline)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-perf}"
+PROFILE="${PROFILE:-smoke}"
+REPEATS="${REPEATS:-3}"
+THRESHOLD="${THRESHOLD:-0.10}"
+OUT="${OUT:-BENCH_PR4.tmp.json}"
+
+echo "=== ci_perf: building benches (${BUILD_DIR}) ==="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" -j --target \
+  bench_fig04_collision_spectrum bench_eq7_counting_probability \
+  bench_fig08_decoding_averaging bench_fig11_counting_accuracy \
+  bench_fig12_traffic_monitoring bench_fig13_localization_accuracy \
+  bench_fig14_multipath_profile bench_fig15_speed_accuracy \
+  bench_fig16_identification_time bench_power_budget \
+  bench_mac_csma_ablation bench_decoder_ablation \
+  bench_dsp_micro bench_sfft_vs_fft >/dev/null
+
+echo "=== ci_perf: benchgate (${PROFILE}, x${REPEATS}, gate ${THRESHOLD}) ==="
+# shellcheck disable=SC2086
+python3 tools/benchgate.py \
+  --build-dir "${BUILD_DIR}" \
+  --profile "${PROFILE}" \
+  --repeats "${REPEATS}" \
+  --threshold "${THRESHOLD}" \
+  --out "${OUT}" \
+  ${GATE_ARGS:-}
+
+echo "=== ci_perf: OK ==="

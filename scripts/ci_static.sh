@@ -12,6 +12,8 @@
 #   tsan   the `race`-labelled concurrency stress rig (plus chaos and
 #          determinism suites) under ThreadSanitizer. Set CI_TSAN_FULL=1
 #          to run the entire suite under TSan instead (slow).
+#   perf   scripts/ci_perf.sh: benchgate smoke over every bench binary,
+#          gated against the newest committed BENCH_*.json baseline.
 #
 # Stops at the first failing stage (non-zero exit) and always prints a
 # per-stage summary. Every compile runs with CARAOKE_WERROR=ON: CI has
@@ -24,7 +26,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(lint tidy asan ubsan tsan)
+  STAGES=(lint tidy asan ubsan tsan perf)
 fi
 
 SUMMARY=()
@@ -103,8 +105,12 @@ for stage in "${STAGES[@]}"; do
       fi
       SUMMARY+=("tsan: OK")
       ;;
+    perf)
+      scripts/ci_perf.sh || fail_stage perf
+      SUMMARY+=("perf: OK")
+      ;;
     *)
-      echo "unknown stage '${stage}' (valid: lint tidy asan ubsan tsan)" >&2
+      echo "unknown stage '${stage}' (valid: lint tidy asan ubsan tsan perf)" >&2
       fail_stage "${stage}"
       ;;
   esac

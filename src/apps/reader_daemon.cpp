@@ -70,7 +70,9 @@ ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
       // attaching the fault-tolerant uplink does not perturb the scene's
       // noise draws (which seed-pinned tests depend on).
       outbox_(outboxConfigFor(config),
-              Rng(0xca0c'b0c5'0000'0000ull + config.readerId), &registry_) {
+              Rng(0xca0c'b0c5'0000'0000ull + config.readerId), &registry_),
+      flight_(config.flightCapacity),
+      flightDumpsCtr_(registry_.counter("daemon.flight_dumps")) {
   // The road-parallel pair drives the tracker's cos(alpha) feed.
   double bestAlign = -1.0;
   for (std::size_t p = 0; p < aoa_.geometry().pairs.size(); ++p) {
@@ -81,6 +83,55 @@ ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
     }
   }
   clock_.ntpSync(0.0, net::kNtpResidualRmsSec, rng_);
+  if (config_.expoPort >= 0) startExposition();
+}
+
+void ReaderDaemon::startExposition() {
+  obs::ExpoOptions options;
+  options.port = static_cast<std::uint16_t>(config_.expoPort);
+  obs::ExpoHandlers handlers;
+  // The daemon's private registry first, then the process-wide one
+  // (dsp.*, net.link.*, ...): one scrape sees the whole device. Both
+  // snapshot under their own mutexes, so serving during a measurement
+  // window is race-free.
+  handlers.metricsText = [this] {
+    return registry_.expositionText() + obs::globalRegistry().expositionText();
+  };
+  handlers.metricsJson = [this] {
+    return "{\"daemon\":" + registry_.jsonText() +
+           ",\"process\":" + obs::globalRegistry().jsonText() + "}";
+  };
+  handlers.healthz = [this] {
+    const UplinkHealth state = health();
+    obs::HealthStatus status;
+    status.ok = state == UplinkHealth::kHealthy;
+    status.body = uplinkHealthName(state);
+    return status;
+  };
+  handlers.flight = [this] { return flight_.jsonLines(); };
+  auto server =
+      std::make_unique<obs::ExpoServer>(std::move(options), std::move(handlers));
+  // A failed bind (port taken) must not kill the reader: log via the
+  // event stream and carry on headless.
+  if (server->start())
+    expo_ = std::move(server);
+  recordEvent("daemon.expo_start",
+              {{"reader_id", config_.readerId},
+               {"requested_port", config_.expoPort},
+               {"bound_port", expo_ != nullptr ? expo_->port() : 0},
+               {"ok", expo_ != nullptr}});
+}
+
+void ReaderDaemon::recordEvent(const char* type,
+                               std::vector<obs::Field> fields) {
+  // The flight ring records unconditionally (it IS the black box); the
+  // process sink only sees the event when a test/tool attached one.
+  obs::Event event;
+  event.ts = obs::monotonicSeconds();
+  event.type = type;
+  event.fields = std::move(fields);
+  if (obs::eventsAttached()) obs::emitEvent(event.type, event.fields);
+  flight_.record(std::move(event));
 }
 
 void ReaderDaemon::accountActive(double activeSec) {
@@ -107,11 +158,10 @@ void ReaderDaemon::measurementWindow(double now) {
   queriesCtr_.inc(config_.queriesPerWindow);
   accountActive(static_cast<double>(config_.queriesPerWindow) *
                 phy::kQueryInterval);
-  if (obs::eventsAttached())
-    obs::emitEvent("daemon.query_burst",
-                   {{"t", now},
-                    {"reader_id", config_.readerId},
-                    {"queries", config_.queriesPerWindow}});
+  recordEvent("daemon.query_burst",
+              {{"t", now},
+               {"reader_id", config_.readerId},
+               {"queries", config_.queriesPerWindow}});
 
   // Count and report.
   core::CountResult count;
@@ -120,16 +170,16 @@ void ReaderDaemon::measurementWindow(double now) {
                       registry_.histogram("daemon.count.seconds"));
     count = counter_.count(burstPrimary);
   }
-  if (obs::eventsAttached()) {
+  {
     std::size_t multiBins = 0;
     for (const auto occ : count.occupancy)
       if (occ == core::BinOccupancy::kMulti) ++multiBins;
-    obs::emitEvent("daemon.count",
-                   {{"t", now},
-                    {"reader_id", config_.readerId},
-                    {"spikes", count.spikes},
-                    {"estimate", count.estimate},
-                    {"multi_bins", multiBins}});
+    recordEvent("daemon.count",
+                {{"t", now},
+                 {"reader_id", config_.readerId},
+                 {"spikes", count.spikes},
+                 {"estimate", count.estimate},
+                 {"multi_bins", multiBins}});
   }
   outbox_.add(net::Message{net::CountReport{
       config_.readerId, clock_.localTime(now),
@@ -229,13 +279,12 @@ void ReaderDaemon::measurementWindow(double now) {
         break;
       }
     }
-    if (obs::eventsAttached())
-      obs::emitEvent("daemon.decode_attempt",
-                     {{"t", now},
-                      {"reader_id", config_.readerId},
-                      {"cfo_hz", target->cfoHz},
-                      {"combines", decoder.collisionsUsed()},
-                      {"crc_ok", decodedId}});
+    recordEvent("daemon.decode_attempt",
+                {{"t", now},
+                 {"reader_id", config_.readerId},
+                 {"cfo_hz", target->cfoHz},
+                 {"combines", decoder.collisionsUsed()},
+                 {"crc_ok", decodedId}});
   }
 
   measurementsCtr_.inc();
@@ -270,21 +319,19 @@ void ReaderDaemon::pumpUplink(double now) {
     // Modem burst: air time at ~1 Mbps plus wake overhead.
     const double airSec = net::batchAirTimeSec(bytes, 1e6) + 0.02;
     energyGauge_.add(config_.power.modemBurstWatts * airSec);
-    if (obs::eventsAttached())
-      obs::emitEvent("daemon.uplink_flush",
-                     {{"t", now},
-                      {"reader_id", config_.readerId},
-                      {"bytes", bytes},
-                      {"frames", transmissions.size()}});
+    recordEvent("daemon.uplink_flush",
+                {{"t", now},
+                 {"reader_id", config_.readerId},
+                 {"bytes", bytes},
+                 {"frames", transmissions.size()}});
     for (const auto& tx : transmissions) {
       if (tx.attempt > 1) {
         uplinkRetriesCtr_.inc();
-        if (obs::eventsAttached())
-          obs::emitEvent("daemon.uplink_retry",
-                         {{"t", now},
-                          {"reader_id", config_.readerId},
-                          {"seq", tx.seq},
-                          {"attempt", tx.attempt}});
+        recordEvent("daemon.uplink_retry",
+                    {{"t", now},
+                     {"reader_id", config_.readerId},
+                     {"seq", tx.seq},
+                     {"attempt", tx.attempt}});
       }
       if (uplinkTx_ != nullptr) {
         uplinkTx_->send(tx.frame, now);
@@ -307,18 +354,30 @@ void ReaderDaemon::updateHealth(double now) {
     next = UplinkHealth::kUplinkDown;
   else if (failures >= config_.degradedAfterFailures)
     next = UplinkHealth::kDegraded;
-  if (next == health_) return;
-  const UplinkHealth previous = health_;
-  health_ = next;
+  const UplinkHealth previous = health_.load(std::memory_order_relaxed);
+  if (next == previous) return;
+  health_.store(next, std::memory_order_release);
   healthGauge_.set(static_cast<double>(static_cast<int>(next)));
   healthChangesCtr_.inc();
-  if (obs::eventsAttached())
-    obs::emitEvent("daemon.health_change",
-                   {{"t", now},
-                    {"reader_id", config_.readerId},
-                    {"from", uplinkHealthName(previous)},
-                    {"to", uplinkHealthName(next)},
-                    {"consecutive_failures", failures}});
+  recordEvent("daemon.health_change",
+              {{"t", now},
+               {"reader_id", config_.readerId},
+               {"from", uplinkHealthName(previous)},
+               {"to", uplinkHealthName(next)},
+               {"consecutive_failures", failures}});
+  // Watchdog trip: freeze the black box to disk while the evidence is
+  // still in the ring. Recovering to healthy does not dump — the
+  // interesting window is the run-up to the failure.
+  if (next != UplinkHealth::kHealthy && !config_.flightDumpPath.empty()) {
+    if (flight_.dumpToFile(config_.flightDumpPath)) {
+      flightDumpsCtr_.inc();
+      recordEvent("daemon.flight_dump",
+                  {{"t", now},
+                   {"reader_id", config_.readerId},
+                   {"path", config_.flightDumpPath},
+                   {"entries", flight_.size()}});
+    }
+  }
 }
 
 void ReaderDaemon::runUntil(double untilTime) {
@@ -328,11 +387,10 @@ void ReaderDaemon::runUntil(double untilTime) {
     if (now >= nextNtp_) {
       clock_.ntpSync(now, net::kNtpResidualRmsSec, rng_);
       nextNtp_ = now + config_.ntpPeriodSec;
-      if (obs::eventsAttached())
-        obs::emitEvent("daemon.ntp_sync",
-                       {{"t", now},
-                        {"reader_id", config_.readerId},
-                        {"offset_sec", clock_.offsetSec()}});
+      recordEvent("daemon.ntp_sync",
+                  {{"t", now},
+                   {"reader_id", config_.readerId},
+                   {"offset_sec", clock_.offsetSec()}});
     }
 
     measurementWindow(now);

@@ -9,7 +9,10 @@
 // energy ledger accounts for every phase against the §12.5 power model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/aoa.hpp"
@@ -20,6 +23,8 @@
 #include "net/framing.hpp"
 #include "net/link.hpp"
 #include "net/outbox.hpp"
+#include "obs/expo.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "power/model.hpp"
 #include "sim/scene.hpp"
@@ -56,6 +61,18 @@ struct ReaderDaemonConfig {
   /// reported degraded / down.
   std::size_t degradedAfterFailures = 3;
   std::size_t downAfterFailures = 8;
+
+  /// Live exposition (obs::ExpoServer): when >= 0, serve GET /metrics,
+  /// /metrics.json, /healthz and /flight on 127.0.0.1:<expoPort>
+  /// (0 = OS-assigned ephemeral port; read it back via expoPort()).
+  /// Negative (default) keeps the daemon network-silent.
+  int expoPort = -1;
+  /// Flight recorder depth: the last this-many events/spans survive for
+  /// post-mortems.
+  std::size_t flightCapacity = 256;
+  /// When non-empty, every transition into degraded/uplink_down dumps
+  /// the flight ring to this path (JSON lines, truncating).
+  std::string flightDumpPath;
 
   core::MultiQueryCounterConfig counter{};
   core::TrackerConfig tracker{};
@@ -112,11 +129,25 @@ class ReaderDaemon {
   /// uplink link is attached.
   std::vector<std::vector<std::uint8_t>> takeUplink();
 
-  /// Watchdog state of the uplink path.
-  UplinkHealth health() const { return health_; }
+  /// Watchdog state of the uplink path. Atomic read: the expo server's
+  /// /healthz handler polls this from its own thread.
+  UplinkHealth health() const {
+    return health_.load(std::memory_order_acquire);
+  }
 
   /// The store-and-forward queue (pending batches, retry state).
   const net::Outbox& outbox() const { return outbox_; }
+
+  /// Black-box ring of recent daemon events (always recording; dumped on
+  /// watchdog trips, served at /flight when exposition is on).
+  const obs::FlightRecorder& flight() const { return flight_; }
+  obs::FlightRecorder& flight() { return flight_; }
+
+  /// Bound exposition port, or 0 when exposition is disabled (or failed
+  /// to bind — a daemon must keep reading the road either way).
+  std::uint16_t expoPort() const {
+    return expo_ != nullptr ? expo_->port() : 0;
+  }
 
   /// Cumulative stats, materialized from the telemetry registry on each
   /// call (see DaemonStats).
@@ -139,6 +170,10 @@ class ReaderDaemon {
   void accountActive(double activeSec);
   void pumpUplink(double now);
   void updateHealth(double now);
+  /// Record a structured event into the flight ring (always) and forward
+  /// it to the process event sink (when one is attached).
+  void recordEvent(const char* type, std::vector<obs::Field> fields);
+  void startExposition();
 
   ReaderDaemonConfig config_;
   sim::Scene& scene_;
@@ -152,7 +187,8 @@ class ReaderDaemon {
   net::ReaderClock clock_;
   net::UplinkLink* uplinkTx_ = nullptr;
   net::UplinkLink* ackRx_ = nullptr;
-  UplinkHealth health_ = UplinkHealth::kHealthy;
+  /// Written by the daemon loop, read by the expo /healthz thread.
+  std::atomic<UplinkHealth> health_{UplinkHealth::kHealthy};
   std::vector<std::vector<std::uint8_t>> uplink_;
   std::vector<net::DecodeReport> decoded_;
   /// Per-track decode state: tracks already identified (by track id).
@@ -175,6 +211,14 @@ class ReaderDaemon {
   /// Store-and-forward uplink queue. Declared after registry_ because its
   /// metrics live there (daemon.outbox.*).
   net::Outbox outbox_;
+  /// Post-mortem black box; written on every recordEvent, snapshotted by
+  /// the expo thread and by watchdog-trip dumps.
+  obs::FlightRecorder flight_;
+  obs::Counter& flightDumpsCtr_;
+  /// Live exposition server; null unless config.expoPort >= 0 and the
+  /// bind succeeded. Declared last so its thread dies before the state
+  /// it serves.
+  std::unique_ptr<obs::ExpoServer> expo_;
   mutable DaemonStats statsView_;
   double now_ = 0.0;
   double nextMeasurement_ = 0.0;

@@ -1,0 +1,169 @@
+#include "obs/expo.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace caraoke::obs {
+
+namespace {
+
+// Serialize one HTTP/1.0 response. Content-Length is always present so
+// clients that ignore EOF framing still parse the body.
+std::string httpResponse(int status, const char* reason,
+                         const std::string& contentType,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += contentType;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void sendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ExpoServer::ExpoServer(ExpoOptions options, ExpoHandlers handlers)
+    : options_(std::move(options)), handlers_(std::move(handlers)) {}
+
+ExpoServer::~ExpoServer() { stop(); }
+
+bool ExpoServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bindAddress.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listenFd_, 16) != 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void ExpoServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+}
+
+void ExpoServer::serveLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listenFd_;
+    pfd.events = POLLIN;
+    // Short poll timeout bounds the shutdown latency without a self-pipe.
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void ExpoServer::handleConnection(int fd) {
+  // Bound the read so a stuck client cannot wedge the serving thread.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the header terminator; the routes take no body, so the
+  // request line is all that matters. 4 KiB is generous for a scraper.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t lineEnd = request.find_first_of("\r\n");
+  const std::string line =
+      lineEnd == std::string::npos ? request : request.substr(0, lineEnd);
+  const std::size_t methodEnd = line.find(' ');
+  const std::size_t pathEnd =
+      methodEnd == std::string::npos ? std::string::npos
+                                     : line.find(' ', methodEnd + 1);
+  if (methodEnd == std::string::npos || pathEnd == std::string::npos) {
+    sendAll(fd, httpResponse(400, "Bad Request", "text/plain",
+                             "malformed request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, methodEnd);
+  const std::string path =
+      line.substr(methodEnd + 1, pathEnd - methodEnd - 1);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (method != "GET") {
+    sendAll(fd, httpResponse(405, "Method Not Allowed", "text/plain",
+                             "only GET is served\n"));
+    return;
+  }
+
+  if (path == "/metrics" && handlers_.metricsText) {
+    sendAll(fd, httpResponse(200, "OK", "text/plain; version=0.0.4",
+                             handlers_.metricsText()));
+  } else if (path == "/metrics.json" && handlers_.metricsJson) {
+    sendAll(fd, httpResponse(200, "OK", "application/json",
+                             handlers_.metricsJson()));
+  } else if (path == "/healthz" && handlers_.healthz) {
+    const HealthStatus health = handlers_.healthz();
+    sendAll(fd, health.ok
+                    ? httpResponse(200, "OK", "text/plain", health.body + "\n")
+                    : httpResponse(503, "Service Unavailable", "text/plain",
+                                   health.body + "\n"));
+  } else if (path == "/flight" && handlers_.flight) {
+    sendAll(fd, httpResponse(200, "OK", "application/x-ndjson",
+                             handlers_.flight()));
+  } else {
+    sendAll(fd, httpResponse(404, "Not Found", "text/plain",
+                             "routes: /metrics /metrics.json /healthz "
+                             "/flight\n"));
+  }
+}
+
+}  // namespace caraoke::obs

@@ -1,0 +1,90 @@
+// Live telemetry exposition: a dependency-free blocking HTTP/1.0 server
+// that lets an operator (or a Prometheus scraper, or `curl`) look inside
+// a running reader daemon:
+//
+//   GET /metrics        Prometheus text exposition of the wired registry
+//   GET /metrics.json   the same snapshot as one JSON object
+//   GET /healthz        200 when the uplink watchdog reports healthy,
+//                       503 with the state name otherwise
+//   GET /flight         the flight recorder's JSON-lines ring dump
+//
+// Design constraints, in order: no third-party dependencies (POSIX
+// sockets only), thread-safety the TSan rig can verify (all content
+// comes from caller-supplied handlers that snapshot under their own
+// locks), and graceful shutdown (the accept loop polls with a short
+// timeout and exits when stop() flips the flag — no dangling thread at
+// daemon teardown). One request per connection, `Connection: close` —
+// scrapers are fine with HTTP/1.0 and it keeps the state machine
+// trivial.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace caraoke::obs {
+
+/// Server configuration. Port 0 binds an OS-assigned ephemeral port
+/// (read it back with port() after start()) — what tests use so two
+/// suites never fight over a fixed number.
+struct ExpoOptions {
+  std::string bindAddress = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Health handler result: ok -> 200, !ok -> 503; body lands in the
+/// response either way (name the state, add context).
+struct HealthStatus {
+  bool ok = true;
+  std::string body = "healthy";
+};
+
+/// Content callbacks. Unset handlers 404 their route. Handlers run on
+/// the server thread — they must be thread-safe against whoever mutates
+/// the underlying data (registry snapshots and the flight recorder
+/// already are).
+struct ExpoHandlers {
+  std::function<std::string()> metricsText;
+  std::function<std::string()> metricsJson;
+  std::function<HealthStatus()> healthz;
+  std::function<std::string()> flight;
+};
+
+/// Blocking HTTP/1.0 exposition server on its own thread.
+class ExpoServer {
+ public:
+  ExpoServer(ExpoOptions options, ExpoHandlers handlers);
+  ~ExpoServer();
+
+  ExpoServer(const ExpoServer&) = delete;
+  ExpoServer& operator=(const ExpoServer&) = delete;
+
+  /// Bind + listen + spawn the serving thread. False when the socket
+  /// cannot be bound (port taken, no permission); safe to call once.
+  bool start();
+  /// Stop accepting, join the thread, close the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (resolves ephemeral port 0); 0 before start().
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+  std::uint64_t requestsServed() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serveLoop();
+  void handleConnection(int fd);
+
+  ExpoOptions options_;
+  ExpoHandlers handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listenFd_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace caraoke::obs

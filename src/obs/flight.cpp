@@ -1,0 +1,86 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace caraoke::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+void FlightRecorder::onSpanBegin(const char* name, int depth,
+                                 double startSec) {
+  (void)name;
+  (void)depth;
+  (void)startSec;
+}
+
+void FlightRecorder::onSpanEnd(const SpanRecord& span) {
+  Event event;
+  event.ts = span.endSec;
+  event.type = "obs.span";
+  event.fields.emplace_back("name", span.name);
+  event.fields.emplace_back("depth", span.depth);
+  event.fields.emplace_back("duration_sec", span.endSec - span.startSec);
+  record(std::move(event));
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::totalRecorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::vector<Event> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // Once the ring has cycled, next_ points at the oldest entry.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::string FlightRecorder::jsonLines() const {
+  std::string out;
+  for (const Event& event : snapshot()) {
+    out += toJsonLine(event);
+    out += '\n';
+  }
+  return out;
+}
+
+bool FlightRecorder::dumpToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = jsonLines();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace caraoke::obs

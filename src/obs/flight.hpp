@@ -1,0 +1,72 @@
+// Crash/degradation flight recorder: a fixed-capacity ring buffer that
+// always retains the last K structured events and span records, so the
+// moment a daemon's watchdog trips (degraded / uplink_down) there is a
+// post-mortem trail to dump — without paying for an unbounded log in the
+// steady state. This is the black box the chaos tests read after a
+// failure: "what was the reader doing in the 200 windows before the
+// uplink died?".
+//
+// The recorder is both an EventSink and a TraceSink, so it can be
+// attached process-wide (tests, tools) or fed directly (ReaderDaemon
+// records its own events into a private recorder regardless of whether a
+// global sink is attached). All entries normalize to obs::Event; span
+// records become `obs.span` events carrying name/depth/duration fields.
+//
+// Thread safety: every method takes the internal mutex; recording is a
+// ring-slot assignment (no allocation churn beyond the Event's own
+// strings), safe to call from the expo server thread and the daemon
+// thread concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
+
+namespace caraoke::obs {
+
+/// Fixed-capacity ring of the most recent events/spans.
+class FlightRecorder : public EventSink, public TraceSink {
+ public:
+  /// `capacity` is clamped to >= 1 (a zero-capacity black box records
+  /// nothing and would turn every dump into an empty file silently).
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  /// Record one event (overwrites the oldest entry when full).
+  void record(Event event);
+
+  // EventSink: events flow straight into the ring.
+  void emit(const Event& event) override { record(event); }
+
+  // TraceSink: only completed spans are retained (begin notifications
+  // carry no duration and would double the ring pressure).
+  void onSpanBegin(const char* name, int depth, double startSec) override;
+  void onSpanEnd(const SpanRecord& span) override;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Total record() calls ever; minus size() gives the overwritten count.
+  std::uint64_t totalRecorded() const;
+
+  /// Ring contents, oldest first.
+  std::vector<Event> snapshot() const;
+  /// JSON-lines rendering of snapshot() (one toJsonLine per entry,
+  /// trailing newline) — the dump format, also served at /flight.
+  std::string jsonLines() const;
+  /// Write jsonLines() to `path` (truncating). False on I/O failure.
+  bool dumpToFile(const std::string& path) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<Event> ring_;     ///< Grows to capacity_, then cycles.
+  std::size_t next_ = 0;        ///< Slot the next record lands in.
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace caraoke::obs

@@ -72,6 +72,30 @@ const std::vector<double>& defaultLatencyBucketsSec() {
   return buckets;
 }
 
+double histogramQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.bucketCounts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.bucketCounts.size(); ++i) {
+    const std::uint64_t inBucket = snapshot.bucketCounts[i];
+    if (inBucket == 0) continue;
+    if (static_cast<double>(cumulative + inBucket) < rank) {
+      cumulative += inBucket;
+      continue;
+    }
+    // +Inf bucket: the histogram only knows "past the last edge".
+    if (i >= snapshot.upperBounds.size())
+      return snapshot.upperBounds.empty() ? 0.0 : snapshot.upperBounds.back();
+    const double hi = snapshot.upperBounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : snapshot.upperBounds[i - 1];
+    const double fraction =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(inBucket);
+    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return snapshot.upperBounds.empty() ? 0.0 : snapshot.upperBounds.back();
+}
+
 Registry::Entry& Registry::lookup(std::string_view name, Kind kind,
                                   const std::vector<double>* upperBounds) {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -101,6 +101,17 @@ struct HistogramSnapshot {
   std::vector<double> upperBounds;
   std::vector<std::uint64_t> bucketCounts;  ///< Non-cumulative, +Inf last.
 };
+/// Quantile estimate from a bucketed snapshot, Prometheus
+/// `histogram_quantile` style: find the bucket holding the q-th ranked
+/// sample (q in [0, 1]) and interpolate linearly inside it. Conventions
+/// for the degenerate cases the bench harness actually hits:
+///   - empty histogram (count == 0) -> 0.0;
+///   - samples in the +Inf bucket resolve to the last finite bound (the
+///     histogram cannot say more than "beyond the last edge");
+///   - the first bucket interpolates from 0 (or from its bound when the
+///     bound is negative, where 0 would be an over-estimate).
+double histogramQuantile(const HistogramSnapshot& snapshot, double q);
+
 struct RegistrySnapshot {
   std::vector<CounterSnapshot> counters;
   std::vector<GaugeSnapshot> gauges;

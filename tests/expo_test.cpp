@@ -1,0 +1,255 @@
+// Exposition + flight-recorder integration: a raw-socket HTTP client
+// scrapes a live obs::ExpoServer — first standalone with canned
+// handlers, then wired into a ReaderDaemon that is driven through a
+// total uplink outage until the watchdog reports uplink_down (503 on
+// /healthz, health-change events on /flight, ring dumped to disk).
+//
+// Labeled both `obs` and `race`: the daemon scenario has the expo
+// thread serving snapshots while the main thread mutates the registry
+// and flight ring, which is exactly what the TSan rig must certify.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/reader_daemon.hpp"
+#include "common/rng.hpp"
+#include "net/link.hpp"
+#include "obs/events.hpp"
+#include "obs/expo.hpp"
+#include "obs/flight.hpp"
+#include "scenes_helpers.hpp"
+#include "sim/scene.hpp"
+
+namespace caraoke {
+namespace {
+
+/// One blocking HTTP/1.0 request against 127.0.0.1:port; returns the
+/// full response (status line + headers + body), or "" on error.
+std::string httpGet(std::uint16_t port, const std::string& target,
+                    const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      method + " " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[2048];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0)
+    response.append(buffer, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+std::string bodyOf(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+int statusOf(const std::string& response) {
+  // "HTTP/1.0 200 OK" -> 200.
+  const auto space = response.find(' ');
+  if (space == std::string::npos) return -1;
+  return std::atoi(response.c_str() + space + 1);
+}
+
+TEST(ExpoServer, ServesAllRoutesFromHandlers) {
+  obs::Registry registry;
+  registry.counter("expo.test_hits").inc(3);
+  bool healthy = true;
+
+  obs::ExpoHandlers handlers;
+  handlers.metricsText = [&] { return registry.snapshot().expositionText(); };
+  handlers.metricsJson = [&] { return registry.snapshot().jsonText(); };
+  handlers.healthz = [&] {
+    return obs::HealthStatus{healthy, healthy ? "healthy" : "uplink_down"};
+  };
+  handlers.flight = [] { return std::string("{\"type\":\"x\"}\n"); };
+
+  obs::ExpoServer server({}, handlers);
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = httpGet(server.port(), "/metrics");
+  EXPECT_EQ(statusOf(metrics), 200);
+  EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+  EXPECT_NE(bodyOf(metrics).find("expo.test_hits 3"), std::string::npos);
+
+  const std::string json = httpGet(server.port(), "/metrics.json");
+  EXPECT_EQ(statusOf(json), 200);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(bodyOf(json).find("\"expo.test_hits\""), std::string::npos);
+
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/healthz")), 200);
+  healthy = false;
+  const std::string sick = httpGet(server.port(), "/healthz");
+  EXPECT_EQ(statusOf(sick), 503);
+  EXPECT_NE(bodyOf(sick).find("uplink_down"), std::string::npos);
+
+  const std::string flight = httpGet(server.port(), "/flight");
+  EXPECT_EQ(statusOf(flight), 200);
+  EXPECT_NE(bodyOf(flight).find("\"type\":\"x\""), std::string::npos);
+
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/nope")), 404);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/metrics", "POST")), 405);
+  EXPECT_GE(server.requestsServed(), 7u);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(ExpoServer, UnsetHandlersReturn404) {
+  obs::ExpoServer server({}, obs::ExpoHandlers{});
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/metrics")), 404);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/healthz")), 404);
+  server.stop();
+}
+
+sim::Scene plazaScene(Rng& rng) {
+  sim::Scene scene(sim::Road{});
+  scene.addReader(testhelpers::makeReader(0.0, -6.0, 60.0));
+  phy::EmpiricalCfoModel cfoModel;
+  scene.addCar(sim::Transponder::random(cfoModel, rng),
+               std::make_unique<sim::ParkedMobility>(phy::Vec3{-4.0, 2.0, 1.2}));
+  return scene;
+}
+
+// The flagship integration scenario from the issue: boot a daemon with
+// exposition on an ephemeral port, scrape healthy /metrics + /healthz,
+// force a total uplink outage until the watchdog trips, then observe
+// 503 + the state name on /healthz, health-change events on /flight,
+// and the flight ring dumped to disk as parseable JSON lines.
+TEST(ExpoDaemon, ScrapeHealthyThenOutageTo503AndFlightDump) {
+  Rng rng(21);
+  sim::Scene scene = plazaScene(rng);
+
+  const std::string dumpPath =
+      ::testing::TempDir() + "caraoke_flight_dump.jsonl";
+  std::remove(dumpPath.c_str());
+
+  // A link that is dark from t=0: every send fails, so consecutive
+  // failures accumulate at the retry cadence.
+  net::FaultPlan darkForever;
+  darkForever.outages.push_back({0.0, 1e9});
+  net::UplinkLink up(net::LinkConfig{}, Rng(31), darkForever);
+  net::UplinkLink down(net::LinkConfig{}, Rng(32), darkForever);
+
+  apps::ReaderDaemonConfig config;
+  config.queriesPerWindow = 2;
+  config.decodeCollisionsPerWindow = 0;
+  config.uplinkPeriodSec = 2.0;
+  config.outbox.initialBackoffSec = 1.0;
+  config.outbox.backoffMultiplier = 1.0;
+  config.outbox.maxBackoffSec = 1.0;
+  config.outbox.jitterFraction = 0.0;
+  config.outbox.maxAttempts = 0;
+  config.expoPort = 0;  // ephemeral
+  config.flightDumpPath = dumpPath;
+
+  apps::ReaderDaemon daemon(config, scene, 0, rng.fork());
+  const std::uint16_t port = daemon.expoPort();
+  ASSERT_GT(port, 0) << "exposition failed to bind";
+
+  // Healthy phase: a couple of measurement windows, then scrape.
+  daemon.runUntil(3.0);
+  const std::string healthy = httpGet(port, "/healthz");
+  EXPECT_EQ(statusOf(healthy), 200);
+  EXPECT_NE(bodyOf(healthy).find("healthy"), std::string::npos);
+  const std::string metrics = bodyOf(httpGet(port, "/metrics"));
+  EXPECT_NE(metrics.find("daemon.measurements"), std::string::npos);
+  EXPECT_NE(metrics.find("daemon.health"), std::string::npos);
+  const std::string json = bodyOf(httpGet(port, "/metrics.json"));
+  EXPECT_NE(json.find("\"daemon\""), std::string::npos);
+  EXPECT_NE(json.find("\"process\""), std::string::npos);
+
+  // Outage phase: attach the dead link and scrape concurrently while
+  // the daemon accumulates retry failures — the expo thread must serve
+  // consistent snapshots during mutation (the TSan rig verifies this).
+  daemon.attachUplink(&up, &down);
+  std::thread scraper([&] {
+    for (int i = 0; i < 40; ++i) {
+      httpGet(port, "/metrics");
+      httpGet(port, "/healthz");
+      httpGet(port, "/flight");
+    }
+  });
+  double t = 3.0;
+  while (daemon.health() != apps::UplinkHealth::kUplinkDown && t < 300.0) {
+    t += 1.0;
+    daemon.runUntil(t);
+  }
+  scraper.join();
+  ASSERT_EQ(daemon.health(), apps::UplinkHealth::kUplinkDown)
+      << "watchdog never tripped by t=" << t;
+
+  const std::string sick = httpGet(port, "/healthz");
+  EXPECT_EQ(statusOf(sick), 503);
+  EXPECT_NE(bodyOf(sick).find("uplink_down"), std::string::npos);
+
+  // The flight ring (served live) holds the health transitions.
+  const std::string flight = bodyOf(httpGet(port, "/flight"));
+  EXPECT_NE(flight.find("daemon.health_change"), std::string::npos);
+  EXPECT_NE(flight.find("uplink_down"), std::string::npos);
+
+  // The watchdog trip dumped the ring to disk: every line must parse
+  // back through the structured-event codec.
+  EXPECT_GE(daemon.registry().counter("daemon.flight_dumps").value(), 1u);
+  std::ifstream dump(dumpPath);
+  ASSERT_TRUE(dump.good()) << dumpPath;
+  std::string line;
+  std::size_t lines = 0;
+  bool sawHealthChange = false;
+  while (std::getline(dump, line)) {
+    if (line.empty()) continue;
+    const auto parsed = obs::parseJsonLine(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    if (parsed->type == "daemon.health_change") sawHealthChange = true;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_TRUE(sawHealthChange);
+  std::remove(dumpPath.c_str());
+}
+
+TEST(ExpoDaemon, NegativePortKeepsDaemonNetworkSilent) {
+  Rng rng(22);
+  sim::Scene scene = plazaScene(rng);
+  apps::ReaderDaemonConfig config;
+  config.queriesPerWindow = 2;
+  apps::ReaderDaemon daemon(config, scene, 0, rng.fork());
+  EXPECT_EQ(daemon.expoPort(), 0);
+  daemon.runUntil(2.0);
+  EXPECT_GE(daemon.stats().measurements, 1u);
+}
+
+}  // namespace
+}  // namespace caraoke

@@ -57,6 +57,66 @@ TEST(ObsMetrics, HistogramRejectsUnsortedBounds) {
   EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
 }
 
+// histogramQuantile edge cases — the math behind the bench harness's
+// "quantiles" report section and benchgate's latency columns.
+TEST(ObsMetrics, QuantileOfEmptyHistogramIsZero) {
+  obs::Registry registry;
+  registry.histogram("q.empty", {1.0, 2.0});
+  const auto snap = registry.snapshot().histograms.at(0);
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 0.99), 0.0);
+}
+
+TEST(ObsMetrics, QuantileOfSingleSampleStaysInItsBucket) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q.single", {1.0, 2.0, 4.0});
+  h.observe(1.5);  // lands in the (1, 2] bucket
+  const auto snap = registry.snapshot().histograms.at(0);
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    const double v = obs::histogramQuantile(snap, q);
+    EXPECT_GE(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 2.0) << "q=" << q;
+  }
+}
+
+TEST(ObsMetrics, QuantileBeyondLastBucketClampsToLastFiniteBound) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q.inf", {1.0, 2.0});
+  h.observe(100.0);  // +Inf bucket only
+  const auto snap = registry.snapshot().histograms.at(0);
+  // No finite upper edge exists for the sample; report the last finite
+  // bound rather than inventing a value (Prometheus convention).
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 0.99), 2.0);
+}
+
+TEST(ObsMetrics, QuantileExtractionIsMonotoneAcrossBuckets) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q.spread", {1.0, 2.0, 4.0, 8.0});
+  // 10 samples in (0,1], 80 in (1,2], 10 in (2,4].
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  for (int i = 0; i < 80; ++i) h.observe(1.5);
+  for (int i = 0; i < 10; ++i) h.observe(3.0);
+  const auto snap = registry.snapshot().histograms.at(0);
+  const double p10 = obs::histogramQuantile(snap, 0.10);
+  const double p50 = obs::histogramQuantile(snap, 0.50);
+  const double p90 = obs::histogramQuantile(snap, 0.90);
+  const double p99 = obs::histogramQuantile(snap, 0.99);
+  EXPECT_LE(p10, 1.0);           // the bottom decile sits in bucket 1
+  EXPECT_GT(p50, 1.0);           // the median is in the fat middle bucket
+  EXPECT_LE(p50, 2.0);
+  EXPECT_GT(p99, 2.0);           // the top percentile spills into (2,4]
+  EXPECT_LE(p99, 4.0);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Out-of-range q is clamped, not undefined.
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, -1.0),
+                   obs::histogramQuantile(snap, 0.0));
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 2.0),
+                   obs::histogramQuantile(snap, 1.0));
+}
+
 TEST(ObsMetrics, RegistryReturnsSameInstanceAndChecksKind) {
   obs::Registry registry;
   obs::Counter& a = registry.counter("x.calls");

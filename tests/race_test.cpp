@@ -24,6 +24,7 @@
 #include "net/framing.hpp"
 #include "net/outbox.hpp"
 #include "obs/events.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -419,6 +420,69 @@ TEST(Race, OutboxAgainstBackendEndToEnd) {
   EXPECT_EQ(outbox.pendingBatches(), 0u);
   EXPECT_EQ(registry.counter("outbox.acked").value(), kBatchCount);
   EXPECT_EQ(registry.counter("outbox.expired").value(), 0u);
+}
+
+// ----------------------------------------------------- flight recorder --
+
+TEST(Race, FlightRecorderConcurrentRecordAndSnapshot) {
+  // Writers churn the ring past its capacity while readers pull
+  // snapshots and JSON dumps mid-overwrite. Invariants a broken ring
+  // lock would violate: size never exceeds capacity, totalRecorded is
+  // exact, and every snapshot is a coherent set of well-formed events.
+  obs::FlightRecorder flight(64);
+  constexpr std::uint64_t kIters = 3000;
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = flight.snapshot();
+      EXPECT_LE(snap.size(), flight.capacity());
+      for (const auto& event : snap) {
+        EXPECT_FALSE(event.type.empty());
+        ASSERT_EQ(event.fields.size(), 1u);
+      }
+      const std::string lines = flight.jsonLines();
+      (void)lines;
+    }
+  });
+  runThreads(kThreads, [&flight](std::size_t tid) {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      obs::Event event;
+      event.ts = static_cast<double>(i);
+      event.type = "race.flight";
+      event.fields.push_back({"tid", tid});
+      flight.record(std::move(event));
+    }
+  });
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(flight.totalRecorded(), kThreads * kIters);
+  EXPECT_EQ(flight.size(), flight.capacity());
+  const auto snap = flight.snapshot();
+  ASSERT_EQ(snap.size(), 64u);
+  for (const auto& event : snap) EXPECT_EQ(event.type, "race.flight");
+}
+
+TEST(Race, FlightRecorderAsSharedSpanSink) {
+  // Spans from many threads land in one recorder through the process
+  // trace sink; each completed span becomes one obs.span ring event.
+  obs::FlightRecorder flight(4096);
+  obs::attachTraceSink(&flight);
+  constexpr std::size_t kSpansPerThread = 200;
+  runThreads(kThreads, [](std::size_t) {
+    obs::Registry registry;
+    obs::Histogram& h = registry.histogram("race.span.seconds");
+    for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+      obs::ObsSpan span("race.work", h);
+      (void)span;
+    }
+  });
+  obs::attachTraceSink(nullptr);
+  EXPECT_EQ(flight.totalRecorded(), kThreads * kSpansPerThread);
+  for (const auto& event : flight.snapshot()) {
+    EXPECT_EQ(event.type, "obs.span");
+  }
 }
 
 }  // namespace

@@ -24,6 +24,10 @@ This linter enforces the ones the architecture depends on:
                common/units.hpp helpers (MHz(915.0), usec(512)) instead
                of raw scientific notation — the 914.3–915.5 MHz CFO
                math is exactly where a silent kHz/MHz slip hides.
+  buildtree    No generated build tree is ever committed: a tracked path
+               living under a build*/ directory (or a CMake cache /
+               object-file artifact anywhere) fails the lint. Added
+               after an 827-file build-review/ tree slipped into git.
 
 Suppression: append `// caraoke-lint: allow(<rule>): <reason>` to the
 offending line. A marker without a reason is itself a finding — the
@@ -186,7 +190,7 @@ NAME_GRAMMAR_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 METRIC_REG_RE = re.compile(
     r"\.(?P<kind>counter|gauge|histogram)\s*\(\s*\"(?P<name>[^\"]+)\"")
 EVENT_EMIT_RE = re.compile(
-    r"(?:emitEvent|ObsSpan\b[^(]*)\(\s*\"(?P<name>[^\"]+)\"")
+    r"(?:emitEvent|recordEvent|ObsSpan\b[^(]*)\(\s*\"(?P<name>[^\"]+)\"")
 
 
 def check_metricnames(files, rel, findings):
@@ -258,12 +262,61 @@ def check_units(files, rel, findings):
             "readable and greppable"))
 
 
+# Build-tree artifacts that must never be tracked: anything inside a
+# build*/ directory, plus CMake caches and compiled objects wherever
+# they sit (a generated tree renamed to dodge the directory pattern
+# still trips on its CMakeCache.txt / *.o contents).
+BUILD_TREE_RE = re.compile(
+    r"(^|/)build[^/]*/"
+    r"|(^|/)CMakeCache\.txt$"
+    r"|(^|/)CMakeFiles/"
+    r"|(^|/)cmake_install\.cmake$"
+    r"|(^|/)CTestTestfile\.cmake$"
+    r"|\.(?:o|obj|a|so|gcda|gcno)$")
+
+
+def is_build_tree_path(path):
+    """True when a repo-relative path is a generated build artifact."""
+    return bool(BUILD_TREE_RE.search(path))
+
+
+def check_buildtree(files, rel, findings):
+    """No tracked path may be a generated build artifact.
+
+    Consults `git ls-files` (the linter's source-file walk skips build
+    trees by construction, so tracked-ness is the property to check).
+    Silently skips when git is unavailable or the root is not a work
+    tree — the other rules still run in that case.
+    """
+    del files, rel  # operates on the git index, not the source walk
+    import subprocess
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(CHECK_ROOT), "ls-files"],
+            capture_output=True, text=True, timeout=30, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return
+    if out.returncode != 0:
+        return
+    for tracked in out.stdout.splitlines():
+        if is_build_tree_path(tracked):
+            findings.append(Finding(
+                "buildtree", tracked, 1,
+                "tracked build-tree artifact — `git rm -r --cached` it "
+                "and keep build*/ in .gitignore"))
+
+
+# Root consulted by check_buildtree; set by main() before rules run.
+CHECK_ROOT = pathlib.Path(".")
+
+
 RULES = {
     "randomness": check_randomness,
     "wallclock": check_wallclock,
     "wiremagic": check_wiremagic,
     "metricnames": check_metricnames,
     "units": check_units,
+    "buildtree": check_buildtree,
 }
 
 
@@ -341,6 +394,20 @@ def selftest():
     if not any("2 sites" in f.message for f in findings):
         failures.append("selftest [metricnames] missed double registration")
 
+    # Build-tree path classifier (the rule itself reads the git index).
+    for path, should_flag in [
+            ("build-review/CMakeCache.txt", True),
+            ("build/bench/bench_fig11", True),
+            ("docs/build/index.html", True),
+            ("tools/out/CMakeFiles/3.25.1/CMakeSystem.cmake", True),
+            ("src/core/counter.o", True),
+            ("bench/fig11_counting_accuracy.cpp", False),
+            ("scripts/ci_perf.sh", False),
+            ("BENCH_PR4.json", False)]:
+        if is_build_tree_path(path) != should_flag:
+            verb = "should have flagged" if should_flag else "wrongly flagged"
+            failures.append(f"selftest [buildtree] {verb}: {path!r}")
+
     for f in failures:
         print(f, file=sys.stderr)
     return not failures
@@ -366,6 +433,8 @@ def main():
     if not src.is_dir():
         print(f"caraoke-lint: no src/ under {args.root}", file=sys.stderr)
         return 2
+    global CHECK_ROOT
+    CHECK_ROOT = args.root.resolve()
     files = sorted(p for p in src.rglob("*")
                    if p.suffix in SOURCE_SUFFIXES and p.is_file())
 
