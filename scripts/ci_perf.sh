@@ -10,7 +10,7 @@
 #   PROFILE     smoke | full                 (default smoke)
 #   REPEATS     runs per bench               (default 3)
 #   THRESHOLD   fractional slowdown gate     (default 0.10)
-#   OUT         consolidated report path     (default BENCH_PR4.tmp.json,
+#   OUT         consolidated report path     (default BENCH_PR5.tmp.json,
 #               gitignored so CI runs never dirty the tree)
 #   GATE_ARGS   extra benchgate.py args (e.g. --update-baseline)
 set -euo pipefail
@@ -21,7 +21,7 @@ BUILD_DIR="${BUILD_DIR:-build-perf}"
 PROFILE="${PROFILE:-smoke}"
 REPEATS="${REPEATS:-3}"
 THRESHOLD="${THRESHOLD:-0.10}"
-OUT="${OUT:-BENCH_PR4.tmp.json}"
+OUT="${OUT:-BENCH_PR5.tmp.json}"
 
 echo "=== ci_perf: building benches (${BUILD_DIR}) ==="
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -46,6 +46,7 @@ ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
       scene_(scene),
       readerIndex_(readerIndex),
       rng_(rng),
+      traceRng_(0xca0e'77ac'0000'0000ull + config.readerId),
       counter_([&] {
         config.counter.noiseSigma =
             scene.reader(readerIndex).frontEnd.noiseSigma;
@@ -108,7 +109,12 @@ void ReaderDaemon::startExposition() {
     status.body = uplinkHealthName(state);
     return status;
   };
-  handlers.flight = [this] { return flight_.jsonLines(); };
+  handlers.flight = [this](const obs::FlightQuery& query) {
+    return flight_.jsonLines(query.maxEntries, query.trace);
+  };
+  handlers.trace = [this](const std::string& traceIdHex) {
+    return flight_.jsonLines(0, traceIdHex);
+  };
   auto server =
       std::make_unique<obs::ExpoServer>(std::move(options), std::move(handlers));
   // A failed bind (port taken) must not kill the reader: log via the
@@ -130,6 +136,12 @@ void ReaderDaemon::recordEvent(const char* type,
   event.ts = obs::monotonicSeconds();
   event.type = type;
   event.fields = std::move(fields);
+  // Events born inside a traced scope (the measurement window) carry the
+  // journey's trace id; events that already name a trace (link attempts)
+  // run outside any scope and are untouched.
+  const obs::TraceContext trace = obs::currentTraceContext();
+  if (trace.valid())
+    event.fields.emplace_back("trace", obs::traceHex(trace.traceId));
   if (obs::eventsAttached()) obs::emitEvent(event.type, event.fields);
   flight_.record(std::move(event));
 }
@@ -139,6 +151,13 @@ void ReaderDaemon::accountActive(double activeSec) {
 }
 
 void ReaderDaemon::measurementWindow(double now) {
+  // Mint this window's trace context: every count/sighting/decode born
+  // in this burst shares the traceId end to end — through the outbox, the
+  // v3 wire envelope, and into the backend's ingest/speed-pairing spans.
+  // `| 1` keeps ids non-zero (0 is the "no trace" sentinel).
+  const obs::TraceContext trace{traceRng_.next() | 1ull,
+                                traceRng_.next() | 1ull};
+  obs::ScopedTraceContext traceScope(trace);
   obs::ObsSpan windowSpan("daemon.measurement_window", windowSec_);
   const sim::ReaderNode& node = scene_.reader(readerIndex_);
   const double lo = node.frontEnd.sampling.loFrequencyHz;
@@ -183,7 +202,8 @@ void ReaderDaemon::measurementWindow(double now) {
   }
   outbox_.add(net::Message{net::CountReport{
       config_.readerId, clock_.localTime(now),
-      static_cast<std::uint32_t>(count.estimate)}});
+      static_cast<std::uint32_t>(count.estimate), trace.traceId,
+      trace.spanId}});
   countsReportedCtr_.inc();
 
   // Observe: the tracker gets one update per window, built from the
@@ -241,6 +261,8 @@ void ReaderDaemon::measurementWindow(double now) {
     sighting.cfoHz = track.cfoHz;
     sighting.pairIndex = static_cast<std::uint32_t>(roadPair_);
     sighting.angleRad = std::acos(std::clamp(track.cosAlpha, -1.0, 1.0));
+    sighting.traceId = trace.traceId;
+    sighting.spanId = trace.spanId;
     outbox_.add(net::Message{sighting});
     sightingsReportedCtr_.inc();
   }
@@ -272,6 +294,8 @@ void ReaderDaemon::measurementWindow(double now) {
         report.timestamp = clock_.localTime(now);
         report.cfoHz = target->cfoHz;
         report.id = *id;
+        report.traceId = trace.traceId;
+        report.spanId = trace.spanId;
         decoded_.push_back(report);
         outbox_.add(net::Message{report});
         decodedIdsCtr_.inc();
@@ -286,6 +310,13 @@ void ReaderDaemon::measurementWindow(double now) {
                  {"combines", decoder.collisionsUsed()},
                  {"crc_ok", decodedId}});
   }
+
+  // The window's reports are now queued in the outbox — the journey's
+  // hand-off from the measurement pipeline to the uplink.
+  recordEvent("daemon.enqueue",
+              {{"t", now},
+               {"reader_id", config_.readerId},
+               {"queued", outbox_.openMessages()}});
 
   measurementsCtr_.inc();
 }
@@ -333,6 +364,15 @@ void ReaderDaemon::pumpUplink(double now) {
                      {"seq", tx.seq},
                      {"attempt", tx.attempt}});
       }
+      // Span links: one link_attempt per journey aboard this frame, so a
+      // trace records every wire attempt (including retransmits) it rode.
+      for (const std::uint64_t traceId : tx.traceIds)
+        recordEvent("daemon.link_attempt",
+                    {{"t", now},
+                     {"reader_id", config_.readerId},
+                     {"seq", tx.seq},
+                     {"attempt", tx.attempt},
+                     {"trace", obs::traceHex(traceId)}});
       if (uplinkTx_ != nullptr) {
         uplinkTx_->send(tx.frame, now);
       } else {

@@ -63,7 +63,8 @@ struct ReaderDaemonConfig {
   std::size_t downAfterFailures = 8;
 
   /// Live exposition (obs::ExpoServer): when >= 0, serve GET /metrics,
-  /// /metrics.json, /healthz and /flight on 127.0.0.1:<expoPort>
+  /// /metrics.json, /healthz, /flight[?n=K&trace=ID] and /trace/<id>
+  /// on 127.0.0.1:<expoPort>
   /// (0 = OS-assigned ephemeral port; read it back via expoPort()).
   /// Negative (default) keeps the daemon network-silent.
   int expoPort = -1;
@@ -179,6 +180,10 @@ class ReaderDaemon {
   sim::Scene& scene_;
   std::size_t readerIndex_;
   Rng rng_;
+  /// Mints per-window trace ids. Seeded independently of rng_ so trace
+  /// propagation does not perturb the scene's noise draws (which
+  /// seed-pinned tests depend on).
+  Rng traceRng_;
   core::MultiQueryCounter counter_;
   core::SpectrumAnalyzer analyzer_;
   core::TransponderTracker tracker_;

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "net/outbox.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace caraoke::net {
 
@@ -36,6 +38,10 @@ struct BackendMetrics {
       obs::globalRegistry().counter("net.backend.seq_gaps_filled");
   obs::Counter& acksSent =
       obs::globalRegistry().counter("net.backend.acks_sent");
+  obs::Counter& speedSamples =
+      obs::globalRegistry().counter("net.backend.speed_samples");
+  obs::Counter& speedFixes =
+      obs::globalRegistry().counter("net.backend.speed_fixes");
 };
 
 BackendMetrics& backendMetrics() {
@@ -43,7 +49,53 @@ BackendMetrics& backendMetrics() {
   return metrics;
 }
 
+// Distinct non-zero trace ids aboard a decoded batch, first-appearance
+// order — one backend.ingest event is emitted per journey, not per
+// message.
+std::vector<std::uint64_t> batchTraceIds(const std::vector<Message>& messages) {
+  std::vector<std::uint64_t> out;
+  for (const Message& m : messages) {
+    const std::uint64_t id = messageTrace(m).traceId;
+    if (id == 0) continue;
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  }
+  return out;
+}
+
 }  // namespace
+
+Backend::Backend(BackendConfig config)
+    : config_(std::move(config)), flight_(config_.flightCapacity) {
+  if (config_.expoPort >= 0) startExposition();
+}
+
+void Backend::recordEvent(const char* type, std::vector<obs::Field> fields) {
+  obs::Event event;
+  event.ts = obs::monotonicSeconds();
+  event.type = type;
+  event.fields = std::move(fields);
+  if (obs::eventsAttached()) obs::emitEvent(event.type, event.fields);
+  flight_.record(std::move(event));
+}
+
+void Backend::startExposition() {
+  obs::ExpoOptions options;
+  options.port = static_cast<std::uint16_t>(config_.expoPort);
+  obs::ExpoHandlers handlers;
+  // Backend metrics live in the process-wide registry (net.backend.*).
+  handlers.metricsText = [] { return obs::globalRegistry().expositionText(); };
+  handlers.metricsJson = [] { return obs::globalRegistry().jsonText(); };
+  handlers.healthz = [] { return obs::HealthStatus{true, "backend"}; };
+  handlers.flight = [this](const obs::FlightQuery& query) {
+    return flight_.jsonLines(query.maxEntries, query.trace);
+  };
+  handlers.trace = [this](const std::string& traceIdHex) {
+    return flight_.jsonLines(0, traceIdHex);
+  };
+  auto server =
+      std::make_unique<obs::ExpoServer>(std::move(options), std::move(handlers));
+  if (server->start()) expo_ = std::move(server);
+}
 
 void Backend::registerReader(std::uint32_t readerId,
                              core::ArrayGeometry geometry) {
@@ -93,6 +145,15 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
   if (batch.droppedMessages > 0)
     backendMetrics().salvagedDrops.inc(batch.droppedMessages);
 
+  // Trace provenance recovered from the v3 envelope: the ingest span
+  // joins the first aboard journey's trace, and one backend.ingest event
+  // per distinct trace marks the journey's arrival at the backend.
+  const std::vector<std::uint64_t> traces = batchTraceIds(batch.messages);
+  obs::ScopedTraceContext traceScope(
+      traces.empty() ? obs::TraceContext{}
+                     : obs::TraceContext{traces.front(), 0});
+  obs::ObsSpan ingestSpan("net.backend.ingest_batch");
+
   // Frame decoding above touched no shared state; the dedup/gap
   // accounting and report buffers below do.
   std::lock_guard<std::mutex> lock(mutex_);
@@ -127,6 +188,11 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
     ++stats.accepted;
   }
   backendMetrics().batches.inc();
+  for (const std::uint64_t traceId : traces)
+    recordEvent("backend.ingest", {{"reader_id", stats.readerId},
+                                   {"seq", stats.seq},
+                                   {"accepted", stats.accepted},
+                                   {"trace", obs::traceHex(traceId)}});
   return stats;
 }
 
@@ -155,6 +221,16 @@ void Backend::ingestLocked(const Message& message) {
   } else if (const auto* sighting = std::get_if<SightingReport>(&message)) {
     backendMetrics().sightings.inc();
     sightings_.push_back(*sighting);
+    // Feed the §7 speed-pairing angle track: the sighting reduced to its
+    // along-road direction cosine, keeping trace lineage.
+    SpeedSample sample;
+    sample.readerId = sighting->readerId;
+    sample.timestamp = sighting->timestamp;
+    sample.cfoHz = sighting->cfoHz;
+    sample.cosAlpha = std::cos(sighting->angleRad);
+    sample.traceId = sighting->traceId;
+    speedSamples_.push_back(sample);
+    backendMetrics().speedSamples.inc();
   } else if (const auto* decode = std::get_if<DecodeReport>(&message)) {
     backendMetrics().decodes.inc();
     decodes_.push_back(*decode);
@@ -231,6 +307,136 @@ std::vector<FusedFix> Backend::fuse(double now) {
     keep.push_back(sightings_[i]);
   }
   sightings_ = std::move(keep);
+  return fixes;
+}
+
+std::size_t Backend::pendingSpeedSamples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return speedSamples_.size();
+}
+
+std::vector<SpeedFix> Backend::pairSpeeds(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpeedFix> fixes;
+
+  // Cluster buffered samples by (reader, CFO): greedy assignment to the
+  // first cluster whose mean CFO is within the association tolerance —
+  // the same key fuse() uses, applied along the time axis.
+  struct Cluster {
+    std::uint32_t readerId = 0;
+    double cfoSum = 0.0;
+    std::vector<std::size_t> samples;  ///< Indices into speedSamples_.
+    bool consumed = false;
+    double meanCfo() const {
+      return cfoSum / static_cast<double>(samples.size());
+    }
+  };
+  std::vector<Cluster> clusters;
+  for (std::size_t i = 0; i < speedSamples_.size(); ++i) {
+    const SpeedSample& s = speedSamples_[i];
+    Cluster* home = nullptr;
+    for (Cluster& c : clusters) {
+      if (c.readerId != s.readerId) continue;
+      if (std::abs(c.meanCfo() - s.cfoHz) > config_.cfoToleranceHz) continue;
+      home = &c;
+      break;
+    }
+    if (home == nullptr) {
+      clusters.push_back(Cluster{s.readerId, 0.0, {}, false});
+      home = &clusters.back();
+    }
+    home->cfoSum += s.cfoHz;
+    home->samples.push_back(i);
+  }
+
+  auto abeamOf = [this](const Cluster& c) -> std::optional<double> {
+    if (c.samples.size() < config_.minAbeamSamples) return std::nullopt;
+    std::vector<core::AngleSample> track;
+    track.reserve(c.samples.size());
+    for (std::size_t idx : c.samples)
+      track.push_back({speedSamples_[idx].timestamp,
+                       speedSamples_[idx].cosAlpha});
+    std::sort(track.begin(), track.end(),
+              [](const core::AngleSample& a, const core::AngleSample& b) {
+                return a.time < b.time;
+              });
+    return core::findAbeamTime(track);
+  };
+
+  std::vector<bool> consumedSample(speedSamples_.size(), false);
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (clusters[i].consumed) continue;
+    for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+      if (clusters[j].consumed) continue;
+      Cluster& a = clusters[i];
+      Cluster& b = clusters[j];
+      if (a.readerId == b.readerId) continue;
+      if (std::abs(a.meanCfo() - b.meanCfo()) > config_.cfoToleranceHz)
+        continue;
+      const auto itA = readers_.find(a.readerId);
+      const auto itB = readers_.find(b.readerId);
+      if (itA == readers_.end() || itB == readers_.end()) continue;
+      const auto tA = abeamOf(a);
+      const auto tB = abeamOf(b);
+      if (!tA || !tB) continue;
+      // Pole x positions along the road come from registered geometry.
+      const double xA = itA->second.center().x;
+      const double xB = itB->second.center().x;
+      const auto speed = *tA <= *tB ? core::estimateSpeed(xA, *tA, xB, *tB)
+                                    : core::estimateSpeed(xB, *tB, xA, *tA);
+      if (!speed) continue;
+
+      SpeedFix fix;
+      fix.cfoHz = 0.5 * (a.meanCfo() + b.meanCfo());
+      fix.speedMps = *speed;
+      fix.abeamTimeA = *tA;
+      fix.abeamTimeB = *tB;
+      fix.readerA = a.readerId;
+      fix.readerB = b.readerId;
+      // Trace lineage: the readerA sighting nearest its abeam crossing.
+      double bestGap = 1e18;
+      for (std::size_t idx : a.samples) {
+        const SpeedSample& s = speedSamples_[idx];
+        if (s.traceId == 0) continue;
+        const double gap = std::abs(s.timestamp - *tA);
+        if (gap < bestGap) {
+          bestGap = gap;
+          fix.traceId = s.traceId;
+        }
+      }
+      {
+        // The speed-pairing span (and event) joins the originating
+        // reader's trace — the end of the end-to-end journey.
+        obs::ScopedTraceContext traceScope(
+            obs::TraceContext{fix.traceId, 0});
+        obs::ObsSpan span("net.backend.speed_pair");
+        recordEvent("backend.speed_fix",
+                    {{"reader_a", fix.readerA},
+                     {"reader_b", fix.readerB},
+                     {"cfo_hz", fix.cfoHz},
+                     {"speed_mps", fix.speedMps},
+                     {"t_abeam_a", fix.abeamTimeA},
+                     {"t_abeam_b", fix.abeamTimeB},
+                     {"trace", obs::traceHex(fix.traceId)}});
+      }
+      backendMetrics().speedFixes.inc();
+      fixes.push_back(fix);
+      a.consumed = true;
+      b.consumed = true;
+      for (std::size_t idx : a.samples) consumedSample[idx] = true;
+      for (std::size_t idx : b.samples) consumedSample[idx] = true;
+      break;
+    }
+  }
+
+  // Drop consumed and expired samples.
+  std::vector<SpeedSample> keepSamples;
+  for (std::size_t i = 0; i < speedSamples_.size(); ++i) {
+    if (consumedSample[i]) continue;
+    if (now - speedSamples_[i].timestamp > config_.speedWindowSec) continue;
+    keepSamples.push_back(speedSamples_[i]);
+  }
+  speedSamples_ = std::move(keepSamples);
   return fixes;
 }
 

@@ -5,9 +5,18 @@
 // paper's stand-in for an id when decoding hasn't happened — and fuses
 // pairs of AoA constraints from different readers into position fixes
 // (§6: "by solving these two equations, one can find x and y").
+//
+// Two-reader speed pairing (§7): every ingested sighting also feeds a
+// per-(reader, CFO cluster) angle track; pairSpeeds() finds the
+// abeam-crossing time at each of two poles (cos(alpha) zero crossing)
+// and estimates v = dx/dt from the pole spacing. Each SpeedFix carries
+// the traceId of the sighting nearest its abeam crossing, so the backend
+// speed-pairing span joins the originating reader's trace — the far end
+// of the v3 envelope propagation (see net/framing).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -15,8 +24,11 @@
 
 #include "core/aoa.hpp"
 #include "core/localizer.hpp"
+#include "core/speed.hpp"
 #include "net/framing.hpp"
 #include "net/message.hpp"
+#include "obs/expo.hpp"
+#include "obs/flight.hpp"
 
 namespace caraoke::net {
 
@@ -27,6 +39,20 @@ struct FusedFix {
   phy::Vec3 position;
   std::uint32_t readerA = 0;
   std::uint32_t readerB = 0;
+};
+
+/// A two-reader speed estimate (§7: abeam-crossing times at two poles a
+/// known along-road distance apart).
+struct SpeedFix {
+  double cfoHz = 0.0;      ///< Mean CFO of the two matched clusters.
+  double speedMps = 0.0;   ///< Signed along-road speed.
+  double abeamTimeA = 0.0; ///< Crossing time at readerA's pole.
+  double abeamTimeB = 0.0;
+  std::uint32_t readerA = 0;
+  std::uint32_t readerB = 0;
+  /// Trace of the readerA sighting nearest its abeam crossing (0 when
+  /// the contributing sightings arrived without trace context).
+  std::uint64_t traceId = 0;
 };
 
 /// Association/fusion tuning.
@@ -42,6 +68,19 @@ struct BackendConfig {
   /// candidate nearest one of these rows wins (city GIS knowledge the
   /// paper's footnote 10 appeals to).
   std::vector<double> preferredRowsY{};
+  /// Speed-pairing sample retention: angle samples older than this are
+  /// expired by pairSpeeds(). Long enough to ride out an uplink outage
+  /// (retransmitted sightings arrive late but keep their timestamps).
+  double speedWindowSec = 300.0;
+  /// Minimum angle samples per (reader, CFO cluster) before an abeam
+  /// crossing is trusted.
+  std::size_t minAbeamSamples = 3;
+  /// Live exposition: when >= 0, serve GET /metrics, /metrics.json,
+  /// /healthz, /flight and /trace/<id> on 127.0.0.1:<expoPort>
+  /// (0 = ephemeral). Negative (default) keeps the backend silent.
+  int expoPort = -1;
+  /// Flight-ring depth (backend.ingest / backend.speed_fix events).
+  std::size_t flightCapacity = 512;
 };
 
 /// Outcome of ingesting one uplink batch frame.
@@ -69,7 +108,7 @@ struct BatchIngestStats {
 /// are audit/reporting APIs, not hot-path ones.
 class Backend {
  public:
-  explicit Backend(BackendConfig config = {}) : config_(config) {}
+  explicit Backend(BackendConfig config = {});
 
   /// Register a reader's antenna calibration (world frame). Required
   /// before its sightings can be fused.
@@ -95,6 +134,25 @@ class Backend {
   /// are removed. Unpaired sightings stay buffered until they expire out
   /// of the time window.
   std::vector<FusedFix> fuse(double now);
+
+  /// Pair abeam crossings across readers into speed estimates (§7).
+  /// Consumes the matched angle samples and expires ones older than
+  /// config.speedWindowSec. Each fix emits a `net.backend.speed_pair`
+  /// span and a `backend.speed_fix` event under the fix's trace context.
+  std::vector<SpeedFix> pairSpeeds(double now);
+
+  /// Angle samples currently buffered for speed pairing.
+  std::size_t pendingSpeedSamples() const;
+
+  /// Black-box ring of backend events (always recording; served at
+  /// /flight and /trace/<id> when exposition is on).
+  const obs::FlightRecorder& flight() const { return flight_; }
+  obs::FlightRecorder& flight() { return flight_; }
+
+  /// Bound exposition port, or 0 when exposition is off / bind failed.
+  std::uint16_t expoPort() const {
+    return expo_ != nullptr ? expo_->port() : 0;
+  }
 
   /// Count time series per reader (traffic monitoring feed). Requires
   /// quiesced ingestion (see class comment).
@@ -127,10 +185,24 @@ class Backend {
     std::uint32_t maxSeq = 0;
   };
 
+  /// One speed-pairing input: a sighting reduced to its along-road
+  /// direction cosine plus the trace it arrived under.
+  struct SpeedSample {
+    std::uint32_t readerId = 0;
+    double timestamp = 0.0;
+    double cfoHz = 0.0;
+    double cosAlpha = 0.0;
+    std::uint64_t traceId = 0;
+  };
+
   /// ingest() body; assumes mutex_ is held.
   void ingestLocked(const Message& message);
+  /// Record into the flight ring (always) and the process event sink
+  /// (when attached).
+  void recordEvent(const char* type, std::vector<obs::Field> fields);
+  void startExposition();
 
-  /// Guards all mutable state below.
+  /// Guards all mutable state below (flight_ has its own lock).
   mutable std::mutex mutex_;
   BackendConfig config_;
   std::map<std::uint32_t, core::ArrayGeometry> readers_;
@@ -138,6 +210,12 @@ class Backend {
   std::vector<SightingReport> sightings_;
   std::vector<CountReport> counts_;
   std::vector<DecodeReport> decodes_;
+  std::vector<SpeedSample> speedSamples_;
+  /// Backend black box; written on every recordEvent, snapshotted by the
+  /// expo thread.
+  obs::FlightRecorder flight_;
+  /// Declared last so its thread dies before the state it serves.
+  std::unique_ptr<obs::ExpoServer> expo_;
 };
 
 }  // namespace caraoke::net

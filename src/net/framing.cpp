@@ -44,10 +44,10 @@ std::vector<std::uint8_t> FrameBatcher::flush() {
 namespace {
 
 std::vector<std::uint8_t> encodeEnvelope(
-    const BatchHeader& header,
+    std::uint16_t magic, const BatchHeader& header,
     const std::vector<std::vector<std::uint8_t>>& encoded) {
   ByteWriter writer;
-  writer.u16(FrameBatcher::kMagicV2);
+  writer.u16(magic);
   writer.u32(header.readerId);
   writer.u32(header.seq);
   writer.u16(static_cast<std::uint16_t>(encoded.size()));
@@ -64,7 +64,7 @@ std::vector<std::uint8_t> encodeEnvelope(
 
 std::vector<std::uint8_t> FrameBatcher::flush(const BatchHeader& header) {
   if (encoded_.empty()) return {};
-  auto out = encodeEnvelope(header, encoded_);
+  auto out = encodeEnvelope(kMagicV2, header, encoded_);
   encoded_.clear();
   return out;
 }
@@ -74,7 +74,24 @@ std::vector<std::uint8_t> encodeBatchV2(const BatchHeader& header,
   std::vector<std::vector<std::uint8_t>> encoded;
   encoded.reserve(messages.size());
   for (const auto& m : messages) encoded.push_back(encodeMessage(m));
-  return encodeEnvelope(header, encoded);
+  return encodeEnvelope(FrameBatcher::kMagicV2, header, encoded);
+}
+
+std::vector<std::uint8_t> encodeBatchV3(const BatchHeader& header,
+                                        const std::vector<Message>& messages) {
+  std::vector<std::vector<std::uint8_t>> encoded;
+  encoded.reserve(messages.size());
+  for (const auto& m : messages) {
+    const obs::TraceContext trace = messageTrace(m);
+    ByteWriter prefix;
+    prefix.u64(trace.traceId);
+    prefix.u64(trace.spanId);
+    std::vector<std::uint8_t> entry = prefix.bytes();
+    const std::vector<std::uint8_t> inner = encodeMessage(m);
+    entry.insert(entry.end(), inner.begin(), inner.end());
+    encoded.push_back(std::move(entry));
+  }
+  return encodeEnvelope(FrameBatcher::kMagicV3, header, encoded);
 }
 
 caraoke::Result<DecodedBatch> decodeBatch(const std::vector<std::uint8_t>& bytes,
@@ -89,7 +106,9 @@ caraoke::Result<DecodedBatch> decodeBatch(const std::vector<std::uint8_t>& bytes
   std::size_t cursor = 2;
   std::size_t end = bytes.size();
   std::uint16_t count = 0;
-  if (magic == FrameBatcher::kMagicV2) {
+  // v3 entries carry a 16-byte trace prefix before the message payload.
+  const bool traced = magic == FrameBatcher::kMagicV3;
+  if (magic == FrameBatcher::kMagicV2 || traced) {
     // Envelope: readerId + seq after the magic, crc32 trailer at the end.
     if (bytes.size() < 16) return R::failure("truncated batch header");
     const std::uint32_t stored =
@@ -135,9 +154,28 @@ caraoke::Result<DecodedBatch> decodeBatch(const std::vector<std::uint8_t>& bytes
       cursor = end;
       break;
     }
-    std::vector<std::uint8_t> inner(bytes.begin() + static_cast<long>(cursor),
-                                    bytes.begin() +
-                                        static_cast<long>(cursor + len));
+    obs::TraceContext trace;
+    std::size_t innerStart = cursor;
+    if (traced) {
+      if (len < FrameBatcher::kTracePrefixBytes) {
+        if (strict) return R::failure("truncated trace prefix");
+        ++out.droppedMessages;
+        cursor += len;
+        continue;
+      }
+      auto u64At = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        for (int b = 7; b >= 0; --b)
+          v = (v << 8) | bytes[at + static_cast<std::size_t>(b)];
+        return v;
+      };
+      trace.traceId = u64At(cursor);
+      trace.spanId = u64At(cursor + 8);
+      innerStart = cursor + FrameBatcher::kTracePrefixBytes;
+    }
+    std::vector<std::uint8_t> inner(
+        bytes.begin() + static_cast<long>(innerStart),
+        bytes.begin() + static_cast<long>(cursor + len));
     cursor += len;
     auto decoded = decodeMessage(inner);
     if (!decoded.ok()) {
@@ -146,7 +184,9 @@ caraoke::Result<DecodedBatch> decodeBatch(const std::vector<std::uint8_t>& bytes
       ++out.droppedMessages;
       continue;
     }
-    out.messages.push_back(decoded.value());
+    Message message = decoded.value();
+    if (traced) setMessageTrace(message, trace);
+    out.messages.push_back(std::move(message));
   }
   if (cursor != end) {
     if (strict) return R::failure("trailing bytes in batch");

@@ -8,12 +8,20 @@
 //   v2 (magic 0xCA0D):
 //     [magic u16] [readerId u32] [seq u32] [count u16]
 //     { [len u16] [message bytes] } x count [crc32 u32]
+//   v3 (magic 0xCA0E):
+//     [magic u16] [readerId u32] [seq u32] [count u16]
+//     { [len u16] [traceId u64] [spanId u64] [message bytes] } x count
+//     [crc32 u32]
 //
 // v2 adds the store-and-forward envelope (reader id + per-batch sequence
 // number, so the backend can ack, dedup retransmissions, and account for
 // gaps) and a CRC-32 trailer over everything before it, so bit corruption
 // on the lossy uplink is *detected* rather than discovered by parse luck.
-// Decoders accept both versions; v1 remains for pre-envelope peers.
+// v3 prefixes every entry with the originating trace context (16 bytes,
+// covered by `len` and the CRC) so backend spans can join the reader's
+// trace; the inner message payload is unchanged from v1/v2. Decoders
+// accept all three versions; v1/v2 remain for pre-envelope / pre-trace
+// peers, whose messages simply decode with traceId 0.
 #pragma once
 
 #include <vector>
@@ -55,8 +63,12 @@ class FrameBatcher {
   static constexpr std::uint16_t kMagic = 0xCA0C;
   /// The envelope (v2) batch magic number.
   static constexpr std::uint16_t kMagicV2 = 0xCA0D;
+  /// The traced-envelope (v3) batch magic number.
+  static constexpr std::uint16_t kMagicV3 = 0xCA0E;
   /// Extra bytes a v2 frame carries over v1: readerId + seq + crc32.
   static constexpr std::size_t kEnvelopeOverheadBytes = 12;
+  /// Extra bytes each v3 entry carries over v2: traceId + spanId.
+  static constexpr std::size_t kTracePrefixBytes = 16;
 
  private:
   std::vector<std::vector<std::uint8_t>> encoded_;
@@ -67,6 +79,12 @@ class FrameBatcher {
 /// count=0 frame — the store-and-forward outbox uses this to keep a
 /// reader's sequence space dense when shedding empties a batch.
 std::vector<std::uint8_t> encodeBatchV2(const BatchHeader& header,
+                                        const std::vector<Message>& messages);
+
+/// Encode a v3 traced-envelope frame: like encodeBatchV2 (empty list is
+/// legal), plus each entry carries the message's traceId/spanId fields
+/// in a 16-byte prefix covered by the entry length and the CRC trailer.
+std::vector<std::uint8_t> encodeBatchV3(const BatchHeader& header,
                                         const std::vector<Message>& messages);
 
 /// How decodeBatch treats a batch whose envelope parsed but whose inner

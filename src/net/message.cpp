@@ -64,6 +64,23 @@ namespace {
 enum class Tag : std::uint8_t { kCount = 1, kSighting = 2, kDecode = 3 };
 }
 
+obs::TraceContext messageTrace(const Message& message) {
+  return std::visit(
+      [](const auto& report) {
+        return obs::TraceContext{report.traceId, report.spanId};
+      },
+      message);
+}
+
+void setMessageTrace(Message& message, const obs::TraceContext& trace) {
+  std::visit(
+      [&trace](auto& report) {
+        report.traceId = trace.traceId;
+        report.spanId = trace.spanId;
+      },
+      message);
+}
+
 std::vector<std::uint8_t> encodeMessage(const Message& message) {
   ByteWriter w;
   if (const auto* count = std::get_if<CountReport>(&message)) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "obs/trace.hpp"
 #include "phy/packet.hpp"
 
 namespace caraoke::net {
@@ -48,11 +49,19 @@ class ByteReader {
   std::size_t cursor_ = 0;
 };
 
+// Trace provenance (traceId/spanId) on the reports below is carried by
+// the *batch envelope* (v3 entry prefix in net/framing), not by the
+// per-message payload encoding — encodeMessage/decodeMessage ignore the
+// two fields, which is what keeps v1/v2 peers decodable. traceId 0 means
+// "no trace" (pre-v3 sender or tracing disabled).
+
 /// Periodic count sample (traffic monitoring).
 struct CountReport {
   std::uint32_t readerId = 0;
   double timestamp = 0.0;   ///< Reader-local time [s].
   std::uint32_t count = 0;  ///< Estimated transponders in range.
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
 };
 
 /// One transponder sighting: CFO plus the chosen-pair AoA.
@@ -63,6 +72,8 @@ struct SightingReport {
   std::uint32_t pairIndex = 0;
   double angleRad = 0.0;
   double peakMagnitude = 0.0;
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
 };
 
 /// A decoded transponder identity.
@@ -71,9 +82,17 @@ struct DecodeReport {
   double timestamp = 0.0;
   double cfoHz = 0.0;
   phy::TransponderId id{};
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
 };
 
 using Message = std::variant<CountReport, SightingReport, DecodeReport>;
+
+/// Envelope-level trace identity of any Message alternative (all three
+/// carry the same two fields).
+obs::TraceContext messageTrace(const Message& message);
+/// Stamp the envelope-recovered trace identity onto a decoded Message.
+void setMessageTrace(Message& message, const obs::TraceContext& trace);
 
 /// Frame a message: [type:u8][payload]. The payload layout is fixed per
 /// type, so no length prefix is needed inside a frame.

@@ -42,6 +42,17 @@ std::string prefixed(const std::string& prefix, const char* name) {
   return prefix + "." + name;
 }
 
+std::vector<std::uint64_t> distinctTraceIds(
+    const std::vector<Message>& messages) {
+  std::vector<std::uint64_t> out;
+  for (const Message& m : messages) {
+    const std::uint64_t id = messageTrace(m).traceId;
+    if (id == 0) continue;
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  }
+  return out;
+}
+
 }  // namespace
 
 Outbox::Outbox(OutboxConfig config, Rng rng, obs::Registry* registry)
@@ -108,7 +119,7 @@ void Outbox::updateGauge() {
 
 void Outbox::rebuildFrame(PendingBatch& batch) {
   bufferedBytes_ -= batch.frame.size();
-  batch.frame = encodeBatchV2({config_.readerId, batch.seq}, batch.messages);
+  batch.frame = encodeBatchV3({config_.readerId, batch.seq}, batch.messages);
   bufferedBytes_ += batch.frame.size();
 }
 
@@ -119,7 +130,7 @@ bool Outbox::seal(double now) {
   batch.seq = nextSeq_++;
   batch.messages = std::move(open_);
   open_.clear();
-  batch.frame = encodeBatchV2({config_.readerId, batch.seq}, batch.messages);
+  batch.frame = encodeBatchV3({config_.readerId, batch.seq}, batch.messages);
   batch.attempts = 0;
   batch.nextAttemptSec = now;  // eligible immediately
   batch.backoffSec = config_.initialBackoffSec;
@@ -180,6 +191,7 @@ std::vector<OutboxTransmission> Outbox::collectTransmissions(double now) {
     tx.seq = it->seq;
     tx.attempt = it->attempts;
     tx.frame = it->frame;
+    tx.traceIds = distinctTraceIds(it->messages);
     out.push_back(std::move(tx));
 
     if (config_.maxAttempts > 0 && it->attempts >= config_.maxAttempts) {

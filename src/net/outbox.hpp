@@ -24,6 +24,11 @@
 // are not — and only once every count is gone drop whole batches, oldest
 // first. A batch whose messages were all shed still transmits as an empty
 // envelope so the backend's per-reader sequence space stays dense.
+//
+// Sealed frames use the v3 traced envelope (net/framing): each message's
+// trace context rides the wire and survives retransmits, and every
+// OutboxTransmission lists the distinct trace ids aboard so the daemon
+// can emit per-attempt span links.
 #pragma once
 
 #include <cstdint>
@@ -78,6 +83,10 @@ struct OutboxTransmission {
   std::uint32_t seq = 0;
   std::size_t attempt = 0;  ///< 1 = first transmission, >1 = retry.
   std::vector<std::uint8_t> frame;
+  /// Distinct non-zero trace ids aboard the frame (first-appearance
+  /// order) — the span links the daemon emits one `daemon.link_attempt`
+  /// event per, so a journey records every wire attempt it rode.
+  std::vector<std::uint64_t> traceIds;
 };
 
 /// The store-and-forward queue. All timing is caller-provided simulated

@@ -30,6 +30,41 @@ std::string httpResponse(int status, const char* reason,
   return out;
 }
 
+// Parse the query-string tail of a request path into /flight options.
+// Unknown keys are ignored; a non-numeric or overflowing n falls back
+// to "no limit" rather than erroring (scrape endpoints should degrade,
+// not 400, on operator typos).
+FlightQuery parseFlightQuery(const std::string& query) {
+  FlightQuery out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = pair.substr(0, eq);
+      const std::string value = pair.substr(eq + 1);
+      if (key == "n") {
+        std::size_t n = 0;
+        bool numeric = !value.empty();
+        for (char c : value) {
+          if (c < '0' || c > '9' || n > (1u << 24)) {
+            numeric = false;
+            break;
+          }
+          n = n * 10 + static_cast<std::size_t>(c - '0');
+        }
+        if (numeric) out.maxEntries = n;
+      } else if (key == "trace") {
+        out.trace = value;
+      }
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
 void sendAll(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -134,9 +169,17 @@ void ExpoServer::handleConnection(int fd) {
     return;
   }
   const std::string method = line.substr(0, methodEnd);
-  const std::string path =
+  const std::string target =
       line.substr(methodEnd + 1, pathEnd - methodEnd - 1);
   requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Split the request target into path and query string.
+  const std::size_t queryStart = target.find('?');
+  const std::string path =
+      queryStart == std::string::npos ? target : target.substr(0, queryStart);
+  const std::string query =
+      queryStart == std::string::npos ? std::string()
+                                      : target.substr(queryStart + 1);
 
   if (method != "GET") {
     sendAll(fd, httpResponse(405, "Method Not Allowed", "text/plain",
@@ -158,11 +201,14 @@ void ExpoServer::handleConnection(int fd) {
                                    health.body + "\n"));
   } else if (path == "/flight" && handlers_.flight) {
     sendAll(fd, httpResponse(200, "OK", "application/x-ndjson",
-                             handlers_.flight()));
+                             handlers_.flight(parseFlightQuery(query))));
+  } else if (path.rfind("/trace/", 0) == 0 && handlers_.trace) {
+    sendAll(fd, httpResponse(200, "OK", "application/x-ndjson",
+                             handlers_.trace(path.substr(7))));
   } else {
     sendAll(fd, httpResponse(404, "Not Found", "text/plain",
                              "routes: /metrics /metrics.json /healthz "
-                             "/flight\n"));
+                             "/flight[?n=K&trace=ID] /trace/<id>\n"));
   }
 }
 

@@ -6,7 +6,11 @@
 //   GET /metrics.json   the same snapshot as one JSON object
 //   GET /healthz        200 when the uplink watchdog reports healthy,
 //                       503 with the state name otherwise
-//   GET /flight         the flight recorder's JSON-lines ring dump
+//   GET /flight         the flight recorder's JSON-lines ring dump;
+//                       ?n=K caps the reply to the newest K entries and
+//                       ?trace=<16-hex id> filters to one trace
+//   GET /trace/<id>     all ring entries belonging to one trace id —
+//                       the per-journey drill-down tracecat.py links to
 //
 // Design constraints, in order: no third-party dependencies (POSIX
 // sockets only), thread-safety the TSan rig can verify (all content
@@ -19,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -41,6 +46,13 @@ struct HealthStatus {
   std::string body = "healthy";
 };
 
+/// Parsed /flight query parameters (`?n=K&trace=<hex>`). Zero/empty
+/// mean "no limit" / "no filter", matching FlightRecorder::jsonLines.
+struct FlightQuery {
+  std::size_t maxEntries = 0;
+  std::string trace;
+};
+
 /// Content callbacks. Unset handlers 404 their route. Handlers run on
 /// the server thread — they must be thread-safe against whoever mutates
 /// the underlying data (registry snapshots and the flight recorder
@@ -49,7 +61,10 @@ struct ExpoHandlers {
   std::function<std::string()> metricsText;
   std::function<std::string()> metricsJson;
   std::function<HealthStatus()> healthz;
-  std::function<std::string()> flight;
+  std::function<std::string(const FlightQuery&)> flight;
+  /// GET /trace/<id>: receives the raw <id> path segment (expected to be
+  /// the 16-hex traceHex form; the handler owns validation).
+  std::function<std::string(const std::string&)> trace;
 };
 
 /// Blocking HTTP/1.0 exposition server on its own thread.

@@ -1,6 +1,7 @@
 #include "obs/flight.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 
 namespace caraoke::obs {
@@ -35,6 +36,10 @@ void FlightRecorder::onSpanEnd(const SpanRecord& span) {
   event.fields.emplace_back("name", span.name);
   event.fields.emplace_back("depth", span.depth);
   event.fields.emplace_back("duration_sec", span.endSec - span.startSec);
+  if (span.traceId != 0) {
+    event.fields.emplace_back("trace", traceHex(span.traceId));
+    event.fields.emplace_back("span", traceHex(span.spanId));
+  }
   record(std::move(event));
 }
 
@@ -59,9 +64,32 @@ std::vector<Event> FlightRecorder::snapshot() const {
   return out;
 }
 
-std::string FlightRecorder::jsonLines() const {
+std::vector<Event> FlightRecorder::snapshot(
+    std::size_t maxEntries, const std::string& traceHexFilter) const {
+  std::vector<Event> all = snapshot();
+  std::vector<Event> out;
+  out.reserve(all.size());
+  for (Event& event : all) {
+    if (!traceHexFilter.empty()) {
+      const FieldValue* trace = event.find("trace");
+      if (trace == nullptr ||
+          !std::holds_alternative<std::string>(*trace) ||
+          std::get<std::string>(*trace) != traceHexFilter)
+        continue;
+    }
+    out.push_back(std::move(event));
+  }
+  // "Newest K": drop from the front (snapshot() is oldest-first).
+  if (maxEntries != 0 && out.size() > maxEntries)
+    out.erase(out.begin(),
+              out.begin() + static_cast<std::ptrdiff_t>(out.size() - maxEntries));
+  return out;
+}
+
+std::string FlightRecorder::jsonLines(std::size_t maxEntries,
+                                      const std::string& traceHexFilter) const {
   std::string out;
-  for (const Event& event : snapshot()) {
+  for (const Event& event : snapshot(maxEntries, traceHexFilter)) {
     out += toJsonLine(event);
     out += '\n';
   }

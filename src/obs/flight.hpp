@@ -53,9 +53,15 @@ class FlightRecorder : public EventSink, public TraceSink {
 
   /// Ring contents, oldest first.
   std::vector<Event> snapshot() const;
+  /// Filtered view: entries whose "trace" field equals `traceHexFilter`
+  /// (empty = all entries), truncated to the newest `maxEntries`
+  /// (0 = unlimited). Backs /flight?n=K&trace=<id> and /trace/<id>.
+  std::vector<Event> snapshot(std::size_t maxEntries,
+                              const std::string& traceHexFilter) const;
   /// JSON-lines rendering of snapshot() (one toJsonLine per entry,
   /// trailing newline) — the dump format, also served at /flight.
-  std::string jsonLines() const;
+  std::string jsonLines(std::size_t maxEntries = 0,
+                        const std::string& traceHexFilter = {}) const;
   /// Write jsonLines() to `path` (truncating). False on I/O failure.
   bool dumpToFile(const std::string& path) const;
 

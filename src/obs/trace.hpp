@@ -14,6 +14,7 @@
 // histogram observe.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -27,12 +28,49 @@ namespace caraoke::obs {
 /// base shared by spans, events, and the log prefix.
 double monotonicSeconds();
 
+/// Cross-process trace identity: a traceId names one end-to-end journey
+/// (minted per ReaderDaemon query burst) and spanId names the minting
+/// span within it. traceId 0 means "no trace" so that zero-initialized
+/// records and pre-v3 wire peers degrade gracefully.
+struct TraceContext {
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
+  bool valid() const { return traceId != 0; }
+};
+
+/// Canonical 16-hex-char lowercase rendering of a trace/span id, used in
+/// event fields and /trace/<id> URLs (u64 does not fit a JSON int64).
+std::string traceHex(std::uint64_t id);
+/// Inverse of traceHex; returns 0 on malformed input (which is also the
+/// "no trace" sentinel, so callers need no separate error path).
+std::uint64_t parseTraceHex(const std::string& hex);
+
+/// The calling thread's current trace context (invalid when none).
+TraceContext currentTraceContext();
+
+/// RAII guard installing a trace context for the enclosed scope; spans
+/// and daemon events created inside pick it up implicitly. Restores the
+/// previous context on destruction so scopes nest.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
 /// A finished span as delivered to sinks.
 struct SpanRecord {
   std::string name;
   int depth = 0;        ///< 0 = top-level span on its thread.
   double startSec = 0;  ///< monotonicSeconds() at construction.
   double endSec = 0;
+  std::uint64_t traceId = 0;  ///< 0 when no trace context was active.
+  std::uint64_t spanId = 0;
 };
 
 /// Receives span begin/end notifications (same thread as the span).

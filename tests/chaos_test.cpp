@@ -189,9 +189,10 @@ TEST(Outbox, ExponentialBackoffAndRetryCap) {
 TEST(Outbox, ShedsOldestCountsFirstAndKeepsSightings) {
   net::OutboxConfig config;
   config.readerId = 3;
-  // Fits two full batches (135 B each with 4 counts + 1 sighting) but
-  // not three: sealing the third forces the shed policy.
-  config.maxBufferedBytes = 300;
+  // Fits two full batches (211 B each with 4 counts + 1 sighting in the
+  // v3 traced envelope) but not three: sealing the third forces the shed
+  // policy.
+  config.maxBufferedBytes = 450;
   config.jitterFraction = 0.0;
   obs::Registry registry;
   net::Outbox outbox(config, Rng(1), &registry);
@@ -545,8 +546,8 @@ TEST(Chaos, TwoReaderPlazaSurvivesOutageExactlyOnce) {
 // exactly once — only counts are sacrificed.
 TEST(Chaos, OutboxPressureShedsOnlyCounts) {
   Rng rng(12);
-  // One parked car: each 5 s batch carries ~5 counts (95 B) + ~5
-  // sightings (215 B), so counts are a meaningful slice of the buffer
+  // One parked car: each 5 s v3 batch carries ~5 counts (175 B) + ~5
+  // sightings (295 B), so counts are a meaningful slice of the buffer
   // and the budget can sit between "everything" and "sightings only".
   sim::Scene scene = plazaScene(rng, 1);
 
@@ -566,10 +567,11 @@ TEST(Chaos, OutboxPressureShedsOnlyCounts) {
   config.outbox.initialBackoffSec = 2.0;
   config.outbox.maxBackoffSec = 8.0;
   config.outbox.maxAttempts = 0;
-  // The 120 s outage accumulates ~8 KB of batches; shedding every
-  // CountReport brings that under budget, so pass 1 of the shed policy
-  // always suffices and no sighting is ever sacrificed.
-  config.outbox.maxBufferedBytes = 13 * 512;  // 6.5 KB
+  // The 120 s outage accumulates ~11.5 KB of v3 batches; shedding every
+  // CountReport brings that under budget (~7.5 KB of sightings remain),
+  // so pass 1 of the shed policy always suffices and no sighting is
+  // ever sacrificed.
+  config.outbox.maxBufferedBytes = 19 * 512;  // 9.5 KB
 
   apps::ReaderDaemon daemon(config, scene, 0, rng.fork());
   daemon.attachUplink(&up, &down);

@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -91,7 +92,14 @@ TEST(ExpoServer, ServesAllRoutesFromHandlers) {
   handlers.healthz = [&] {
     return obs::HealthStatus{healthy, healthy ? "healthy" : "uplink_down"};
   };
-  handlers.flight = [] { return std::string("{\"type\":\"x\"}\n"); };
+  std::vector<obs::FlightQuery> flightQueries;
+  handlers.flight = [&](const obs::FlightQuery& query) {
+    flightQueries.push_back(query);
+    return std::string("{\"type\":\"x\"}\n");
+  };
+  handlers.trace = [](const std::string& id) {
+    return "{\"trace\":\"" + id + "\"}\n";
+  };
 
   obs::ExpoServer server({}, handlers);
   ASSERT_TRUE(server.start());
@@ -116,6 +124,25 @@ TEST(ExpoServer, ServesAllRoutesFromHandlers) {
   const std::string flight = httpGet(server.port(), "/flight");
   EXPECT_EQ(statusOf(flight), 200);
   EXPECT_NE(bodyOf(flight).find("\"type\":\"x\""), std::string::npos);
+  ASSERT_EQ(flightQueries.size(), 1u);
+  EXPECT_EQ(flightQueries[0].maxEntries, 0u);
+  EXPECT_TRUE(flightQueries[0].trace.empty());
+
+  // Query parameters reach the handler parsed: ?n caps the entry count,
+  // ?trace filters by id, junk n falls back to "no limit".
+  httpGet(server.port(), "/flight?n=25&trace=00000000deadbeef");
+  httpGet(server.port(), "/flight?n=bogus");
+  ASSERT_EQ(flightQueries.size(), 3u);
+  EXPECT_EQ(flightQueries[1].maxEntries, 25u);
+  EXPECT_EQ(flightQueries[1].trace, "00000000deadbeef");
+  EXPECT_EQ(flightQueries[2].maxEntries, 0u);
+
+  // /trace/<id> hands the raw path segment to the trace handler.
+  const std::string trace =
+      httpGet(server.port(), "/trace/00000000deadbeef");
+  EXPECT_EQ(statusOf(trace), 200);
+  EXPECT_NE(bodyOf(trace).find("\"trace\":\"00000000deadbeef\""),
+            std::string::npos);
 
   EXPECT_EQ(statusOf(httpGet(server.port(), "/nope")), 404);
   EXPECT_EQ(statusOf(httpGet(server.port(), "/metrics", "POST")), 405);
@@ -219,6 +246,10 @@ TEST(ExpoDaemon, ScrapeHealthyThenOutageTo503AndFlightDump) {
   const std::string flight = bodyOf(httpGet(port, "/flight"));
   EXPECT_NE(flight.find("daemon.health_change"), std::string::npos);
   EXPECT_NE(flight.find("uplink_down"), std::string::npos);
+
+  // ?n=K caps the scrape to the newest K ring entries.
+  const std::string capped = bodyOf(httpGet(port, "/flight?n=1"));
+  EXPECT_EQ(std::count(capped.begin(), capped.end(), '\n'), 1);
 
   // The watchdog trip dumped the ring to disk: every line must parse
   // back through the structured-event codec.

@@ -267,6 +267,76 @@ TEST(ObsEvents, ParserRejectsMalformedLines) {
       obs::parseJsonLine("{\"ts\":\"notanumber\",\"type\":\"x\"}").has_value());
 }
 
+TEST(ObsEvents, ParserRejectsEveryTruncationOfAValidLine) {
+  obs::Event event;
+  event.ts = 3.25;
+  event.type = "daemon.count";
+  event.fields.push_back({"n", std::int64_t{4}});
+  event.fields.push_back({"note", std::string("a\"b\\c\td")});
+  const std::string line = obs::toJsonLine(event);
+  ASSERT_TRUE(obs::parseJsonLine(line).has_value()) << line;
+  // Chop the line anywhere — mid-key, mid-escape, mid-number, before the
+  // closing brace — and the parser must refuse, never crash or return a
+  // half-filled event.
+  for (std::size_t len = 0; len < line.size(); ++len) {
+    EXPECT_FALSE(obs::parseJsonLine(line.substr(0, len)).has_value())
+        << "accepted truncation at byte " << len << ": "
+        << line.substr(0, len);
+  }
+}
+
+TEST(ObsEvents, ParserRejectsNestedStructures) {
+  // The schema is a flat object; nested objects and arrays are refused
+  // rather than skipped (a tool seeing them should treat the line as
+  // foreign, not silently drop fields).
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"a\":{\"b\":2}}").has_value());
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"a\":{}}").has_value());
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"a\":[1,2]}").has_value());
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"a\":{\"deep\":{\"er\":{}}}}").has_value());
+}
+
+TEST(ObsEvents, ParserRejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"s\":\"\\uZZZZ\"}").has_value());
+  // toJsonLine only emits \u00XX; larger code points are foreign.
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"s\":\"\\u0100\"}").has_value());
+  // Escape truncated by end-of-line.
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"s\":\"\\u00").has_value());
+  EXPECT_FALSE(obs::parseJsonLine(
+      "{\"ts\":1,\"type\":\"x\",\"s\":\"\\q\"}").has_value());
+}
+
+TEST(ObsEvents, ParserHandlesNonUtf8Bytes) {
+  // Raw high bytes *outside* a string can never start a token.
+  std::string outside = "{\"ts\":1,\"type\":\"x\",\"v\":";
+  outside += static_cast<char>(0xFF);
+  outside += static_cast<char>(0xFE);
+  outside += "}";
+  EXPECT_FALSE(obs::parseJsonLine(outside).has_value());
+
+  // Inside a quoted string the parser is byte-transparent: undecodable
+  // bytes ride through unmangled (the flight ring can carry whatever a
+  // caller stuffed into a field; consumers decode with replacement).
+  std::string inside = "{\"ts\":1,\"type\":\"x\",\"s\":\"a";
+  inside += static_cast<char>(0xC3);  // lone lead byte: invalid UTF-8
+  inside += static_cast<char>(0xFF);
+  inside += "b\"}";
+  const auto parsed = obs::parseJsonLine(inside);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* value = parsed->find("s");
+  ASSERT_NE(value, nullptr);
+  const std::string& s = std::get<std::string>(*value);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(s[1]), 0xC3);
+  EXPECT_EQ(static_cast<unsigned char>(s[2]), 0xFF);
+}
+
 TEST(ObsEvents, EmitGoesToAttachedSinkOnly) {
   obs::emitEvent("dropped.no_sink", {});  // no sink attached: no-op
 

@@ -4,19 +4,22 @@
 Runs every bench binary N times with ``--json``, aggregates each metric
 across repeats (median / p10 / p90 / relative standard deviation),
 re-runs benches whose wall-clock RSD exceeds the noise threshold, and
-writes one consolidated report (default ``BENCH_PR4.json``) at the repo
-root.  If an earlier ``BENCH_*.json`` baseline exists, the gate compares
-wall-clock medians and exits non-zero when any bench slowed down by more
-than ``--threshold`` (fractional, default 0.10 = 10%).
+writes one consolidated report (default ``BENCH_PR5.json``) at the repo
+root.  The gate then compares wall-clock medians against the newest other
+``BENCH_*.json`` baseline and exits non-zero when any bench slowed down by
+more than ``--threshold`` (fractional, default 0.10 = 10%).  A missing or
+unreadable baseline is a clear diagnostic and exit 2 — never a stack
+trace — unless ``--update-baseline`` says this run *establishes* the
+baseline.
 
 Usage:
   tools/benchgate.py [--build-dir build] [--profile smoke|full]
-                     [--repeats 3] [--threshold 0.10] [--out BENCH_PR4.json]
+                     [--repeats 3] [--threshold 0.10] [--out BENCH_PR5.json]
                      [--baseline FILE] [--filter REGEX]
                      [--update-baseline] [--compare-only] [--selftest]
 
 Exit codes: 0 ok / regression blessed, 1 regression or runner failure,
-2 usage error.
+2 usage error (including no usable baseline without --update-baseline).
 """
 
 from __future__ import annotations
@@ -256,11 +259,34 @@ def selftest():
         "profile mismatch skips the gate",
     )
 
+    # Missing-baseline contract, end to end through main(): a clear exit-2
+    # diagnostic, never a stack trace — unless --update-baseline blesses
+    # this run as the first baseline.
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = pathlib.Path(tmp) / "BENCH_SELFTEST.json"
+        report_path.write_text(json.dumps(report_with_wall(1.0)))
+        missing = pathlib.Path(tmp) / "BENCH_NOPE.json"
+        base = ["--compare-only", "--out", str(report_path)]
+        check(
+            main(base + ["--baseline", str(missing)]) == 2,
+            "missing baseline is a usage error",
+        )
+        check(
+            main(base + ["--baseline", str(missing), "--update-baseline"]) == 0,
+            "--update-baseline establishes the first baseline",
+        )
+        corrupt = pathlib.Path(tmp) / "BENCH_CORRUPT.json"
+        corrupt.write_text("{not json")
+        check(
+            main(base + ["--baseline", str(corrupt)]) == 2,
+            "corrupt baseline is a usage error, not a stack trace",
+        )
+
     if failures:
         for f in failures:
             print("selftest FAIL:", f)
         return 1
-    print("benchgate selftest ok (%d checks)" % 12)
+    print("benchgate selftest ok (%d checks)" % 15)
     return 0
 
 
@@ -277,7 +303,7 @@ def main(argv=None):
                         help="wall-clock RSD above which a bench is re-run")
     parser.add_argument("--max-extra-runs", type=int, default=2)
     parser.add_argument("--out", type=pathlib.Path,
-                        default=REPO_ROOT / "BENCH_PR4.json")
+                        default=REPO_ROOT / "BENCH_PR5.json")
     parser.add_argument("--baseline", type=pathlib.Path, default=None,
                         help="explicit baseline file (default: newest other "
                              "BENCH_*.json at the repo root)")
@@ -330,11 +356,26 @@ def main(argv=None):
 
     baseline_path = find_baseline(args.out, args.baseline)
     if baseline_path is None:
-        print("no baseline BENCH_*.json found; gate skipped")
-        return 0
+        if args.update_baseline:
+            print(f"no baseline BENCH_*.json found; "
+                  f"{args.out.name} establishes the baseline")
+            return 0
+        where = (f"--baseline {args.baseline}" if args.baseline is not None
+                 else f"BENCH_*.json at {REPO_ROOT}")
+        print(f"benchgate: no baseline found ({where}).\n"
+              "  Pass --update-baseline to establish this run as the first\n"
+              "  baseline, or --baseline FILE to compare against an explicit "
+              "report.", file=sys.stderr)
+        return 2
     print(f"comparing against baseline {baseline_path.name} "
           f"(threshold {args.threshold * 100:.0f}%)")
-    baseline = json.loads(baseline_path.read_text())
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as err:
+        print(f"benchgate: baseline {baseline_path} is unreadable: {err}\n"
+              "  Re-bless with --update-baseline or point --baseline at a "
+              "valid report.", file=sys.stderr)
+        return 2
     regressions = compare(report, baseline, args.threshold)
     if regressions and not args.update_baseline:
         print(f"benchgate: {len(regressions)} wall-clock regression(s) "

@@ -15,6 +15,13 @@ This linter enforces the ones the architecture depends on:
                and every file that encodes a magic-framed message also
                computes a CRC trailer (corruption must be *detected*,
                not discovered by parse luck).
+  wireversion  The wire structs serialized by net/framing (CountReport,
+               SightingReport, DecodeReport) are fingerprinted by field
+               count against a baked-in baseline. Growing one without
+               also minting a new envelope version magic (and then
+               refreshing the baseline here) is exactly how a silent
+               layout skew ships, so both halves of the pairing are
+               enforced.
   metricnames  Metric/event/span name literals follow the dotted
                lowercase grammar (`net.backend.frames_ingested`), and no
                metric name is registered at more than one source
@@ -186,6 +193,95 @@ def check_wiremagic(files, rel, findings):
             "crc32 trailer — corruption would go undetected"))
 
 
+# The structs that ride inside batch envelopes, with the field counts and
+# envelope-version-magic count (kMagic/kMagicV2/kMagicV3 + kAckMagic)
+# current as of wire v3. A PR that grows a wire struct must mint a new
+# version magic AND update this baseline — the second half is the
+# explicit acknowledgement that old decoders were considered.
+WIREVERSION_BASELINE = {
+    "structs": {"CountReport": 5, "SightingReport": 8, "DecodeReport": 6},
+    "magics": 4,
+}
+
+WIRE_STRUCT_RE_TEMPLATE = r"struct\s+%s\s*\{(?P<body>.*?)\n\};"
+
+
+def count_struct_fields(text, name):
+    """Field count of `struct name { ... };` in text; None when absent.
+
+    A field is any non-comment statement line ending in ';' that is not
+    a function declaration — the wire structs are plain aggregates, so
+    this is exact for them.
+    """
+    m = re.search(WIRE_STRUCT_RE_TEMPLATE % name, text, re.S)
+    if m is None:
+        return None
+    fields = 0
+    for line in m.group("body").splitlines():
+        code = strip_line_comment(line).strip()
+        if code.endswith(";") and "(" not in code:
+            fields += 1
+    return fields
+
+
+def check_wireversion(files, rel, findings):
+    """Wire-struct layout drift must come with an envelope version bump."""
+    struct_fields = {}
+    struct_sites = {}
+    magic_count = 0
+    for path in files:
+        rp = rel(path)
+        if not rp.startswith("src/net/"):
+            continue
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            continue
+        for name in WIREVERSION_BASELINE["structs"]:
+            count = count_struct_fields(text, name)
+            if count is not None:
+                struct_fields[name] = count
+                struct_sites[name] = rp
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if MAGIC_DEF_RE.search(strip_line_comment(line)):
+                magic_count += 1
+
+    magics_bumped = magic_count != WIREVERSION_BASELINE["magics"]
+    drifted = False
+    for name, expected in sorted(WIREVERSION_BASELINE["structs"].items()):
+        actual = struct_fields.get(name)
+        if actual is None:
+            findings.append(Finding(
+                "wireversion", "src/net", 1,
+                f"wire struct {name} not found — if it moved or was "
+                "renamed, update WIREVERSION_BASELINE in caraoke_lint.py"))
+            continue
+        if actual == expected:
+            continue
+        drifted = True
+        site = struct_sites[name]
+        if magics_bumped:
+            findings.append(Finding(
+                "wireversion", site, 1,
+                f"{name} has {actual} fields (baseline {expected}) and a "
+                "new envelope magic exists — refresh WIREVERSION_BASELINE "
+                "in caraoke_lint.py to acknowledge the new wire version"))
+        else:
+            findings.append(Finding(
+                "wireversion", site, 1,
+                f"{name} has {actual} fields (baseline {expected}) but the "
+                "envelope version magics are unchanged — a changed layout "
+                "needs a new kMagicVn so old decoders are never fed new "
+                "bytes (then update WIREVERSION_BASELINE)"))
+    if magics_bumped and not drifted:
+        findings.append(Finding(
+            "wireversion", "src/net", 1,
+            f"{magic_count} envelope/frame magics (baseline "
+            f"{WIREVERSION_BASELINE['magics']}) with unchanged wire "
+            "structs — refresh WIREVERSION_BASELINE in caraoke_lint.py "
+            "to acknowledge the new frame type"))
+
+
 NAME_GRAMMAR_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 METRIC_REG_RE = re.compile(
     r"\.(?P<kind>counter|gauge|histogram)\s*\(\s*\"(?P<name>[^\"]+)\"")
@@ -314,6 +410,7 @@ RULES = {
     "randomness": check_randomness,
     "wallclock": check_wallclock,
     "wiremagic": check_wiremagic,
+    "wireversion": check_wireversion,
     "metricnames": check_metricnames,
     "units": check_units,
     "buildtree": check_buildtree,
@@ -386,6 +483,51 @@ def selftest():
     check_wiremagic(nocrc, lambda p: p.rel, findings)
     if not findings:
         failures.append("selftest [wiremagic] missed an encoder with no CRC")
+
+    # Wireversion: field-count drift vs envelope-magic pairing. The fake
+    # header carries all three wire structs at baseline shape plus the
+    # baseline number of version magics.
+    def wire_header(count_fields, magics):
+        count_body = "\n".join(
+            f"  std::uint32_t f{i} = 0;" for i in range(count_fields))
+        sighting_body = "\n".join(
+            f"  double s{i} = 0.0;" for i in range(8))
+        decode_body = "\n".join(
+            f"  double d{i} = 0.0;  ///< trailing comment" for i in range(6))
+        magic_lines = "\n".join(
+            f"constexpr std::uint16_t kMagicT{i} = 0x{0xCB00 + i:04X};"
+            for i in range(magics))
+        return (f"struct CountReport {{\n{count_body}\n}};\n"
+                f"struct SightingReport {{\n{sighting_body}\n}};\n"
+                f"struct DecodeReport {{\n{decode_body}\n}};\n"
+                f"{magic_lines}\n")
+
+    base_structs = WIREVERSION_BASELINE["structs"]["CountReport"]
+    base_magics = WIREVERSION_BASELINE["magics"]
+    for fields, magics, expect, what in [
+            (base_structs, base_magics, None, "clean baseline"),
+            (base_structs + 1, base_magics, "needs a new kMagicVn",
+             "grown struct with no version bump"),
+            (base_structs + 1, base_magics + 1, "refresh WIREVERSION_BASELINE",
+             "grown struct with a bump but a stale baseline"),
+            (base_structs, base_magics + 1, "new frame type",
+             "new magic with unchanged structs")]:
+        findings = []
+        fake = [FakePath("src/net/wire.hpp", wire_header(fields, magics))]
+        check_wireversion(fake, lambda p: p.rel, findings)
+        if expect is None:
+            if findings:
+                failures.append(f"selftest [wireversion] wrongly flagged "
+                                f"{what}: {findings[0].message}")
+        elif not any(expect in f.message for f in findings):
+            failures.append(f"selftest [wireversion] missed {what}")
+
+    findings = []
+    check_wireversion([FakePath("src/net/empty.hpp", "// nothing")],
+                      lambda p: p.rel, findings)
+    absent = [f for f in findings if "not found" in f.message]
+    if len(absent) != len(WIREVERSION_BASELINE["structs"]):
+        failures.append("selftest [wireversion] missed absent wire structs")
 
     findings = []
     twice = [FakePath("src/a.cpp", 'reg.counter("dup.name");'),

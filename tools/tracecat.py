@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""tracecat.py — journey reconstruction and latency-budget analyzer.
+
+Merges JSON-lines event dumps (flight-recorder rings or JsonLinesFileSink
+output) from any number of readers plus the backend, groups events by
+their ``trace`` field (the 16-hex-char traceId minted per ReaderDaemon
+query burst and carried end-to-end in the v3 batch envelope), reassembles
+each transponder journey
+
+  query -> peak -> decode -> enqueue -> link_attempt -> ingest -> speed_pair
+
+and prints a per-stage latency budget (p50 / p99 across journeys) with
+the dominant stage flagged.  Timestamps are the events' monotonic ``ts``
+seconds, so dumps merged from one process (or NTP-disciplined hosts)
+line up directly.
+
+Usage:
+  tools/tracecat.py reader1.jsonl reader2.jsonl backend.jsonl
+                    [--top N] [--json]
+                    [--assert-stages query,decode,...]
+  tools/tracecat.py --selftest
+
+``--assert-stages`` exits 1 unless every listed stage occurs in at least
+one reconstructed journey — the integration-test hook proving the whole
+pipeline left provenance behind.
+
+Exit codes: 0 ok, 1 assertion/reconstruction failure, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+# Canonical journey stages, in pipeline order: stage name -> event type.
+STAGES = [
+    ("query", "daemon.query_burst"),
+    ("peak", "daemon.count"),
+    ("decode", "daemon.decode_attempt"),
+    ("enqueue", "daemon.enqueue"),
+    ("link_attempt", "daemon.link_attempt"),
+    ("ingest", "backend.ingest"),
+    ("speed_pair", "backend.speed_fix"),
+]
+STAGE_ORDER = [name for name, _ in STAGES]
+TYPE_TO_STAGE = {etype: name for name, etype in STAGES}
+
+
+def parse_lines(lines, stats):
+    """Yield (trace, stage, ts, event) for recognizable traced events."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        stats["lines"] += 1
+        try:
+            obj = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            stats["malformed"] += 1
+            continue
+        if not isinstance(obj, dict) or not isinstance(obj.get("type"), str):
+            stats["malformed"] += 1
+            continue
+        stage = TYPE_TO_STAGE.get(obj["type"])
+        if stage is None:
+            stats["other_types"] += 1
+            continue
+        trace = obj.get("trace")
+        if not isinstance(trace, str) or not trace:
+            stats["untraced"] += 1
+            continue
+        ts = obj.get("ts", obj.get("t"))
+        if not isinstance(ts, (int, float)):
+            stats["malformed"] += 1
+            continue
+        yield trace, stage, float(ts), obj
+
+
+def build_journeys(records):
+    """Group stage records by trace: trace -> {stage: sorted [ts...]}."""
+    journeys = {}
+    for trace, stage, ts, _obj in records:
+        journeys.setdefault(trace, {}).setdefault(stage, []).append(ts)
+    for stages in journeys.values():
+        for times in stages.values():
+            times.sort()
+    return journeys
+
+
+def stage_deltas(journey):
+    """Per-stage latency within one journey: time from the previous
+    present stage's first occurrence to this stage's first occurrence
+    (pipeline order). The first present stage anchors at delta 0."""
+    deltas = {}
+    prev_ts = None
+    for stage in STAGE_ORDER:
+        if stage not in journey:
+            continue
+        first = journey[stage][0]
+        deltas[stage] = 0.0 if prev_ts is None else max(0.0, first - prev_ts)
+        prev_ts = first
+    return deltas
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank-with-interpolation percentile of a sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (len(sorted_values) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def latency_budget(journeys):
+    """Aggregate per-stage deltas across journeys.
+
+    Returns {stage: {"journeys": n, "p50": s, "p99": s}} for stages seen
+    at least once, plus the dominant stage (largest p50; the anchor
+    stage of each journey contributes 0 and so never dominates unless
+    everything is instantaneous)."""
+    per_stage = {}
+    for journey in journeys.values():
+        for stage, delta in stage_deltas(journey).items():
+            per_stage.setdefault(stage, []).append(delta)
+    budget = {}
+    for stage, deltas in per_stage.items():
+        deltas.sort()
+        budget[stage] = {
+            "journeys": len(deltas),
+            "p50": percentile(deltas, 0.50),
+            "p99": percentile(deltas, 0.99),
+        }
+    dominant = None
+    best = -1.0
+    for stage in STAGE_ORDER:
+        if stage in budget and budget[stage]["p50"] > best:
+            best = budget[stage]["p50"]
+            dominant = stage
+    return budget, dominant
+
+
+def journey_summary(trace, journey):
+    parts = []
+    prev_ts = None
+    for stage in STAGE_ORDER:
+        if stage not in journey:
+            continue
+        first = journey[stage][0]
+        label = stage
+        if len(journey[stage]) > 1:
+            label += "x%d" % len(journey[stage])
+        if prev_ts is None:
+            parts.append("%s@%.3fs" % (label, first))
+        else:
+            parts.append("%s(+%.1fms)" % (label, (first - prev_ts) * 1e3))
+        prev_ts = first
+    return "%s: %s" % (trace, " -> ".join(parts))
+
+
+def render_budget(budget, dominant, journeys, stats):
+    lines = []
+    lines.append("tracecat: %d lines, %d journeys (%d malformed, "
+                 "%d untraced, %d unmapped types)" %
+                 (stats["lines"], len(journeys), stats["malformed"],
+                  stats["untraced"], stats["other_types"]))
+    lines.append("")
+    lines.append("  %-14s %9s %10s %10s" % ("stage", "journeys", "p50 (ms)",
+                                            "p99 (ms)"))
+    for stage in STAGE_ORDER:
+        if stage not in budget:
+            continue
+        entry = budget[stage]
+        flag = "  <- dominant" if stage == dominant else ""
+        lines.append("  %-14s %9d %10.2f %10.2f%s" %
+                     (stage, entry["journeys"], entry["p50"] * 1e3,
+                      entry["p99"] * 1e3, flag))
+    return "\n".join(lines)
+
+
+def run(argv):
+    parser = argparse.ArgumentParser(prog="tracecat.py", add_help=True)
+    parser.add_argument("files", nargs="*", help="JSON-lines event dumps")
+    parser.add_argument("--top", type=int, default=5,
+                        help="print the N most complete journeys")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--assert-stages", default="",
+                        help="comma-separated stages that must each occur "
+                             "in at least one journey (exit 1 otherwise)")
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.files:
+        print("tracecat.py: no input files (see --help)", file=sys.stderr)
+        return 2
+
+    unknown = [s for s in args.assert_stages.split(",")
+               if s and s not in STAGE_ORDER]
+    if unknown:
+        print("tracecat.py: unknown stage(s) %s; known: %s" %
+              (",".join(unknown), ",".join(STAGE_ORDER)), file=sys.stderr)
+        return 2
+
+    stats = {"lines": 0, "malformed": 0, "untraced": 0, "other_types": 0}
+    records = []
+    for path in args.files:
+        try:
+            with open(path, "rb") as fh:
+                text = fh.read().decode("utf-8", errors="replace")
+        except OSError as error:
+            print("tracecat.py: cannot read %s: %s" % (path, error),
+                  file=sys.stderr)
+            return 2
+        records.extend(parse_lines(text.splitlines(), stats))
+
+    journeys = build_journeys(records)
+    budget, dominant = latency_budget(journeys)
+
+    if args.json:
+        print(json.dumps({
+            "journeys": len(journeys),
+            "stats": stats,
+            "dominant": dominant,
+            "budget": budget,
+        }, indent=2, sort_keys=True))
+    else:
+        print(render_budget(budget, dominant, journeys, stats))
+        ranked = sorted(journeys.items(),
+                        key=lambda kv: (-len(kv[1]),
+                                        kv[1][min(kv[1])][0] if kv[1] else 0))
+        if ranked:
+            print("\n  most complete journeys:")
+            for trace, journey in ranked[:max(args.top, 0)]:
+                print("    " + journey_summary(trace, journey))
+
+    if args.assert_stages:
+        wanted = [s for s in args.assert_stages.split(",") if s]
+        covered = set()
+        for journey in journeys.values():
+            covered.update(journey.keys())
+        missing = [s for s in wanted if s not in covered]
+        if missing:
+            print("tracecat.py: ASSERT FAILED — no journey contains "
+                  "stage(s): %s" % ",".join(missing), file=sys.stderr)
+            return 1
+        print("tracecat.py: assert-stages ok (%s)" % ",".join(wanted))
+    return 0
+
+
+# ---------------------------------------------------------- selftest ----
+
+
+def _line(ts, etype, trace=None, **fields):
+    obj = {"ts": ts, "type": etype}
+    if trace is not None:
+        obj["trace"] = trace
+    obj.update(fields)
+    return json.dumps(obj)
+
+
+def selftest():
+    failures = []
+
+    def check(name, condition):
+        if not condition:
+            failures.append(name)
+            print("selftest FAIL: %s" % name, file=sys.stderr)
+
+    t1 = "00000000000000a1"
+    t2 = "00000000000000b2"
+    reader_lines = [
+        _line(1.000, "daemon.query_burst", t1, reader_id=1),
+        _line(1.002, "daemon.count", t1),
+        _line(1.004, "daemon.decode_attempt", t1),
+        _line(1.005, "daemon.enqueue", t1),
+        _line(1.500, "daemon.link_attempt", t1, attempt=0),
+        _line(3.500, "daemon.link_attempt", t1, attempt=1),  # retransmit
+        _line(2.000, "daemon.query_burst", t2, reader_id=2),
+        _line(2.010, "daemon.enqueue", t2),
+        _line(2.500, "daemon.link_attempt", t2, attempt=0),
+        _line(9.000, "daemon.uplink_flush"),        # unmapped type
+        _line(9.100, "daemon.count"),               # untraced -> skipped
+        "this is not json {",                        # malformed
+        '{"ts": "nan-string", "type": "daemon.count", "trace": "x"}',
+    ]
+    backend_lines = [
+        _line(1.700, "backend.ingest", t1, reader_id=1),
+        _line(2.700, "backend.ingest", t2, reader_id=2),
+        _line(4.000, "backend.speed_fix", t1, speed_mps=8.9),
+    ]
+
+    stats = {"lines": 0, "malformed": 0, "untraced": 0, "other_types": 0}
+    records = list(parse_lines(reader_lines + backend_lines, stats))
+    journeys = build_journeys(records)
+
+    check("two journeys", len(journeys) == 2)
+    check("malformed counted", stats["malformed"] == 2)
+    check("untraced counted", stats["untraced"] == 1)
+    check("unmapped counted", stats["other_types"] == 1)
+    check("t1 has all 7 stages", len(journeys[t1]) == len(STAGE_ORDER))
+    check("link attempts kept", len(journeys[t1]["link_attempt"]) == 2)
+
+    deltas = stage_deltas(journeys[t1])
+    check("anchor stage delta 0", deltas["query"] == 0.0)
+    check("link delta from enqueue",
+          abs(deltas["link_attempt"] - 0.495) < 1e-9)
+    check("ingest delta from first link attempt",
+          abs(deltas["ingest"] - 0.2) < 1e-9)
+
+    budget, dominant = latency_budget(journeys)
+    check("speed_pair dominates", dominant == "speed_pair")
+    check("speed_pair p50", abs(budget["speed_pair"]["p50"] - 2.3) < 1e-9)
+    check("p99 ordering", budget["link_attempt"]["p99"] >=
+          budget["link_attempt"]["p50"])
+
+    check("percentile interpolates",
+          abs(percentile([0.0, 1.0], 0.5) - 0.5) < 1e-12)
+    check("percentile singleton", percentile([4.2], 0.99) == 4.2)
+    check("percentile empty", percentile([], 0.5) == 0.0)
+
+    # End-to-end through run(): files on disk, assert-stages both ways.
+    with tempfile.TemporaryDirectory() as tmp:
+        reader_path = pathlib.Path(tmp) / "reader.jsonl"
+        backend_path = pathlib.Path(tmp) / "backend.jsonl"
+        reader_path.write_text("\n".join(reader_lines) + "\n")
+        backend_path.write_text("\n".join(backend_lines) + "\n")
+        files = [str(reader_path), str(backend_path)]
+        check("assert-stages passes", run(files + [
+            "--assert-stages",
+            "query,decode,enqueue,link_attempt,ingest,speed_pair"]) == 0)
+        check("missing stage fails", run([str(backend_path),
+            "--assert-stages", "query"]) == 1)  # backend dump has no query
+        check("unknown stage is usage error",
+              run(files + ["--assert-stages", "warp"]) == 2)
+        check("json mode runs", run(files + ["--json"]) == 0)
+    check("no files is usage error", run([]) == 2)
+
+    if failures:
+        print("tracecat selftest: %d failure(s)" % len(failures),
+              file=sys.stderr)
+        return 1
+    print("tracecat selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))
