@@ -6,9 +6,29 @@
 #include <exception>
 
 #include "common/table.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace caraoke::bench {
+
+namespace {
+
+// Shared extractor for `--flag <value>` pairs (removes both tokens).
+std::string takeFlagValue(int& argc, char** argv, const char* flag) {
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      value = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return value;
+}
+
+}  // namespace
 
 std::size_t BenchArgs::sizeAt(std::size_t index, std::size_t fallback) const {
   if (index >= positional.size()) return fallback;
@@ -20,17 +40,48 @@ std::size_t BenchArgs::sizeAt(std::size_t index, std::size_t fallback) const {
 }
 
 std::string takeJsonPath(int& argc, char** argv) {
-  std::string path;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      path = argv[++i];
-      continue;
-    }
-    argv[out++] = argv[i];
+  return takeFlagValue(argc, argv, "--json");
+}
+
+std::string takeProfFoldedPath(int& argc, char** argv) {
+  return takeFlagValue(argc, argv, "--prof-folded");
+}
+
+void publishProfile(obs::Registry& results) {
+  const obs::prof::ProfileSnapshot prof = obs::prof::snapshot();
+  if (!prof.compiledIn || (prof.stages.empty() && prof.bursts == 0)) return;
+  results.gauge("prof.bursts").set(static_cast<double>(prof.bursts));
+  if (prof.bursts > 0) {
+    const double bursts = static_cast<double>(prof.bursts);
+    results.gauge("dsp.allocs_per_burst")
+        .set(static_cast<double>(prof.burstAllocs) / bursts);
+    results.gauge("dsp.bytes_per_burst")
+        .set(static_cast<double>(prof.burstBytes) / bursts);
   }
-  argc = out;
-  return path;
+  for (const obs::prof::StageSnapshot& s : prof.stages) {
+    const std::string base = "prof." + s.name;
+    results.gauge(base + ".calls").set(static_cast<double>(s.calls));
+    results.gauge(base + ".cycles_p50").set(s.p50Cycles);
+    results.gauge(base + ".cycles_p99").set(s.p99Cycles);
+  }
+}
+
+bool writeFoldedDump(const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string folded = obs::prof::foldedText();
+  const bool ok =
+      std::fwrite(folded.data(), 1, folded.size(), f) == folded.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote folded profile to %s\n", path.c_str());
+  return true;
 }
 
 bool writeJsonReport(const std::string& path, const obs::Registry& results) {
@@ -61,7 +112,8 @@ bool writeJsonReport(const std::string& path, const obs::Registry& results) {
 
   const std::string body = "{\"bench\":" + results.jsonText() +
                            ",\"process\":" + process.jsonText() +
-                           ",\"quantiles\":" + quantiles + "}\n";
+                           ",\"quantiles\":" + quantiles +
+                           ",\"profile\":" + obs::prof::jsonText() + "}\n";
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   if (std::fclose(f) != 0 || !ok) {
     std::fprintf(stderr, "short write to %s\n", path.c_str());
@@ -74,6 +126,7 @@ bool writeJsonReport(const std::string& path, const obs::Registry& results) {
 int benchMain(int argc, char** argv, const std::string& title,
               const ScenarioFn& scenario) {
   const std::string jsonPath = takeJsonPath(argc, argv);
+  const std::string foldedPath = takeProfFoldedPath(argc, argv);
   BenchArgs args;
   for (int i = 1; i < argc; ++i) args.positional.emplace_back(argv[i]);
   if (!title.empty()) printBanner(title);
@@ -89,8 +142,10 @@ int benchMain(int argc, char** argv, const std::string& title,
   }
   results.gauge("bench.wall_seconds")
       .set(obs::monotonicSeconds() - startSec);
+  publishProfile(results);
 
   if (!jsonPath.empty() && !writeJsonReport(jsonPath, results)) return 1;
+  if (!writeFoldedDump(foldedPath)) return 1;
   return rc;
 }
 

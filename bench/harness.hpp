@@ -14,7 +14,13 @@
 //
 //   {"bench":     <results registry>,      figures the table printed
 //    "process":   <global registry>,       pipeline work (dsp.fft.calls…)
-//    "quantiles": {hist: {p50,p90,p99}}}   span-latency percentiles
+//    "quantiles": {hist: {p50,p90,p99}},   span-latency percentiles
+//    "profile":   <prof::jsonText()>}      per-stage cycles/allocs
+//
+// When the hot-path profiler is compiled in, the harness also publishes
+// its headline figures into the results registry so benchgate.py can
+// gate on them (`dsp.allocs_per_burst` may never grow), and honors
+// `--prof-folded <path>` to dump the collapsed-stack flamegraph at exit.
 //
 // Google-benchmark binaries get the same contract from gbenchMain in
 // harness_gbench.hpp.
@@ -50,6 +56,19 @@ int benchMain(int argc, char** argv, const std::string& title,
 /// Extract `--json <path>` from argv (removing both tokens so positional
 /// arguments keep working); "" when absent.
 std::string takeJsonPath(int& argc, char** argv);
+
+/// Extract `--prof-folded <path>` from argv the same way; "" when absent.
+std::string takeProfFoldedPath(int& argc, char** argv);
+
+/// Publish the profiler's headline figures into `results` as gauges:
+/// prof.bursts, dsp.allocs_per_burst / dsp.bytes_per_burst (only when at
+/// least one burst ran), and prof.<stage>.cycles_p50 / .cycles_p99 /
+/// .calls per instrumented stage. No-op when the profiler is compiled
+/// out or recorded nothing.
+void publishProfile(obs::Registry& results);
+
+/// Write prof::foldedText() to `path` (no-op on ""). False on I/O error.
+bool writeFoldedDump(const std::string& path);
 
 /// Write the consolidated report (see file header) for `results` plus
 /// the process-global registry. False on I/O failure.

@@ -17,6 +17,7 @@ namespace caraoke::bench {
 
 inline int gbenchMain(int argc, char** argv) {
   const std::string jsonPath = takeJsonPath(argc, argv);
+  const std::string foldedPath = takeProfFoldedPath(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   obs::Registry results;
@@ -25,7 +26,9 @@ inline int gbenchMain(int argc, char** argv) {
   benchmark::Shutdown();
   results.gauge("bench.wall_seconds")
       .set(obs::monotonicSeconds() - startSec);
+  publishProfile(results);
   if (!jsonPath.empty() && !writeJsonReport(jsonPath, results)) return 1;
+  if (!writeFoldedDump(foldedPath)) return 1;
   return 0;
 }
 

@@ -2,7 +2,9 @@
 # Full static-analysis / correctness matrix for CI:
 #
 #   lint   tools/caraoke_lint.py (repo invariants: determinism, wire
-#          magics + CRC pairing, metric-name grammar, units discipline)
+#          magics + CRC pairing, metric-name grammar, profiler stage
+#          registry, units discipline) plus the benchgate.py and
+#          profcat.py selftests
 #   tidy   clang-tidy over src/ against the checked-in .clang-tidy,
 #          using the CMake-exported compilation database. Skipped (with
 #          a loud SKIP line) when clang-tidy is not installed — the
@@ -13,7 +15,10 @@
 #          determinism suites) under ThreadSanitizer. Set CI_TSAN_FULL=1
 #          to run the entire suite under TSan instead (slow).
 #   perf   scripts/ci_perf.sh: benchgate smoke over every bench binary,
-#          gated against the newest committed BENCH_*.json baseline.
+#          gated against the newest committed BENCH_*.json baseline
+#          (wall clock + per-burst alloc budgets), plus the profiler
+#          smoke (folded dumps must name the expected pipeline stages)
+#          and the CARAOKE_PROF=OFF zero-symbol check.
 #
 # Stops at the first failing stage (non-zero exit) and always prints a
 # per-stage summary. Every compile runs with CARAOKE_WERROR=ON: CI has
@@ -47,6 +52,8 @@ fail_stage() {
 
 run_lint() {
   python3 tools/caraoke_lint.py --root . --selftest || return 1
+  python3 tools/benchgate.py --selftest || return 1
+  python3 tools/profcat.py --selftest || return 1
 }
 
 run_tidy() {

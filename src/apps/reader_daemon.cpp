@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "obs/events.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "phy/protocol.hpp"
 
@@ -114,6 +115,10 @@ void ReaderDaemon::startExposition() {
   };
   handlers.trace = [this](const std::string& traceIdHex) {
     return flight_.jsonLines(0, traceIdHex);
+  };
+  handlers.profile = [](const std::string& format) {
+    return format == "folded" ? obs::prof::foldedText()
+                              : obs::prof::jsonText();
   };
   auto server =
       std::make_unique<obs::ExpoServer>(std::move(options), std::move(handlers));

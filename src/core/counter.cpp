@@ -8,6 +8,8 @@
 #include "dsp/filter.hpp"
 #include "dsp/stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 #include "obs/trace.hpp"
 
 namespace caraoke::core {
@@ -71,6 +73,8 @@ dsp::CVec paddedWindowFft(dsp::CSpan samples, std::size_t offset,
 }  // namespace
 
 CountResult TransponderCounter::count(dsp::CSpan samples) const {
+  CARAOKE_PROF_BURST();
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kCount);
   obs::ObsSpan span("counter.single_shot", counterMetrics().singleShotSec);
   const SpectrumAnalyzer analyzer(config_.analysis);
   const std::vector<double> mag = analyzer.magnitudeSpectrum(samples);

@@ -6,6 +6,8 @@
 #include "common/units.hpp"
 #include "dsp/filter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 #include "obs/trace.hpp"
 #include "phy/ook.hpp"
 #include "phy/protocol.hpp"
@@ -43,6 +45,7 @@ std::optional<phy::TransponderId> chaseDecode(
     const phy::BitVec& bits, const std::vector<double>& margins,
     std::size_t chaseBits) {
   if (chaseBits == 0) return std::nullopt;
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kChase);
   // Indices of the weakest bits, ascending by margin.
   std::vector<std::size_t> order(bits.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -86,6 +89,8 @@ void CollisionDecoder::reset(double targetCfoHz) {
 
 std::optional<phy::TransponderId> CollisionDecoder::addCollision(
     dsp::CSpan samples) {
+  CARAOKE_PROF_BURST();
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kDecode);
   DecoderMetrics& metrics = decoderMetrics();
   obs::ObsSpan span("decoder.add_collision", metrics.addCollisionSec);
   const std::size_t n = samples.size();
@@ -96,13 +101,16 @@ std::optional<phy::TransponderId> CollisionDecoder::addCollision(
   const double expectedBin = mapper.freqToFractionalBin(cfoHz_);
   double bestBin = expectedBin;
   double bestMag = -1.0;
-  for (double b = expectedBin - config_.cfoSearchHalfWidthBins;
-       b <= expectedBin + config_.cfoSearchHalfWidthBins;
-       b += config_.cfoSearchStepBins) {
-    const double mag = std::abs(dsp::goertzel(samples, b));
-    if (mag > bestMag) {
-      bestMag = mag;
-      bestBin = b;
+  {
+    CARAOKE_PROF_SCOPE(obs::prof::stage::kCfo);
+    for (double b = expectedBin - config_.cfoSearchHalfWidthBins;
+         b <= expectedBin + config_.cfoSearchHalfWidthBins;
+         b += config_.cfoSearchStepBins) {
+      const double mag = std::abs(dsp::goertzel(samples, b));
+      if (mag > bestMag) {
+        bestMag = mag;
+        bestBin = b;
+      }
     }
   }
   cfoHz_ = bestBin * mapper.binWidthHz();
@@ -120,14 +128,17 @@ std::optional<phy::TransponderId> CollisionDecoder::addCollision(
   // 3. Derotate by the CFO and divide by the channel, then accumulate:
   //    the target becomes +s(t) in every term, interferers rotate by
   //    residual frequencies and random phases and cancel (§8).
-  const double step = -kTwoPi * cfoHz_ / config_.sampling.sampleRateHz;
-  dsp::cdouble rotor(1.0, 0.0);
-  const dsp::cdouble increment(std::cos(step), std::sin(step));
-  const dsp::cdouble invH = 1.0 / h;
-  for (std::size_t t = 0; t < n && t < combined_.size(); ++t) {
-    combined_[t] += samples[t] * rotor * invH;
-    rotor *= increment;
-    if ((t & 1023u) == 1023u) rotor /= std::abs(rotor);
+  {
+    CARAOKE_PROF_SCOPE(obs::prof::stage::kCoherentSum);
+    const double step = -kTwoPi * cfoHz_ / config_.sampling.sampleRateHz;
+    dsp::cdouble rotor(1.0, 0.0);
+    const dsp::cdouble increment(std::cos(step), std::sin(step));
+    const dsp::cdouble invH = 1.0 / h;
+    for (std::size_t t = 0; t < n && t < combined_.size(); ++t) {
+      combined_[t] += samples[t] * rotor * invH;
+      rotor *= increment;
+      if ((t & 1023u) == 1023u) rotor /= std::abs(rotor);
+    }
   }
   ++used_;
   metrics.combined.inc();
@@ -154,6 +165,7 @@ std::optional<phy::TransponderId> CollisionDecoder::addCollision(
   // 4b. Timing recovery: transponder turn-around jitter can shift the
   // packet by a few samples; search the sync word for the true offset.
   if (config_.timingSearchMaxSamples > 0) {
+    CARAOKE_PROF_SCOPE(obs::prof::stage::kTimingSearch);
     dsp::CVec padded = combined_;
     padded.resize(combined_.size() + config_.timingSearchMaxSamples,
                   dsp::cdouble{});

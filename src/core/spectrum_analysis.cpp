@@ -4,6 +4,8 @@
 
 #include "dsp/fft.hpp"
 #include "dsp/filter.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 
 namespace caraoke::core {
 
@@ -29,6 +31,7 @@ dsp::BinMapper SpectrumAnalyzer::binMapper() const {
 
 std::vector<double> SpectrumAnalyzer::magnitudeSpectrum(
     dsp::CSpan samples) const {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kSpectrum);
   if (config_.detectionWindow == dsp::WindowKind::kRect)
     return dsp::magnitude(dsp::fft(samples));
   const auto window =
@@ -127,6 +130,7 @@ std::vector<TransponderObservation> SpectrumAnalyzer::analyzeSparse(
 
 std::vector<TransponderObservation> SpectrumAnalyzer::analyze(
     const std::vector<dsp::CVec>& antennaSamples) const {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kAnalyze);
   if (antennaSamples.empty())
     throw std::invalid_argument("SpectrumAnalyzer::analyze: no antennas");
   const dsp::CVec& reference = antennaSamples.front();

@@ -5,6 +5,8 @@
 
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 
 namespace caraoke::dsp {
 
@@ -111,16 +113,19 @@ CVec bluestein(CSpan input, bool invert) {
 }  // namespace
 
 void fftInPlace(CVec& data) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kFft);
   fftCallCounter().inc();
   radix2(data, false);
 }
 void ifftInPlace(CVec& data) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kFft);
   ifftCallCounter().inc();
   radix2(data, true);
 }
 
 CVec fft(CSpan input) {
   if (input.empty()) return {};
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kFft);
   fftCallCounter().inc();
   if (isPowerOfTwo(input.size())) {
     CVec data(input.begin(), input.end());
@@ -133,6 +138,7 @@ CVec fft(CSpan input) {
 
 CVec ifft(CSpan input) {
   if (input.empty()) return {};
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kFft);
   ifftCallCounter().inc();
   if (isPowerOfTwo(input.size())) {
     CVec data(input.begin(), input.end());

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 
 namespace caraoke::dsp {
 
@@ -72,6 +74,7 @@ cdouble goertzel(CSpan signal, double fractionalBin) {
   // Goertzel second-order recurrence: one real coefficient per bin, ~3
   // multiply-adds per sample instead of a sincos — this sits on the hot
   // path of the decoder's CFO search and the sparse FFT's verification.
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kGoertzel);
   const std::size_t n = signal.size();
   if (n == 0) return {};
   const double omega = kTwoPi * fractionalBin / static_cast<double>(n);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "dsp/stats.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 
 namespace caraoke::dsp {
 
@@ -62,6 +64,7 @@ std::vector<double> cfarThreshold(std::span<const double> mag,
 
 std::vector<Peak> findPeaks(std::span<const double> mag,
                             const PeakDetectorConfig& config) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kPeak);
   std::vector<Peak> peaks;
   if (mag.size() < 3) return peaks;
 

@@ -4,10 +4,13 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 
 namespace caraoke::dsp {
 
 std::vector<double> makeWindow(WindowKind kind, std::size_t n) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kWindow);
   std::vector<double> w(n, 1.0);
   if (n == 0) return w;
   const double N = static_cast<double>(n);
@@ -32,6 +35,7 @@ std::vector<double> makeWindow(WindowKind kind, std::size_t n) {
 }
 
 CVec applyWindow(CSpan samples, std::span<const double> window) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kWindow);
   if (samples.size() != window.size())
     throw std::invalid_argument("applyWindow: length mismatch");
   CVec out(samples.size());

@@ -65,6 +65,23 @@ FlightQuery parseFlightQuery(const std::string& query) {
   return out;
 }
 
+// Extract `format=` from a /profile query string; anything other than
+// the literal "folded" degrades to the JSON default.
+std::string parseProfileFormat(const std::string& query) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == "format" &&
+        pair.substr(eq + 1) == "folded")
+      return "folded";
+    pos = amp + 1;
+  }
+  return "json";
+}
+
 void sendAll(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -139,10 +156,19 @@ void ExpoServer::serveLoop() {
 }
 
 void ExpoServer::handleConnection(int fd) {
-  // Bound the read so a stuck client cannot wedge the serving thread.
-  timeval timeout{};
-  timeout.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  // Bound both directions so a stuck client cannot wedge the serving
+  // thread: SO_RCVTIMEO caps how long we wait for the request line,
+  // SO_SNDTIMEO caps a peer that stops draining its receive window.
+  const auto toTimeval = [](int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    return tv;
+  };
+  const timeval recvTimeout = toTimeval(options_.recvTimeoutMs);
+  const timeval sendTimeout = toTimeval(options_.sendTimeoutMs);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recvTimeout, sizeof(recvTimeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &sendTimeout, sizeof(sendTimeout));
 
   // Read until the header terminator; the routes take no body, so the
   // request line is all that matters. 4 KiB is generous for a scraper.
@@ -205,10 +231,17 @@ void ExpoServer::handleConnection(int fd) {
   } else if (path.rfind("/trace/", 0) == 0 && handlers_.trace) {
     sendAll(fd, httpResponse(200, "OK", "application/x-ndjson",
                              handlers_.trace(path.substr(7))));
+  } else if (path == "/profile" && handlers_.profile) {
+    const std::string format = parseProfileFormat(query);
+    sendAll(fd, httpResponse(200, "OK",
+                             format == "folded" ? "text/plain"
+                                                : "application/json",
+                             handlers_.profile(format)));
   } else {
     sendAll(fd, httpResponse(404, "Not Found", "text/plain",
                              "routes: /metrics /metrics.json /healthz "
-                             "/flight[?n=K&trace=ID] /trace/<id>\n"));
+                             "/flight[?n=K&trace=ID] /trace/<id> "
+                             "/profile[?format=folded]\n"));
   }
 }
 

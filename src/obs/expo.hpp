@@ -11,6 +11,9 @@
 //                       ?trace=<16-hex id> filters to one trace
 //   GET /trace/<id>     all ring entries belonging to one trace id —
 //                       the per-journey drill-down tracecat.py links to
+//   GET /profile        hot-path profiler dump; default JSON, and
+//                       ?format=folded returns collapsed-stack lines
+//                       ready for flamegraph.pl / profcat.py
 //
 // Design constraints, in order: no third-party dependencies (POSIX
 // sockets only), thread-safety the TSan rig can verify (all content
@@ -37,6 +40,11 @@ namespace caraoke::obs {
 struct ExpoOptions {
   std::string bindAddress = "127.0.0.1";
   std::uint16_t port = 0;
+  /// Per-connection socket timeouts. A client that connects and then
+  /// stalls (or drains its receive window one byte at a time) must not
+  /// wedge the single serving thread past this bound.
+  int recvTimeoutMs = 2000;
+  int sendTimeoutMs = 2000;
 };
 
 /// Health handler result: ok -> 200, !ok -> 503; body lands in the
@@ -65,6 +73,9 @@ struct ExpoHandlers {
   /// GET /trace/<id>: receives the raw <id> path segment (expected to be
   /// the 16-hex traceHex form; the handler owns validation).
   std::function<std::string(const std::string&)> trace;
+  /// GET /profile: receives the requested format ("json" or "folded");
+  /// returns the serialized profiler dump in that format.
+  std::function<std::string(const std::string&)> profile;
 };
 
 /// Blocking HTTP/1.0 exposition server on its own thread.

@@ -1,0 +1,426 @@
+#include "obs/prof.hpp"
+
+#if CARAOKE_PROF_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace caraoke::obs::prof {
+
+namespace {
+
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+constexpr std::uint32_t kNoStage = 0xffffffffu;
+constexpr std::size_t kMaxNodes = 4096;   // distinct call paths
+constexpr std::size_t kMaxStages = 256;   // distinct stage names
+constexpr std::size_t kCycleBuckets = 64; // log2 buckets of per-call cycles
+
+inline std::uint64_t readCycles() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+// One call-path trie node. stageId/parent are plain fields: they are
+// written before the node id is published via a release store on the
+// parent's child list (or g_nodeCount), and only read after the
+// matching acquire load, so the accesses are ordered.
+struct Node {
+  std::uint32_t stageId = kNoStage;
+  std::uint32_t parent = kNoNode;
+  std::atomic<std::uint32_t> firstChild{kNoNode};
+  std::atomic<std::uint32_t> nextSibling{kNoNode};
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> selfCycles{0};
+  std::atomic<std::uint64_t> totalCycles{0};
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> allocBytes{0};
+};
+
+// Per-stage aggregate that cannot be derived from the trie: the log2
+// histogram of per-call total cycles behind the p50/p99 estimates.
+struct StageHist {
+  std::atomic<std::uint64_t> buckets[kCycleBuckets]{};
+};
+
+// Static storage: the hot path must never allocate, and fixed arrays
+// let snapshot() read concurrently with scope exits using nothing but
+// atomics. ~300 KiB total, a fine trade for an always-on profiler.
+Node g_nodes[kMaxNodes];
+StageHist g_stageHists[kMaxStages];
+std::atomic<std::uint32_t> g_nodeCount{1};  // node 0 = virtual root
+std::atomic<std::uint64_t> g_droppedScopes{0};
+
+std::atomic<std::uint64_t> g_bursts{0};
+std::atomic<std::uint64_t> g_burstCycles{0};
+std::atomic<std::uint64_t> g_burstAllocs{0};
+std::atomic<std::uint64_t> g_burstBytes{0};
+
+std::mutex& internMutex() {
+  static std::mutex m;
+  return m;
+}
+
+struct StageNames {
+  std::vector<std::string> byId;
+  std::map<std::string, std::uint32_t, std::less<>> ids;
+};
+
+StageNames& stageNames() {
+  static StageNames names = [] {
+    StageNames n;
+    // Id 0 is the overflow sink so internStage can always return a
+    // valid id even when kMaxStages distinct names are exhausted.
+    n.byId.emplace_back("prof.overflow");
+    n.ids.emplace("prof.overflow", 0u);
+    return n;
+  }();
+  return names;
+}
+
+// Thread-local intrusive scope stack + allocation counters. All plain
+// PODs with constant initialization: safe from the operator new
+// replacement at any point in the process lifetime.
+thread_local ScopedStage* t_top = nullptr;
+thread_local std::uint32_t t_cursor = 0;  // current trie node
+thread_local std::uint64_t t_allocCount = 0;
+thread_local std::uint64_t t_allocBytes = 0;
+thread_local std::uint32_t t_burstDepth = 0;
+
+// Child of `parent` for `stageId`, creating it on first sight. The
+// search walks the sibling list lock-free (acquire loads pair with the
+// release publication below); creation is rare and takes the mutex.
+std::uint32_t childFor(std::uint32_t parent, std::uint32_t stageId) {
+  for (std::uint32_t id = g_nodes[parent].firstChild.load(
+           std::memory_order_acquire);
+       id != kNoNode;
+       id = g_nodes[id].nextSibling.load(std::memory_order_acquire)) {
+    if (g_nodes[id].stageId == stageId) return id;
+  }
+  std::lock_guard<std::mutex> lock(internMutex());
+  // Re-check: another thread may have created it while we waited.
+  for (std::uint32_t id = g_nodes[parent].firstChild.load(
+           std::memory_order_acquire);
+       id != kNoNode;
+       id = g_nodes[id].nextSibling.load(std::memory_order_acquire)) {
+    if (g_nodes[id].stageId == stageId) return id;
+  }
+  const std::uint32_t id = g_nodeCount.load(std::memory_order_relaxed);
+  if (id >= kMaxNodes) {
+    g_droppedScopes.fetch_add(1, std::memory_order_relaxed);
+    return kNoNode;
+  }
+  Node& node = g_nodes[id];
+  node.stageId = stageId;
+  node.parent = parent;
+  node.nextSibling.store(
+      g_nodes[parent].firstChild.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  g_nodeCount.store(id + 1, std::memory_order_release);
+  g_nodes[parent].firstChild.store(id, std::memory_order_release);
+  return id;
+}
+
+// Linear interpolation inside the winning log2 bucket: bucket 0 holds
+// exactly-zero durations, bucket b >= 1 holds [2^(b-1), 2^b).
+double histQuantile(const StageHist& hist, double q) {
+  std::uint64_t counts[kCycleBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kCycleBuckets; ++b) {
+    counts[b] = hist.buckets[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < kCycleBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    const double before = seen;
+    seen += static_cast<double>(counts[b]);
+    if (seen < rank) continue;
+    if (b == 0) return 0.0;
+    const double lo = static_cast<double>(1ull << (b - 1));
+    const double hi = b >= 63 ? lo * 2.0 : static_cast<double>(1ull << b);
+    const double frac =
+        (rank - before) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return 0.0;
+}
+
+void appendU64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::uint32_t internStage(const char* name) {
+  std::lock_guard<std::mutex> lock(internMutex());
+  StageNames& names = stageNames();
+  if (auto it = names.ids.find(name); it != names.ids.end())
+    return it->second;
+  if (names.byId.size() >= kMaxStages) return 0;  // overflow sink
+  const auto id = static_cast<std::uint32_t>(names.byId.size());
+  names.byId.emplace_back(name);
+  names.ids.emplace(names.byId.back(), id);
+  return id;
+}
+
+ScopedStage::ScopedStage(std::uint32_t stageId) noexcept
+    : stageId_(stageId),
+      savedCursor_(t_cursor),
+      startAllocs_(t_allocCount),
+      startBytes_(t_allocBytes),
+      parent_(t_top) {
+  node_ = childFor(t_cursor, stageId);
+  if (node_ != kNoNode) t_cursor = node_;
+  t_top = this;
+  startCycles_ = readCycles();  // last: exclude setup from the measurement
+}
+
+ScopedStage::~ScopedStage() {
+  const std::uint64_t end = readCycles();
+  const std::uint64_t elapsed =
+      end >= startCycles_ ? end - startCycles_ : 0;
+  const std::uint64_t allocDelta = t_allocCount - startAllocs_;
+  const std::uint64_t byteDelta = t_allocBytes - startBytes_;
+  const std::uint64_t self =
+      elapsed >= childCycles_ ? elapsed - childCycles_ : 0;
+  const std::uint64_t selfAllocs =
+      allocDelta >= childAllocs_ ? allocDelta - childAllocs_ : 0;
+  const std::uint64_t selfBytes =
+      byteDelta >= childBytes_ ? byteDelta - childBytes_ : 0;
+
+  if (node_ != kNoNode) {
+    Node& node = g_nodes[node_];
+    node.calls.fetch_add(1, std::memory_order_relaxed);
+    node.selfCycles.fetch_add(self, std::memory_order_relaxed);
+    node.totalCycles.fetch_add(elapsed, std::memory_order_relaxed);
+    node.allocs.fetch_add(selfAllocs, std::memory_order_relaxed);
+    node.allocBytes.fetch_add(selfBytes, std::memory_order_relaxed);
+  }
+  if (stageId_ < kMaxStages) {
+    const auto bucket = static_cast<std::size_t>(
+        std::bit_width(elapsed));  // 0 for elapsed == 0
+    g_stageHists[stageId_]
+        .buckets[bucket < kCycleBuckets ? bucket : kCycleBuckets - 1]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  if (parent_ != nullptr) {
+    parent_->childCycles_ += elapsed;
+    parent_->childAllocs_ += allocDelta;
+    parent_->childBytes_ += byteDelta;
+  }
+  t_top = parent_;
+  t_cursor = savedCursor_;
+}
+
+BurstScope::BurstScope() noexcept
+    : startAllocs_(t_allocCount),
+      startBytes_(t_allocBytes),
+      outermost_(t_burstDepth == 0) {
+  ++t_burstDepth;
+  startCycles_ = readCycles();
+}
+
+BurstScope::~BurstScope() {
+  const std::uint64_t end = readCycles();
+  --t_burstDepth;
+  if (!outermost_) return;
+  g_bursts.fetch_add(1, std::memory_order_relaxed);
+  g_burstCycles.fetch_add(
+      end >= startCycles_ ? end - startCycles_ : 0,
+      std::memory_order_relaxed);
+  g_burstAllocs.fetch_add(t_allocCount - startAllocs_,
+                          std::memory_order_relaxed);
+  g_burstBytes.fetch_add(t_allocBytes - startBytes_,
+                         std::memory_order_relaxed);
+}
+
+void noteAllocation(std::size_t bytes) noexcept {
+  t_allocCount += 1;
+  t_allocBytes += bytes;
+}
+
+bool allocHooksActive() {
+  // Defined in prof_alloc.cpp. The strong reference matters beyond the
+  // answer: it forces the linker to pull prof_alloc.o (and with it the
+  // operator new replacement) out of the static archive into every
+  // binary that profiles — a replacement-only TU would otherwise be
+  // silently skipped because nothing else references its symbols.
+  return internalAllocHooksCompiled();
+}
+
+ProfileSnapshot snapshot() {
+  ProfileSnapshot snap;
+  snap.allocHooks = allocHooksActive();
+  snap.bursts = g_bursts.load(std::memory_order_relaxed);
+  snap.burstCycles = g_burstCycles.load(std::memory_order_relaxed);
+  snap.burstAllocs = g_burstAllocs.load(std::memory_order_relaxed);
+  snap.burstBytes = g_burstBytes.load(std::memory_order_relaxed);
+  snap.droppedScopes = g_droppedScopes.load(std::memory_order_relaxed);
+
+  // Stage names are copied under the intern mutex; node accumulators
+  // are racy-but-atomic reads, same contract as Registry::snapshot.
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(internMutex());
+    names = stageNames().byId;
+  }
+  const std::uint32_t nodeCount =
+      g_nodeCount.load(std::memory_order_acquire);
+
+  std::map<std::string, StageSnapshot> stages;
+  for (std::uint32_t id = 1; id < nodeCount; ++id) {
+    const Node& node = g_nodes[id];
+    const std::uint64_t calls = node.calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    const std::string& name =
+        node.stageId < names.size() ? names[node.stageId] : names[0];
+    StageSnapshot& stage = stages[name];
+    stage.name = name;
+    stage.calls += calls;
+    stage.selfCycles += node.selfCycles.load(std::memory_order_relaxed);
+    stage.totalCycles += node.totalCycles.load(std::memory_order_relaxed);
+    stage.allocs += node.allocs.load(std::memory_order_relaxed);
+    stage.allocBytes += node.allocBytes.load(std::memory_order_relaxed);
+
+    PathSnapshot path;
+    path.calls = calls;
+    path.selfCycles = node.selfCycles.load(std::memory_order_relaxed);
+    path.allocs = node.allocs.load(std::memory_order_relaxed);
+    path.allocBytes = node.allocBytes.load(std::memory_order_relaxed);
+    // Root-first stack: walk parents, then reverse.
+    std::vector<const std::string*> frames;
+    for (std::uint32_t cur = id; cur != 0 && cur != kNoNode;
+         cur = g_nodes[cur].parent) {
+      const Node& n = g_nodes[cur];
+      frames.push_back(n.stageId < names.size() ? &names[n.stageId]
+                                                : &names[0]);
+    }
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (!path.stack.empty()) path.stack += ';';
+      path.stack += **it;
+    }
+    snap.paths.push_back(std::move(path));
+  }
+
+  for (auto& [name, stage] : stages) {
+    if (auto it = std::find(names.begin(), names.end(), name);
+        it != names.end()) {
+      const auto stageId =
+          static_cast<std::size_t>(it - names.begin());
+      stage.p50Cycles = histQuantile(g_stageHists[stageId], 0.50);
+      stage.p99Cycles = histQuantile(g_stageHists[stageId], 0.99);
+    }
+    snap.stages.push_back(std::move(stage));
+  }
+  std::sort(snap.paths.begin(), snap.paths.end(),
+            [](const PathSnapshot& a, const PathSnapshot& b) {
+              return a.stack < b.stack;
+            });
+  return snap;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(internMutex());
+  const std::uint32_t nodeCount =
+      g_nodeCount.load(std::memory_order_acquire);
+  for (std::uint32_t id = 0; id < nodeCount; ++id) {
+    Node& node = g_nodes[id];
+    node.calls.store(0, std::memory_order_relaxed);
+    node.selfCycles.store(0, std::memory_order_relaxed);
+    node.totalCycles.store(0, std::memory_order_relaxed);
+    node.allocs.store(0, std::memory_order_relaxed);
+    node.allocBytes.store(0, std::memory_order_relaxed);
+  }
+  for (auto& hist : g_stageHists)
+    for (auto& bucket : hist.buckets)
+      bucket.store(0, std::memory_order_relaxed);
+  g_bursts.store(0, std::memory_order_relaxed);
+  g_burstCycles.store(0, std::memory_order_relaxed);
+  g_burstAllocs.store(0, std::memory_order_relaxed);
+  g_burstBytes.store(0, std::memory_order_relaxed);
+  g_droppedScopes.store(0, std::memory_order_relaxed);
+}
+
+std::string foldedText() {
+  const ProfileSnapshot snap = snapshot();
+  std::string out;
+  for (const PathSnapshot& path : snap.paths) {
+    out += path.stack;
+    out += ' ';
+    appendU64(out, path.selfCycles);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string jsonText() {
+  const ProfileSnapshot snap = snapshot();
+  std::string out = "{\"enabled\":true,\"alloc_hooks\":";
+  out += snap.allocHooks ? "true" : "false";
+  out += ",\"bursts\":";
+  appendU64(out, snap.bursts);
+  out += ",\"burst_cycles\":";
+  appendU64(out, snap.burstCycles);
+  out += ",\"burst_allocs\":";
+  appendU64(out, snap.burstAllocs);
+  out += ",\"burst_bytes\":";
+  appendU64(out, snap.burstBytes);
+  out += ",\"dropped_scopes\":";
+  appendU64(out, snap.droppedScopes);
+  out += ",\"stages\":{";
+  bool first = true;
+  for (const StageSnapshot& stage : snap.stages) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + stage.name + "\":{\"calls\":";
+    appendU64(out, stage.calls);
+    out += ",\"self_cycles\":";
+    appendU64(out, stage.selfCycles);
+    out += ",\"total_cycles\":";
+    appendU64(out, stage.totalCycles);
+    out += ",\"allocs\":";
+    appendU64(out, stage.allocs);
+    out += ",\"alloc_bytes\":";
+    appendU64(out, stage.allocBytes);
+    out += ",\"p50_cycles\":" + std::to_string(stage.p50Cycles);
+    out += ",\"p99_cycles\":" + std::to_string(stage.p99Cycles);
+    out += '}';
+  }
+  out += "},\"paths\":[";
+  first = true;
+  for (const PathSnapshot& path : snap.paths) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stack\":\"" + path.stack + "\",\"calls\":";
+    appendU64(out, path.calls);
+    out += ",\"self_cycles\":";
+    appendU64(out, path.selfCycles);
+    out += ",\"allocs\":";
+    appendU64(out, path.allocs);
+    out += ",\"alloc_bytes\":";
+    appendU64(out, path.allocBytes);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace caraoke::obs::prof
+
+#endif  // CARAOKE_PROF_ENABLED

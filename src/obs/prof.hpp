@@ -1,0 +1,204 @@
+// Hot-path cost profiler: scoped per-stage cycle and allocation
+// accounting for the per-burst decode pipeline.
+//
+//   void CollisionDecoder::addCollision(...) {
+//     CARAOKE_PROF_BURST();                       // burst boundary
+//     CARAOKE_PROF_SCOPE(obs::prof::stage::kDecode);
+//     ...
+//     { CARAOKE_PROF_SCOPE(obs::prof::stage::kCfo); ... }
+//   }
+//
+// Each scope pushes a named stage onto a thread-local intrusive stack
+// and, on exit, accumulates into a process-wide call-path trie:
+//   - self cycles   (elapsed minus time spent in child scopes)
+//   - total cycles  (elapsed, children included)
+//   - calls, and — when the counting operator new hooks are linked
+//     (prof_alloc.cpp) — heap allocations and requested bytes, with the
+//     same self/child attribution as cycles.
+// Per-stage log2 cycle histograms additionally give p50/p99 estimates.
+//
+// Cost model: one scope is two cycle-counter reads (rdtsc on x86_64,
+// steady_clock elsewhere), a lock-free child lookup in the trie, and a
+// handful of relaxed fetch_adds on exit — measured at well under 1% of
+// the dsp_micro wall clock (see EXPERIMENTS.md, "Profiler overhead").
+// The trie is fixed-capacity static storage: node creation takes a
+// mutex exactly once per new call path, the hot path never allocates.
+//
+// The CARAOKE_PROF CMake option (default ON) compiles the whole thing;
+// with -DCARAOKE_PROF=OFF the macros expand to nothing, prof.cpp is an
+// empty TU, and binaries carry zero profiler symbols (checked by nm in
+// scripts/ci_perf.sh and the prof_compiled_out_symbols ctest).
+//
+// Stage names come from obs/prof_stages.hpp only — the `profstage`
+// lint rule rejects raw string literals at scope sites in src/.
+//
+// Thread-safety: everything here is safe against concurrent scopes,
+// snapshot(), and reset() from any thread (the `race`-labelled churn
+// test in tests/prof_test.cpp runs it under TSan). Like the metrics
+// Registry, reset() zeroes accumulators but never invalidates interned
+// stages or trie nodes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef CARAOKE_PROF_ENABLED
+#define CARAOKE_PROF_ENABLED 0
+#endif
+
+namespace caraoke::obs::prof {
+
+/// True when the profiler was compiled in (CARAOKE_PROF=ON).
+inline constexpr bool kCompiledIn = CARAOKE_PROF_ENABLED != 0;
+
+/// Aggregated view of one stage across every call path it appears in.
+struct StageSnapshot {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t selfCycles = 0;   ///< excludes child scopes
+  std::uint64_t totalCycles = 0;  ///< includes child scopes
+  std::uint64_t allocs = 0;       ///< self heap allocations
+  std::uint64_t allocBytes = 0;   ///< self requested bytes
+  double p50Cycles = 0.0;         ///< per-call total cycles, log2-bucketed
+  double p99Cycles = 0.0;
+};
+
+/// One call path ("core.decode;phy.cfo") with its self-attributed cost —
+/// exactly one folded flamegraph line.
+struct PathSnapshot {
+  std::string stack;  ///< stage names joined with ';' (root first)
+  std::uint64_t calls = 0;
+  std::uint64_t selfCycles = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t allocBytes = 0;
+};
+
+struct ProfileSnapshot {
+  bool compiledIn = kCompiledIn;
+  bool allocHooks = false;  ///< counting operator new hooks linked + live
+  std::vector<StageSnapshot> stages;  ///< sorted by name
+  std::vector<PathSnapshot> paths;    ///< sorted by stack
+  std::uint64_t bursts = 0;
+  std::uint64_t burstCycles = 0;
+  std::uint64_t burstAllocs = 0;  ///< allocations on the burst thread
+  std::uint64_t burstBytes = 0;
+  std::uint64_t droppedScopes = 0;  ///< trie capacity overflow (should be 0)
+};
+
+#if CARAOKE_PROF_ENABLED
+
+/// Stable small id for a stage name; first call interns (mutex), later
+/// calls return the same id. The scope macro caches the result in a
+/// function-local static so steady state is one guard-acquire load.
+std::uint32_t internStage(const char* name);
+
+/// RAII stage frame. Constructed on the stack by CARAOKE_PROF_SCOPE;
+/// intrusively linked into a thread-local stack so child cost can be
+/// subtracted from the parent without any per-thread heap state.
+class ScopedStage {
+ public:
+  explicit ScopedStage(std::uint32_t stageId) noexcept;
+  ~ScopedStage();
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  std::uint32_t node_;
+  std::uint32_t stageId_;
+  std::uint32_t savedCursor_;
+  std::uint64_t startCycles_;
+  std::uint64_t startAllocs_;
+  std::uint64_t startBytes_;
+  std::uint64_t childCycles_ = 0;
+  std::uint64_t childAllocs_ = 0;
+  std::uint64_t childBytes_ = 0;
+  ScopedStage* parent_;
+};
+
+/// RAII burst boundary: the outermost BurstScope on a thread counts one
+/// burst and attributes the cycles/allocations spent inside it to the
+/// per-burst totals (allocs_per_burst = burstAllocs / bursts). Nested
+/// bursts are ignored so composite pipelines never double-count.
+class BurstScope {
+ public:
+  BurstScope() noexcept;
+  ~BurstScope();
+
+  BurstScope(const BurstScope&) = delete;
+  BurstScope& operator=(const BurstScope&) = delete;
+
+ private:
+  std::uint64_t startCycles_;
+  std::uint64_t startAllocs_;
+  std::uint64_t startBytes_;
+  bool outermost_;
+};
+
+/// Point-in-time aggregate across all threads.
+ProfileSnapshot snapshot();
+
+/// Zero all accumulators (stage ids and trie nodes stay valid).
+void reset();
+
+/// Collapsed-stack flamegraph text: one "a;b;c <selfCycles>" line per
+/// call path, the format flamegraph.pl and tools/profcat.py consume.
+std::string foldedText();
+
+/// The snapshot as one JSON object (stages, paths, burst totals) —
+/// served by GET /profile and embedded in bench --json reports.
+std::string jsonText();
+
+/// True when the counting operator new/delete replacement is linked in
+/// (prof_alloc.cpp, skipped under ASan/TSan where the sanitizer owns
+/// the allocator). When false every alloc figure reads zero.
+bool allocHooksActive();
+
+/// Called by the operator new replacement; thread-local counters only,
+/// safe before main() and during static teardown.
+void noteAllocation(std::size_t bytes) noexcept;
+
+/// Defined in prof_alloc.cpp: whether the counting operator new
+/// replacement was compiled (false under ASan/TSan). Internal — use
+/// allocHooksActive().
+bool internalAllocHooksCompiled() noexcept;
+
+#else  // !CARAOKE_PROF_ENABLED
+
+// Compiled-out stubs so non-macro callers (expo handlers, the bench
+// harness) can stay unconditional; all are trivially inline no-ops.
+inline ProfileSnapshot snapshot() { return {}; }
+inline void reset() {}
+inline std::string foldedText() { return {}; }
+inline std::string jsonText() {
+  return "{\"enabled\":false}";
+}
+inline bool allocHooksActive() { return false; }
+
+#endif  // CARAOKE_PROF_ENABLED
+
+}  // namespace caraoke::obs::prof
+
+#define CARAOKE_PROF_CONCAT_INNER(a, b) a##b
+#define CARAOKE_PROF_CONCAT(a, b) CARAOKE_PROF_CONCAT_INNER(a, b)
+
+#if CARAOKE_PROF_ENABLED
+/// Open a profiled stage scope for the rest of the enclosing block.
+/// `stageName` must be a constant from obs/prof_stages.hpp.
+#define CARAOKE_PROF_SCOPE(stageName)                                       \
+  static const std::uint32_t CARAOKE_PROF_CONCAT(caraokeProfId_,            \
+                                                 __LINE__) =                \
+      ::caraoke::obs::prof::internStage(stageName);                         \
+  ::caraoke::obs::prof::ScopedStage CARAOKE_PROF_CONCAT(caraokeProfScope_,  \
+                                                        __LINE__)(          \
+      CARAOKE_PROF_CONCAT(caraokeProfId_, __LINE__))
+/// Mark the enclosing block as one pipeline burst (outermost wins).
+#define CARAOKE_PROF_BURST()                    \
+  ::caraoke::obs::prof::BurstScope CARAOKE_PROF_CONCAT(caraokeProfBurst_, \
+                                                       __LINE__) {}
+#else
+#define CARAOKE_PROF_SCOPE(stageName) static_cast<void>(0)
+#define CARAOKE_PROF_BURST() static_cast<void>(0)
+#endif

@@ -1,0 +1,133 @@
+// Counting global operator new/delete replacement for the hot-path
+// profiler: every heap allocation bumps a pair of thread-local counters
+// (count + requested bytes) that prof.cpp's stage scopes snapshot to
+// attribute allocations per stage and per burst.
+//
+// Only built when CARAOKE_PROF is ON. Under ASan/TSan the sanitizer
+// runtime owns allocation interposition, so the replacement compiles
+// away (the GCC/Clang __SANITIZE_* macros gate it) and every alloc
+// figure reads zero — prof::allocHooksActive() tells callers which
+// world they are in.
+//
+// All variants forward to malloc/posix_memalign and all deletes to
+// free, so any new/delete pairing (sized, aligned, nothrow, array)
+// stays consistent. Counting costs two thread-local integer adds per
+// allocation — noise next to the allocation itself.
+#include "obs/prof.hpp"
+
+#if CARAOKE_PROF_ENABLED
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CARAOKE_PROF_ALLOC_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CARAOKE_PROF_ALLOC_HOOKS 0
+#else
+#define CARAOKE_PROF_ALLOC_HOOKS 1
+#endif
+#else
+#define CARAOKE_PROF_ALLOC_HOOKS 1
+#endif
+
+namespace caraoke::obs::prof {
+
+bool internalAllocHooksCompiled() noexcept {
+  return CARAOKE_PROF_ALLOC_HOOKS != 0;
+}
+
+}  // namespace caraoke::obs::prof
+
+#if CARAOKE_PROF_ALLOC_HOOKS
+
+namespace {
+
+void* countedAlloc(std::size_t size) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) caraoke::obs::prof::noteAllocation(size);
+  return p;
+}
+
+void* countedAllocAligned(std::size_t size, std::size_t align) noexcept {
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (::posix_memalign(&p, align, size != 0 ? size : 1) != 0) return nullptr;
+  caraoke::obs::prof::noteAllocation(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = countedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = countedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = countedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = countedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return countedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return countedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // CARAOKE_PROF_ALLOC_HOOKS
+#endif  // CARAOKE_PROF_ENABLED

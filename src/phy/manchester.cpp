@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
+
 namespace caraoke::phy {
 
 BitVec manchesterEncode(std::span<const std::uint8_t> bits) {
@@ -14,6 +17,7 @@ BitVec manchesterEncode(std::span<const std::uint8_t> bits) {
 }
 
 BitVec manchesterDecode(std::span<const std::uint8_t> chips) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kManchester);
   if (chips.size() % 2 != 0)
     throw std::invalid_argument("manchesterDecode: odd chip count");
   BitVec bits(chips.size() / 2);
@@ -24,6 +28,7 @@ BitVec manchesterDecode(std::span<const std::uint8_t> chips) {
 
 BitVec manchesterDecodeSoft(std::span<const double> softFirst,
                             std::span<const double> softSecond) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kManchester);
   if (softFirst.size() != softSecond.size())
     throw std::invalid_argument("manchesterDecodeSoft: length mismatch");
   BitVec bits(softFirst.size());

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_stages.hpp"
 
 namespace caraoke::phy {
 
@@ -56,6 +58,7 @@ void halfBitEnergies(dsp::CSpan waveform, const SamplingParams& params,
 
 BitVec demodulateOok(dsp::CSpan waveform, const SamplingParams& params,
                      std::size_t numBits) {
+  CARAOKE_PROF_SCOPE(obs::prof::stage::kDemod);
   std::vector<double> first, second;
   halfBitEnergies(waveform, params, numBits, first, second);
   return manchesterDecodeSoft(first, second);

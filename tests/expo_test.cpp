@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,6 +29,7 @@
 #include "obs/events.hpp"
 #include "obs/expo.hpp"
 #include "obs/flight.hpp"
+#include "obs/prof.hpp"
 #include "scenes_helpers.hpp"
 #include "sim/scene.hpp"
 
@@ -158,6 +160,80 @@ TEST(ExpoServer, UnsetHandlersReturn404) {
   ASSERT_TRUE(server.start());
   EXPECT_EQ(statusOf(httpGet(server.port(), "/metrics")), 404);
   EXPECT_EQ(statusOf(httpGet(server.port(), "/healthz")), 404);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/profile")), 404);
+  server.stop();
+}
+
+TEST(ExpoServer, ProfileRouteSelectsFormatAndContentType) {
+  obs::ExpoHandlers handlers;
+  std::vector<std::string> formats;
+  handlers.profile = [&](const std::string& format) {
+    formats.push_back(format);
+    return format == "folded" ? std::string("a;b 42\n")
+                              : std::string("{\"enabled\":true}");
+  };
+  obs::ExpoServer server({}, handlers);
+  ASSERT_TRUE(server.start());
+
+  const std::string json = httpGet(server.port(), "/profile");
+  EXPECT_EQ(statusOf(json), 200);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(bodyOf(json).find("\"enabled\":true"), std::string::npos);
+
+  const std::string folded =
+      httpGet(server.port(), "/profile?format=folded");
+  EXPECT_EQ(statusOf(folded), 200);
+  EXPECT_NE(folded.find("text/plain"), std::string::npos);
+  EXPECT_EQ(bodyOf(folded), "a;b 42\n");
+
+  // Unknown formats degrade to JSON rather than erroring.
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/profile?format=xml")), 200);
+  ASSERT_EQ(formats.size(), 3u);
+  EXPECT_EQ(formats[0], "json");
+  EXPECT_EQ(formats[1], "folded");
+  EXPECT_EQ(formats[2], "json");
+  server.stop();
+}
+
+// Regression: a client that connects and then never sends a request
+// must not wedge the single serving thread beyond the configured recv
+// timeout — later clients still get served.
+TEST(ExpoServer, SlowClientCannotWedgeTheServer) {
+  obs::ExpoHandlers handlers;
+  handlers.metricsText = [] { return std::string("ok 1\n"); };
+  obs::ExpoOptions options;
+  options.recvTimeoutMs = 200;  // keep the test fast
+  obs::ExpoServer server(options, handlers);
+  ASSERT_TRUE(server.start());
+
+  // The stalled client: connect, send nothing, hold the socket open.
+  const int slow = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(slow, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(slow, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)), 0);
+  // Give the accept loop time to pick up the stalled connection so the
+  // follow-up request genuinely queues behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto before = std::chrono::steady_clock::now();
+  const std::string served = httpGet(server.port(), "/metrics");
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  EXPECT_EQ(statusOf(served), 200);
+  EXPECT_NE(bodyOf(served).find("ok 1"), std::string::npos);
+  // Must clear well before the old hardwired 2 s bound: the stalled
+  // connection is abandoned at recvTimeoutMs, not at client mercy.
+  EXPECT_LT(waited.count(), 1500) << "serving thread stayed wedged";
+
+  // The stalled client's connection was closed on it (400 or EOF).
+  char buf[256];
+  const ssize_t n = ::recv(slow, buf, sizeof(buf), 0);
+  EXPECT_GE(n, 0);  // 0 = clean close, >0 = the 400 response
+  ::close(slow);
   server.stop();
 }
 
@@ -217,6 +293,16 @@ TEST(ExpoDaemon, ScrapeHealthyThenOutageTo503AndFlightDump) {
   const std::string json = bodyOf(httpGet(port, "/metrics.json"));
   EXPECT_NE(json.find("\"daemon\""), std::string::npos);
   EXPECT_NE(json.find("\"process\""), std::string::npos);
+  // The daemon wires the profiler dump: valid JSON either way, and with
+  // the profiler compiled in the measurement windows above recorded the
+  // spectrum pipeline stages.
+  const std::string profile = bodyOf(httpGet(port, "/profile"));
+  if (obs::prof::kCompiledIn) {
+    EXPECT_NE(profile.find("\"enabled\":true"), std::string::npos);
+    EXPECT_NE(profile.find("dsp.fft"), std::string::npos);
+  } else {
+    EXPECT_NE(profile.find("\"enabled\":false"), std::string::npos);
+  }
 
   // Outage phase: attach the dead link and scrape concurrently while
   // the daemon accumulates retry failures — the expo thread must serve

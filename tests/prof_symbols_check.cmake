@@ -1,0 +1,30 @@
+# Compiled-out zero-cost contract for the hot-path profiler: with
+# -DCARAOKE_PROF=OFF the scope macros expand to nothing and prof.cpp /
+# prof_alloc.cpp are empty TUs, so no binary may carry the profiler
+# machinery (ScopedStage, BurstScope, internStage, the counting
+# allocation hooks). The trivial inline stubs (snapshot/jsonText) are
+# permitted — non-macro callers like the expo handler stay
+# unconditional, and an unoptimized build may emit them as weak
+# symbols. Run by the prof_compiled_out_symbols ctest (registered only
+# in OFF builds) and by scripts/ci_perf.sh against its throwaway OFF
+# build.
+#
+# Usage: cmake -DNM=/usr/bin/nm -DBINARY=<path> -P prof_symbols_check.cmake
+execute_process(
+  COMMAND ${NM} -C ${BINARY}
+  OUTPUT_VARIABLE symbols
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY} (rc=${rc})")
+endif()
+string(REGEX MATCHALL
+  "[^\n]*prof::(ScopedStage|BurstScope|internStage|noteAllocation|internalAllocHooksCompiled)[^\n]*"
+  hits "${symbols}")
+if(hits)
+  list(LENGTH hits count)
+  list(GET hits 0 first)
+  message(FATAL_ERROR
+    "CARAOKE_PROF=OFF binary ${BINARY} carries ${count} profiler "
+    "symbol(s), e.g.: ${first}")
+endif()
+message(STATUS "${BINARY}: no profiler symbols (compiled-out contract holds)")

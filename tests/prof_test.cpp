@@ -1,0 +1,295 @@
+// Hot-path profiler contract tests (built only with CARAOKE_PROF=ON):
+//   - nested scopes: self + children == total, exactly, in integer
+//     cycles (the accounting identity snapshot() exposes);
+//   - the counting operator-new hooks attribute allocations to the
+//     stage that made them, self-attributed like cycles;
+//   - burst accounting: the outermost BurstScope counts one burst and
+//     owns the allocations made inside it, nested bursts are ignored;
+//   - folded / JSON serialization carry the recorded call paths;
+//   - reset() zeroes accumulators without invalidating stage ids;
+//   - an 8-thread scope churn stays TSan-clean (label: race).
+//
+// Stage names here are interned directly (raw test.* literals) — the
+// profstage lint rule only polices src/, and test-local stages keep
+// these cases independent of the production taxonomy.
+#include "obs/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace caraoke::obs::prof {
+namespace {
+
+static_assert(kCompiledIn,
+              "prof_test.cpp is only registered when CARAOKE_PROF=ON");
+
+// Every test starts from zeroed accumulators; interned ids survive.
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+};
+
+const StageSnapshot* findStage(const ProfileSnapshot& snap,
+                               const std::string& name) {
+  for (const StageSnapshot& s : snap.stages)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const PathSnapshot* findPath(const ProfileSnapshot& snap,
+                             const std::string& stack) {
+  for (const PathSnapshot& p : snap.paths)
+    if (p.stack == stack) return &p;
+  return nullptr;
+}
+
+// Deliberately non-trivial work so scopes record non-zero cycles even
+// on a coarse clock.
+std::uint64_t spin(std::size_t iters) {
+  volatile std::uint64_t acc = 1;
+  for (std::size_t i = 0; i < iters; ++i) acc = acc * 6364136223846793005ull + 1;
+  return acc;
+}
+
+TEST_F(ProfTest, NestedSelfPlusChildrenEqualsTotalExactly) {
+  const std::uint32_t outer = internStage("test.outer");
+  const std::uint32_t inner = internStage("test.inner");
+  for (int i = 0; i < 16; ++i) {
+    ScopedStage a(outer);
+    spin(2000);
+    {
+      ScopedStage b(inner);
+      spin(2000);
+    }
+    {
+      ScopedStage c(inner);
+      spin(500);
+    }
+  }
+
+  const ProfileSnapshot snap = snapshot();
+  const StageSnapshot* so = findStage(snap, "test.outer");
+  const StageSnapshot* si = findStage(snap, "test.inner");
+  ASSERT_NE(so, nullptr);
+  ASSERT_NE(si, nullptr);
+  EXPECT_EQ(so->calls, 16u);
+  EXPECT_EQ(si->calls, 32u);
+  // The identity the whole design hangs on: a parent's total is its
+  // self plus exactly what its children recorded — no drift, because
+  // child elapsed cycles propagate to the parent frame verbatim.
+  EXPECT_EQ(so->totalCycles, so->selfCycles + si->totalCycles);
+  EXPECT_GT(si->selfCycles, 0u);
+  EXPECT_EQ(si->selfCycles, si->totalCycles);  // leaf stage
+  EXPECT_EQ(snap.droppedScopes, 0u);
+
+  const PathSnapshot* leaf = findPath(snap, "test.outer;test.inner");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->calls, 32u);
+  EXPECT_EQ(leaf->selfCycles, si->selfCycles);
+}
+
+TEST_F(ProfTest, ReenteredStageAggregatesAcrossPaths) {
+  const std::uint32_t a = internStage("test.re_a");
+  const std::uint32_t b = internStage("test.re_b");
+  {
+    ScopedStage top(a);
+    spin(500);
+    { ScopedStage mid(b); spin(500); }
+  }
+  { ScopedStage solo(b); spin(500); }
+
+  const ProfileSnapshot snap = snapshot();
+  const StageSnapshot* sb = findStage(snap, "test.re_b");
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->calls, 2u);
+  const PathSnapshot* nested = findPath(snap, "test.re_a;test.re_b");
+  const PathSnapshot* root = findPath(snap, "test.re_b");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(sb->selfCycles, nested->selfCycles + root->selfCycles);
+}
+
+TEST_F(ProfTest, AllocationCountsAttributeToTheAllocatingStage) {
+  if (!allocHooksActive())
+    GTEST_SKIP() << "counting operator new hooks not linked "
+                    "(sanitizer build owns the allocator)";
+  const std::uint32_t quiet = internStage("test.alloc_quiet");
+  const std::uint32_t noisy = internStage("test.alloc_noisy");
+  // Warm-up: first use of a call path may intern trie nodes; interning
+  // itself never allocates, but gtest/libstdc++ lazily allocate on some
+  // first-touch paths, so measure on the second pass.
+  {
+    ScopedStage w1(quiet);
+    { ScopedStage w2(noisy); std::make_unique<char[]>(64); }
+  }
+  reset();
+
+  constexpr int kRounds = 8;
+  {
+    ScopedStage outer(quiet);
+    for (int i = 0; i < kRounds; ++i) {
+      ScopedStage inner(noisy);
+      auto block = std::make_unique<char[]>(1024);
+      static_cast<void>(block.get());
+    }
+  }
+
+  const ProfileSnapshot snap = snapshot();
+  EXPECT_TRUE(snap.allocHooks);
+  const StageSnapshot* sq = findStage(snap, "test.alloc_quiet");
+  const StageSnapshot* sn = findStage(snap, "test.alloc_noisy");
+  ASSERT_NE(sq, nullptr);
+  ASSERT_NE(sn, nullptr);
+  // Self-attribution: every allocation happened inside the inner scope.
+  EXPECT_EQ(sq->allocs, 0u);
+  EXPECT_EQ(sq->allocBytes, 0u);
+  EXPECT_EQ(sn->allocs, static_cast<std::uint64_t>(kRounds));
+  EXPECT_GE(sn->allocBytes, static_cast<std::uint64_t>(kRounds) * 1024u);
+}
+
+TEST_F(ProfTest, BurstAccountingOutermostOnly) {
+  if (!allocHooksActive())
+    GTEST_SKIP() << "counting operator new hooks not linked";
+  const std::uint32_t stage = internStage("test.burst_stage");
+  { BurstScope warm; ScopedStage s(stage); std::make_unique<char[]>(8); }
+  reset();
+
+  constexpr int kBursts = 5;
+  for (int i = 0; i < kBursts; ++i) {
+    BurstScope outer;
+    BurstScope nested;  // must not double-count
+    ScopedStage s(stage);
+    auto block = std::make_unique<char[]>(256);
+    static_cast<void>(block.get());
+    spin(500);
+  }
+
+  const ProfileSnapshot snap = snapshot();
+  EXPECT_EQ(snap.bursts, static_cast<std::uint64_t>(kBursts));
+  EXPECT_EQ(snap.burstAllocs, static_cast<std::uint64_t>(kBursts));
+  EXPECT_GE(snap.burstBytes, static_cast<std::uint64_t>(kBursts) * 256u);
+  EXPECT_GT(snap.burstCycles, 0u);
+}
+
+TEST_F(ProfTest, QuantilesBracketRecordedCalls) {
+  const std::uint32_t stage = internStage("test.quantiles");
+  for (int i = 0; i < 64; ++i) {
+    ScopedStage s(stage);
+    spin(1000);
+  }
+  const ProfileSnapshot snap = snapshot();
+  const StageSnapshot* s = findStage(snap, "test.quantiles");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GT(s->p50Cycles, 0.0);
+  EXPECT_GE(s->p99Cycles, s->p50Cycles);
+  // log2 bucketing: p99 of a homogeneous workload stays within a few
+  // octaves of p50 (loose, but catches swapped or zeroed histograms).
+  EXPECT_LE(s->p99Cycles, s->p50Cycles * 64.0);
+}
+
+TEST_F(ProfTest, FoldedAndJsonCarryTheCallPaths) {
+  const std::uint32_t outer = internStage("test.ser_outer");
+  const std::uint32_t inner = internStage("test.ser_inner");
+  {
+    ScopedStage a(outer);
+    spin(500);
+    { ScopedStage b(inner); spin(500); }
+  }
+
+  const std::string folded = foldedText();
+  EXPECT_NE(folded.find("test.ser_outer "), std::string::npos);
+  EXPECT_NE(folded.find("test.ser_outer;test.ser_inner "), std::string::npos);
+
+  const std::string json = jsonText();
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"test.ser_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"stack\":\"test.ser_outer;test.ser_inner\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bursts\":"), std::string::npos);
+}
+
+TEST_F(ProfTest, ResetZeroesAccumulatorsButKeepsStageIds) {
+  const std::uint32_t stage = internStage("test.reset");
+  { ScopedStage s(stage); spin(500); }
+  ASSERT_NE(findStage(snapshot(), "test.reset"), nullptr);
+
+  reset();
+  const ProfileSnapshot zeroed = snapshot();
+  for (const StageSnapshot& s : zeroed.stages) {
+    EXPECT_EQ(s.calls, 0u) << s.name;
+    EXPECT_EQ(s.selfCycles, 0u) << s.name;
+    EXPECT_EQ(s.allocs, 0u) << s.name;
+  }
+  EXPECT_EQ(zeroed.bursts, 0u);
+
+  // Interned ids stay valid: recording through a pre-reset id works.
+  { ScopedStage s(stage); spin(500); }
+  const ProfileSnapshot again = snapshot();
+  const StageSnapshot* after = findStage(again, "test.reset");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->calls, 1u);
+}
+
+TEST_F(ProfTest, InternIsIdempotent) {
+  const std::uint32_t a = internStage("test.idem");
+  const std::uint32_t b = internStage("test.idem");
+  EXPECT_EQ(a, b);
+}
+
+// 8 threads churning nested scopes + bursts against concurrent
+// snapshot/reset. Correctness bar: no crash, no TSan report (the expo
+// stress rig runs this suite under -DCARAOKE_TSAN=ON), and the final
+// aggregate sees every completed call.
+TEST_F(ProfTest, ConcurrentScopeChurnIsClean) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  const std::uint32_t outer = internStage("test.churn_outer");
+  const std::uint32_t inner = internStage("test.churn_inner");
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kIters; ++i) {
+        BurstScope burst;
+        ScopedStage a(outer);
+        { ScopedStage b(inner); spin(50); }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!go.load(std::memory_order_acquire)) {}
+    for (int i = 0; i < 50; ++i) {
+      const ProfileSnapshot snap = snapshot();
+      static_cast<void>(snap.stages.size());
+      static_cast<void>(foldedText());
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  reader.join();
+
+  const ProfileSnapshot snap = snapshot();
+  const StageSnapshot* so = findStage(snap, "test.churn_outer");
+  const StageSnapshot* si = findStage(snap, "test.churn_inner");
+  ASSERT_NE(so, nullptr);
+  ASSERT_NE(si, nullptr);
+  EXPECT_EQ(completed.load(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(so->calls, completed.load());
+  EXPECT_EQ(si->calls, completed.load());
+  EXPECT_EQ(snap.bursts, completed.load());
+  EXPECT_EQ(so->totalCycles, so->selfCycles + si->totalCycles);
+}
+
+}  // namespace
+}  // namespace caraoke::obs::prof

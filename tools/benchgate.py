@@ -4,7 +4,7 @@
 Runs every bench binary N times with ``--json``, aggregates each metric
 across repeats (median / p10 / p90 / relative standard deviation),
 re-runs benches whose wall-clock RSD exceeds the noise threshold, and
-writes one consolidated report (default ``BENCH_PR5.json``) at the repo
+writes one consolidated report (default ``BENCH_PR6.json``) at the repo
 root.  The gate then compares wall-clock medians against the newest other
 ``BENCH_*.json`` baseline and exits non-zero when any bench slowed down by
 more than ``--threshold`` (fractional, default 0.10 = 10%).  A missing or
@@ -12,10 +12,22 @@ unreadable baseline is a clear diagnostic and exit 2 — never a stack
 trace — unless ``--update-baseline`` says this run *establishes* the
 baseline.
 
+Beyond wall clock, the gate also enforces *counter budgets*: metrics in
+``COUNTER_GATES`` (the profiler's ``dsp.allocs_per_burst`` and
+``dsp.bytes_per_burst``) compare median-to-median with their own — by
+default zero — tolerance, so a change that starts allocating on the
+per-burst hot path fails even when the wall clock hides it in noise.
+Add or relax budgets per run with ``--counter-gate NAME[:FRAC]``.
+
+``--trend`` walks every committed ``BENCH_*.json`` oldest-to-newest and
+prints the wall-clock and gated-counter trajectory as a table (the
+worked example lives in EXPERIMENTS.md).
+
 Usage:
   tools/benchgate.py [--build-dir build] [--profile smoke|full]
-                     [--repeats 3] [--threshold 0.10] [--out BENCH_PR5.json]
+                     [--repeats 3] [--threshold 0.10] [--out BENCH_PR6.json]
                      [--baseline FILE] [--filter REGEX]
+                     [--counter-gate NAME[:FRAC]] [--trend]
                      [--update-baseline] [--compare-only] [--selftest]
 
 Exit codes: 0 ok / regression blessed, 1 regression or runner failure,
@@ -59,6 +71,19 @@ MANIFEST = [
 ]
 
 GATED_METRIC = "bench.wall_seconds"
+
+# Counter budgets: metric -> max fractional increase vs baseline. The
+# per-burst allocation figures come from the hot-path profiler's counting
+# operator-new hooks (src/obs/prof_alloc.cpp); zero tolerance means the
+# decode pipeline may never gain a heap allocation per burst.
+COUNTER_GATES = {
+    "dsp.allocs_per_burst": 0.0,
+    "dsp.bytes_per_burst": 0.0,
+}
+
+# Absolute slack for zero-tolerance gates so float jitter in a genuinely
+# unchanged metric (e.g. 108.0 vs 108.00000001) never trips them.
+COUNTER_EPSILON = 1e-9
 
 
 def flatten_report(report):
@@ -161,7 +186,9 @@ def find_baseline(out_path, explicit):
     ]
     if not candidates:
         return None
-    return max(candidates, key=lambda p: p.stat().st_mtime)
+    # Tie-break equal mtimes (fresh checkouts) by name, so BENCH_PR5
+    # beats BENCH_PR4 even when git stamped them identically.
+    return max(candidates, key=lambda p: (p.stat().st_mtime, p.name))
 
 
 def compare(current, baseline, threshold, echo=print):
@@ -195,6 +222,81 @@ def compare(current, baseline, threshold, echo=print):
             f"({(ratio - 1.0) * 100:+.1f}%) {tag}"
         )
     return regressions
+
+
+def gate_counters(current, baseline, gates, echo=print):
+    """Enforce counter budgets metric-by-metric. Returns violations.
+
+    A violation is ``(bench, metric, old, cur)``. Benches or metrics
+    absent on either side are skipped (a bench that never recorded a
+    profiled burst has nothing to budget).
+    """
+    violations = []
+    base_benches = baseline.get("benches", {})
+    for name, data in current.get("benches", {}).items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        for metric, tolerance in sorted(gates.items()):
+            cur = data.get("metrics", {}).get(metric, {}).get("median")
+            old = base.get("metrics", {}).get(metric, {}).get("median")
+            if cur is None or old is None:
+                continue
+            limit = old * (1.0 + tolerance) + COUNTER_EPSILON
+            if cur > limit:
+                violations.append((name, metric, old, cur))
+                echo(f"  {name}: {metric} {old:.1f} -> {cur:.1f} "
+                     f"BUDGET EXCEEDED (max +{tolerance * 100:.0f}%)")
+            else:
+                echo(f"  {name}: {metric} {old:.1f} -> {cur:.1f} ok")
+    return violations
+
+
+def trend(echo=print):
+    """Print the wall-clock + gated-counter trajectory across baselines."""
+    reports = []
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        if path.name.endswith(".tmp.json"):
+            continue
+        try:
+            reports.append((path.name, json.loads(path.read_text())))
+        except (OSError, ValueError) as err:
+            echo(f"  skipping unreadable {path.name}: {err}")
+    if not reports:
+        echo("no BENCH_*.json baselines found")
+        return 1
+
+    bench_names = sorted(
+        {b for _, rep in reports for b in rep.get("benches", {})}
+    )
+
+    def cell(rep, bench, metric):
+        value = (rep.get("benches", {}).get(bench, {}).get("metrics", {})
+                 .get(metric, {}).get("median"))
+        return "-" if value is None else f"{value:.3f}"
+
+    header = ["bench"] + [name for name, _ in reports]
+    echo("wall-clock medians (seconds):")
+    echo("  " + " | ".join(header))
+    echo("  " + " | ".join("---" for _ in header))
+    for bench in bench_names:
+        row = [bench] + [cell(rep, bench, GATED_METRIC) for _, rep in reports]
+        echo("  " + " | ".join(row))
+
+    for metric in sorted(COUNTER_GATES):
+        rows = [
+            bench for bench in bench_names
+            if any(cell(rep, bench, metric) != "-" for _, rep in reports)
+        ]
+        if not rows:
+            continue
+        echo(f"\n{metric} medians:")
+        echo("  " + " | ".join(header))
+        echo("  " + " | ".join("---" for _ in header))
+        for bench in rows:
+            row = [bench] + [cell(rep, bench, metric) for _, rep in reports]
+            echo("  " + " | ".join(row))
+    return 0
 
 
 def selftest():
@@ -259,6 +361,53 @@ def selftest():
         "profile mismatch skips the gate",
     )
 
+    # Counter budgets: a doctored alloc regression must trip the
+    # zero-tolerance gate even with an unchanged wall clock.
+    def report_with_allocs(allocs, bytes_=4096.0):
+        return {
+            "schema": SCHEMA_VERSION,
+            "profile": "smoke",
+            "benches": {
+                "decoder_ablation": {
+                    "metrics": {
+                        GATED_METRIC: {"median": 1.0},
+                        "dsp.allocs_per_burst": {"median": allocs},
+                        "dsp.bytes_per_burst": {"median": bytes_},
+                    }
+                },
+            },
+        }
+
+    doctored = gate_counters(
+        report_with_allocs(109.0), report_with_allocs(108.0),
+        COUNTER_GATES, sink,
+    )
+    check(
+        len(doctored) == 1 and doctored[0][1] == "dsp.allocs_per_burst",
+        "one extra alloc per burst trips the zero-tolerance gate",
+    )
+    check(
+        gate_counters(report_with_allocs(108.0), report_with_allocs(108.0),
+                      COUNTER_GATES, sink) == [],
+        "unchanged allocs pass",
+    )
+    check(
+        gate_counters(report_with_allocs(108.0 + 1e-12),
+                      report_with_allocs(108.0), COUNTER_GATES, sink) == [],
+        "float jitter below epsilon passes",
+    )
+    check(
+        gate_counters(report_with_allocs(108.0, bytes_=5000.0),
+                      report_with_allocs(108.0, bytes_=4096.0),
+                      {"dsp.bytes_per_burst": 0.25}, sink) == [],
+        "relaxed fractional tolerance admits a bounded increase",
+    )
+    check(
+        gate_counters(report_with_wall(1.0), report_with_allocs(108.0),
+                      COUNTER_GATES, sink) == [],
+        "benches without the metric are skipped",
+    )
+
     # Missing-baseline contract, end to end through main(): a clear exit-2
     # diagnostic, never a stack trace — unless --update-baseline blesses
     # this run as the first baseline.
@@ -282,11 +431,32 @@ def selftest():
             "corrupt baseline is a usage error, not a stack trace",
         )
 
+        # End to end: an alloc regression alone fails the run with exit 1.
+        cur_path = pathlib.Path(tmp) / "BENCH_ALLOCS.json"
+        cur_path.write_text(json.dumps(report_with_allocs(109.0)))
+        base_path = pathlib.Path(tmp) / "BENCH_BASEALLOC.json"
+        base_path.write_text(json.dumps(report_with_allocs(108.0)))
+        alloc_args = ["--compare-only", "--out", str(cur_path),
+                      "--baseline", str(base_path)]
+        check(
+            main(alloc_args) == 1,
+            "alloc regression fails the gate end to end",
+        )
+        check(
+            main(alloc_args + ["--counter-gate",
+                               "dsp.allocs_per_burst:0.05"]) == 0,
+            "--counter-gate relaxation admits the same delta",
+        )
+        check(
+            main(alloc_args + ["--counter-gate", "bogus:x"]) == 2,
+            "malformed --counter-gate is a usage error",
+        )
+
     if failures:
         for f in failures:
             print("selftest FAIL:", f)
         return 1
-    print("benchgate selftest ok (%d checks)" % 15)
+    print("benchgate selftest ok (%d checks)" % 23)
     return 0
 
 
@@ -303,7 +473,7 @@ def main(argv=None):
                         help="wall-clock RSD above which a bench is re-run")
     parser.add_argument("--max-extra-runs", type=int, default=2)
     parser.add_argument("--out", type=pathlib.Path,
-                        default=REPO_ROOT / "BENCH_PR5.json")
+                        default=REPO_ROOT / "BENCH_PR6.json")
     parser.add_argument("--baseline", type=pathlib.Path, default=None,
                         help="explicit baseline file (default: newest other "
                              "BENCH_*.json at the repo root)")
@@ -313,11 +483,29 @@ def main(argv=None):
                         help="write the report and exit 0 even on regression")
     parser.add_argument("--compare-only", action="store_true",
                         help="skip running; compare --out against baseline")
+    parser.add_argument("--counter-gate", action="append", default=[],
+                        metavar="NAME[:FRAC]",
+                        help="add or override a counter budget (fractional "
+                             "tolerance, default 0 = may never increase)")
+    parser.add_argument("--trend", action="store_true",
+                        help="print the trajectory across all committed "
+                             "BENCH_*.json baselines and exit")
     parser.add_argument("--selftest", action="store_true")
     args = parser.parse_args(argv)
 
     if args.selftest:
         return selftest()
+    if args.trend:
+        return trend()
+
+    counter_gates = dict(COUNTER_GATES)
+    for spec in args.counter_gate:
+        name, _, frac = spec.partition(":")
+        try:
+            counter_gates[name] = float(frac) if frac else 0.0
+        except ValueError:
+            print(f"benchgate: bad --counter-gate {spec!r}", file=sys.stderr)
+            return 2
 
     if not args.compare_only:
         name_re = re.compile(args.filter) if args.filter else None
@@ -377,11 +565,17 @@ def main(argv=None):
               "valid report.", file=sys.stderr)
         return 2
     regressions = compare(report, baseline, args.threshold)
-    if regressions and not args.update_baseline:
-        print(f"benchgate: {len(regressions)} wall-clock regression(s) "
-              f"beyond {args.threshold * 100:.0f}%", file=sys.stderr)
+    violations = gate_counters(report, baseline, counter_gates)
+    failed = bool(regressions) or bool(violations)
+    if failed and not args.update_baseline:
+        if regressions:
+            print(f"benchgate: {len(regressions)} wall-clock regression(s) "
+                  f"beyond {args.threshold * 100:.0f}%", file=sys.stderr)
+        if violations:
+            print(f"benchgate: {len(violations)} counter budget "
+                  f"violation(s)", file=sys.stderr)
         return 1
-    if regressions:
+    if failed:
         print("regressions present but --update-baseline given; blessing")
     return 0
 

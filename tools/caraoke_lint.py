@@ -27,6 +27,15 @@ This linter enforces the ones the architecture depends on:
                metric name is registered at more than one source
                location or under two different kinds — exposition and
                dashboards key on exact names.
+  profstage    Hot-path profiler stage names live in one registry
+               (src/obs/prof_stages.hpp): each follows the dotted
+               lowercase grammar, no two constants share a name (stage
+               names key flamegraph frames and benchgate counter
+               budgets), every CARAOKE_PROF_SCOPE site in src/ names
+               its stage through a registry constant rather than a raw
+               string literal, and the registry matches a baked-in
+               baseline so adding a stage is an explicit, reviewed act
+               (the same pairing the wireversion baseline uses).
   units        Frequency/time literals in src/{dsp,phy} go through
                common/units.hpp helpers (MHz(915.0), usec(512)) instead
                of raw scientific notation — the 914.3–915.5 MHz CFO
@@ -329,6 +338,87 @@ def check_metricnames(files, rel, findings):
                 f"({where}) — resolve the handle once and share it"))
 
 
+# The profiler stage registry (src/obs/prof_stages.hpp) as of PR 6.
+# A PR that adds/renames a stage must update prof_stages.hpp AND this
+# baseline — stage names key folded flamegraph frames, the /profile
+# JSON, and benchgate's per-burst counter budgets, so a silent rename
+# breaks every committed BENCH_*.json trend.
+PROFSTAGE_BASELINE = {
+    "dsp.window", "dsp.fft", "dsp.peak", "dsp.spectrum", "dsp.goertzel",
+    "phy.cfo", "phy.demod", "phy.manchester",
+    "core.analyze", "core.count", "core.decode", "core.coherent_sum",
+    "core.chase", "core.timing_search",
+}
+
+PROFSTAGE_REGISTRY = "src/obs/prof_stages.hpp"
+PROFSTAGE_DEF_RE = re.compile(
+    r"inline\s+constexpr\s+char\s+(?P<const>k\w+)\s*\[\s*\]\s*=\s*"
+    r"\"(?P<name>[^\"]*)\"")
+PROFSTAGE_SCOPE_RE = re.compile(r"\bCARAOKE_PROF_SCOPE\s*\(\s*(?P<arg>[^)]*)\)")
+
+
+def check_profstage(files, rel, findings):
+    """One stage registry, dotted-lowercase, unique, baseline-acknowledged;
+    scope macros reference registry constants, never raw literals."""
+    registered = {}                        # stage name -> (path, lineno)
+    for path, lineno, line in iter_source_lines(files):
+        rp = rel(path)
+        code = strip_line_comment(line)
+        if rp == PROFSTAGE_REGISTRY:
+            m = PROFSTAGE_DEF_RE.search(code)
+            if m is None:
+                continue
+            name = m.group("name")
+            if not NAME_GRAMMAR_RE.match(name):
+                findings.append(Finding(
+                    "profstage", rp, lineno,
+                    f"stage name '{name}' violates the dotted lowercase "
+                    "grammar (e.g. dsp.fft)"))
+            if name in registered:
+                prev_path, prev_line = registered[name]
+                findings.append(Finding(
+                    "profstage", rp, lineno,
+                    f"stage name '{name}' already declared at "
+                    f"{prev_path}:{prev_line} — frames with one name "
+                    "would merge in every flamegraph"))
+            else:
+                registered[name] = (rp, lineno)
+            continue
+        for m in PROFSTAGE_SCOPE_RE.finditer(code):
+            arg = m.group("arg").strip()
+            if arg.startswith('"'):
+                if allowed(line, "profstage", findings, rp, lineno):
+                    continue
+                findings.append(Finding(
+                    "profstage", rp, lineno,
+                    f"CARAOKE_PROF_SCOPE({arg}) uses a raw string literal "
+                    "— declare the stage in obs/prof_stages.hpp and "
+                    "reference the constant"))
+
+    if not registered:
+        findings.append(Finding(
+            "profstage", PROFSTAGE_REGISTRY, 1,
+            "stage registry not found or empty — if it moved, update "
+            "PROFSTAGE_REGISTRY in caraoke_lint.py"))
+        return
+    names = set(registered)
+    for name in sorted(names - PROFSTAGE_BASELINE):
+        rp, lineno = registered[name]
+        findings.append(Finding(
+            "profstage", rp, lineno,
+            f"stage '{name}' is not in PROFSTAGE_BASELINE — new stages "
+            "need a caraoke_lint.py baseline refresh (the explicit "
+            "acknowledgement that dashboards and BENCH trends were "
+            "considered)"))
+    for name in sorted(PROFSTAGE_BASELINE - names):
+        findings.append(Finding(
+            "profstage", PROFSTAGE_REGISTRY, 1,
+            f"baseline stage '{name}' disappeared from the registry — "
+            "a rename/removal must refresh PROFSTAGE_BASELINE in "
+            "caraoke_lint.py (committed flamegraphs and BENCH_*.json "
+            "reference it)"))
+
+
 # Frequency-or-time magnitudes: kHz/MHz/GHz (e3/e6/e9) and ms/us
 # (e-3/e-6). Dimensionless epsilons (1e-12, 1e-15, ...) are untouched.
 UNITS_RE = re.compile(r"(?<![\w.])\d+(?:\.\d+)?e[+]?(?:3|6|9)\b"
@@ -412,6 +502,7 @@ RULES = {
     "wiremagic": check_wiremagic,
     "wireversion": check_wireversion,
     "metricnames": check_metricnames,
+    "profstage": check_profstage,
     "units": check_units,
     "buildtree": check_buildtree,
 }
@@ -535,6 +626,54 @@ def selftest():
     check_metricnames(twice, lambda p: p.rel, findings)
     if not any("2 sites" in f.message for f in findings):
         failures.append("selftest [metricnames] missed double registration")
+
+    # Profstage: registry + scope-site pairing, like wireversion a
+    # multi-file rule with its own baseline acknowledgement.
+    def stage_registry(names):
+        return "\n".join(
+            f'inline constexpr char k{i}[] = "{name}";'
+            for i, name in enumerate(sorted(names)))
+
+    clean_registry = FakePath("src/obs/prof_stages.hpp",
+                              stage_registry(PROFSTAGE_BASELINE))
+    good_site = FakePath(
+        "src/dsp/fft.cpp", "CARAOKE_PROF_SCOPE(obs::prof::stage::kFft);")
+    profstage_cases = [
+        ([clean_registry, good_site], None, "clean registry + constant site"),
+        ([clean_registry,
+          FakePath("src/dsp/fft.cpp", 'CARAOKE_PROF_SCOPE("dsp.fft");')],
+         "raw string literal", "raw literal at a scope site"),
+        ([clean_registry,
+          FakePath("src/dsp/fft.cpp",
+                   'CARAOKE_PROF_SCOPE("x.y");  '
+                   "// caraoke-lint: allow(profstage): migration shim")],
+         None, "allow marker suppresses a raw literal"),
+        ([FakePath("src/obs/prof_stages.hpp",
+                   stage_registry(PROFSTAGE_BASELINE)
+                   + '\ninline constexpr char kNew[] = "dsp.simd_fft";')],
+         "not in PROFSTAGE_BASELINE", "new stage without a baseline refresh"),
+        ([FakePath("src/obs/prof_stages.hpp",
+                   stage_registry(PROFSTAGE_BASELINE - {"dsp.fft"}))],
+         "disappeared from the registry", "removed stage, stale baseline"),
+        ([FakePath("src/obs/prof_stages.hpp",
+                   stage_registry(PROFSTAGE_BASELINE)
+                   + '\ninline constexpr char kDup[] = "dsp.fft";')],
+         "already declared", "duplicate stage name"),
+        ([FakePath("src/obs/prof_stages.hpp",
+                   stage_registry(PROFSTAGE_BASELINE - {"dsp.fft"})
+                   + '\ninline constexpr char kBad[] = "DSP.Fft";')],
+         "dotted lowercase grammar", "uppercase stage name"),
+        ([good_site], "registry not found", "missing registry file"),
+    ]
+    for fakes, expect, what in profstage_cases:
+        findings = []
+        check_profstage(fakes, lambda p: p.rel, findings)
+        if expect is None:
+            if findings:
+                failures.append(f"selftest [profstage] wrongly flagged "
+                                f"{what}: {findings[0].message}")
+        elif not any(expect in f.message for f in findings):
+            failures.append(f"selftest [profstage] missed {what}")
 
     # Build-tree path classifier (the rule itself reads the git index).
     for path, should_flag in [

@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""profcat.py — merge and render hot-path profiler dumps.
+
+Consumes any mix of profiler outputs and folds them into one profile:
+
+  * collapsed-stack text (``a;b;c <selfCycles>`` lines) from
+    ``GET /profile?format=folded`` or a bench binary's ``--prof-folded``,
+  * profiler JSON from ``GET /profile``,
+  * a bench ``--json`` report (the ``profile`` section is extracted).
+
+Default output is a per-stage cost table: self cycles, self%, total
+cycles (children included), total%, calls, and — when the counting
+allocator hooks were live — allocations and bytes.  ``--folded`` prints
+the merged collapsed stacks instead (pipe into flamegraph.pl), and
+``--speedscope FILE`` writes a speedscope.app-importable JSON profile.
+
+``--assert-stages a,b,c`` exits non-zero unless every named stage shows
+up with at least one recorded cycle — what scripts/ci_perf.sh uses to
+smoke-test that the pipeline instrumentation stays wired.
+
+Usage:
+  tools/profcat.py [DUMP ...] [--folded] [--speedscope FILE]
+                   [--assert-stages a,b,c] [--selftest]
+
+Exit codes: 0 ok, 1 assertion or parse failure, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def parse_folded(text):
+    """Collapsed-stack lines -> {stack_tuple: self_cycles}."""
+    paths = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            raise ValueError(f"line {lineno}: not a folded stack: {line!r}")
+        try:
+            cycles = int(value)
+        except ValueError as err:
+            raise ValueError(f"line {lineno}: bad cycle count {value!r}") from err
+        key = tuple(stack.split(";"))
+        paths[key] = paths.get(key, 0) + cycles
+    return paths
+
+
+def parse_json_profile(obj):
+    """Profiler JSON (or a bench report wrapping it) -> (paths, stages).
+
+    ``paths`` is {stack_tuple: {self_cycles, calls, allocs, alloc_bytes}};
+    ``stages`` is the profiler's own per-stage aggregate, used to carry
+    alloc figures the folded format cannot express.
+    """
+    if "profile" in obj and "paths" not in obj:
+        obj = obj["profile"]
+    if not obj.get("enabled", False):
+        return {}, {}
+    paths = {}
+    for entry in obj.get("paths", []):
+        key = tuple(entry["stack"].split(";"))
+        slot = paths.setdefault(
+            key, {"self_cycles": 0, "calls": 0, "allocs": 0, "alloc_bytes": 0}
+        )
+        slot["self_cycles"] += int(entry.get("self_cycles", 0))
+        slot["calls"] += int(entry.get("calls", 0))
+        slot["allocs"] += int(entry.get("allocs", 0))
+        slot["alloc_bytes"] += int(entry.get("alloc_bytes", 0))
+    return paths, obj.get("stages", {})
+
+
+def load_dump(path):
+    """Read one dump file, sniffing folded text vs JSON."""
+    text = pathlib.Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return parse_json_profile(json.loads(text))
+    paths = {
+        key: {"self_cycles": cycles, "calls": 0, "allocs": 0, "alloc_bytes": 0}
+        for key, cycles in parse_folded(text).items()
+    }
+    return paths, {}
+
+
+def merge(dumps):
+    """Fold many (paths, stages) pairs into one."""
+    paths = {}
+    stages = {}
+    for dump_paths, dump_stages in dumps:
+        for key, data in dump_paths.items():
+            slot = paths.setdefault(
+                key,
+                {"self_cycles": 0, "calls": 0, "allocs": 0, "alloc_bytes": 0},
+            )
+            for field in slot:
+                slot[field] += data.get(field, 0)
+        for name, data in dump_stages.items():
+            slot = stages.setdefault(
+                name,
+                {"calls": 0, "self_cycles": 0, "total_cycles": 0,
+                 "allocs": 0, "alloc_bytes": 0},
+            )
+            for field in slot:
+                slot[field] += int(data.get(field, 0))
+    return paths, stages
+
+
+def stage_costs(paths, stages):
+    """Per-stage {self, total, calls, allocs, bytes} from merged paths.
+
+    Self cycles attribute to the leaf of each path; total cycles to every
+    distinct stage on the path (recursion counts once).  Stage-level
+    alloc/call figures prefer the profiler's own aggregate when present
+    (folded input cannot carry them).
+    """
+    costs = {}
+    for key, data in paths.items():
+        leaf = key[-1]
+        slot = costs.setdefault(
+            leaf, {"self": 0, "total": 0, "calls": 0, "allocs": 0, "bytes": 0}
+        )
+        slot["self"] += data["self_cycles"]
+        slot["calls"] += data["calls"]
+        slot["allocs"] += data["allocs"]
+        slot["bytes"] += data["alloc_bytes"]
+        for stage in set(key):
+            costs.setdefault(
+                stage,
+                {"self": 0, "total": 0, "calls": 0, "allocs": 0, "bytes": 0},
+            )["total"] += data["self_cycles"]
+    for name, agg in stages.items():
+        slot = costs.setdefault(
+            name, {"self": 0, "total": 0, "calls": 0, "allocs": 0, "bytes": 0}
+        )
+        slot["calls"] = max(slot["calls"], agg.get("calls", 0))
+        slot["allocs"] = max(slot["allocs"], agg.get("allocs", 0))
+        slot["bytes"] = max(slot["bytes"], agg.get("alloc_bytes", 0))
+    return costs
+
+
+def render_table(costs, echo=print):
+    grand_self = sum(c["self"] for c in costs.values()) or 1
+    header = (f"{'stage':<24} {'self cycles':>14} {'self%':>7} "
+              f"{'total cycles':>14} {'total%':>7} {'calls':>10} "
+              f"{'allocs':>8} {'bytes':>10}")
+    echo(header)
+    echo("-" * len(header))
+    for name in sorted(costs, key=lambda n: -costs[n]["self"]):
+        c = costs[name]
+        echo(f"{name:<24} {c['self']:>14} "
+             f"{100.0 * c['self'] / grand_self:>6.1f}% "
+             f"{c['total']:>14} {100.0 * c['total'] / grand_self:>6.1f}% "
+             f"{c['calls']:>10} {c['allocs']:>8} {c['bytes']:>10}")
+
+
+def folded_text(paths):
+    return "".join(
+        f"{';'.join(key)} {data['self_cycles']}\n"
+        for key, data in sorted(paths.items())
+    )
+
+
+def speedscope_profile(paths, name="caraoke hot path"):
+    """The merged paths as one speedscope 'sampled' profile."""
+    frames = []
+    frame_index = {}
+
+    def frame_of(stage):
+        if stage not in frame_index:
+            frame_index[stage] = len(frames)
+            frames.append({"name": stage})
+        return frame_index[stage]
+
+    samples = []
+    weights = []
+    for key, data in sorted(paths.items()):
+        samples.append([frame_of(stage) for stage in key])
+        weights.append(data["self_cycles"])
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "none",
+                "startValue": 0,
+                "endValue": sum(weights),
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "exporter": "profcat.py",
+    }
+
+
+def assert_stages(costs, wanted, echo=print):
+    """Every wanted stage must have recorded at least one cycle."""
+    missing = [
+        s for s in wanted
+        if costs.get(s, {}).get("total", 0) <= 0
+        and costs.get(s, {}).get("self", 0) <= 0
+    ]
+    for stage in missing:
+        echo(f"profcat: expected stage {stage!r} recorded no cycles")
+    return not missing
+
+
+def selftest():
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+
+    sink = lambda *_: None
+
+    folded = "core.decode 10\ncore.decode;phy.cfo 40\ncore.decode;phy.cfo 2\n"
+    paths = parse_folded(folded)
+    check(paths[("core.decode",)] == 10, "folded parse: root self")
+    check(paths[("core.decode", "phy.cfo")] == 42,
+          "folded parse: duplicate lines merge")
+    try:
+        parse_folded("justonestage\n")
+        check(False, "folded parse rejects a line without a count")
+    except ValueError:
+        pass
+
+    profile_json = {
+        "enabled": True,
+        "alloc_hooks": True,
+        "stages": {
+            "core.decode": {"calls": 5, "self_cycles": 10, "total_cycles": 52,
+                            "allocs": 7, "alloc_bytes": 512},
+        },
+        "paths": [
+            {"stack": "core.decode", "calls": 5, "self_cycles": 10,
+             "allocs": 7, "alloc_bytes": 512},
+            {"stack": "core.decode;phy.cfo", "calls": 5, "self_cycles": 42,
+             "allocs": 0, "alloc_bytes": 0},
+        ],
+    }
+    jpaths, jstages = parse_json_profile(profile_json)
+    check(jpaths[("core.decode", "phy.cfo")]["self_cycles"] == 42,
+          "json parse: path self cycles")
+    check(jstages["core.decode"]["allocs"] == 7, "json parse: stage allocs")
+    wrapped, _ = parse_json_profile({"bench": {}, "profile": profile_json})
+    check(wrapped == jpaths, "bench report wrapper unwraps to the profile")
+    check(parse_json_profile({"enabled": False}) == ({}, {}),
+          "disabled profile parses to empty")
+
+    fpaths = {
+        key: {"self_cycles": cycles, "calls": 0, "allocs": 0, "alloc_bytes": 0}
+        for key, cycles in parse_folded(folded).items()
+    }
+    merged_paths, merged_stages = merge([(jpaths, jstages), (fpaths, {})])
+    check(merged_paths[("core.decode", "phy.cfo")]["self_cycles"] == 84,
+          "merge sums self cycles across dumps")
+    costs = stage_costs(merged_paths, merged_stages)
+    check(costs["phy.cfo"]["self"] == 84, "stage self = leaf paths")
+    check(costs["core.decode"]["total"] == 104,
+          "stage total spans descendant paths")
+    check(costs["core.decode"]["self"] == 20, "stage self excludes children")
+    check(costs["core.decode"]["allocs"] == 7,
+          "stage allocs carried from the json aggregate")
+    render_table(costs, sink)
+
+    check(folded_text(merged_paths)
+          == "core.decode 20\ncore.decode;phy.cfo 84\n",
+          "folded round trip")
+
+    scope = speedscope_profile(merged_paths)
+    check(len(scope["shared"]["frames"]) == 2, "speedscope dedups frames")
+    check(scope["profiles"][0]["weights"] == [20, 84],
+          "speedscope weights are path self cycles")
+    check(scope["profiles"][0]["endValue"] == 104,
+          "speedscope endValue is the grand total")
+    check(scope["profiles"][0]["samples"][1]
+          == [scope["shared"]["frames"].index({"name": "core.decode"}),
+              scope["shared"]["frames"].index({"name": "phy.cfo"})],
+          "speedscope samples reference shared frames")
+    json.dumps(scope)  # must serialize
+
+    check(assert_stages(costs, ["core.decode", "phy.cfo"], sink),
+          "assert-stages passes on present stages")
+    check(not assert_stages(costs, ["dsp.fft"], sink),
+          "assert-stages fails on an absent stage")
+
+    if failures:
+        for f in failures:
+            print("selftest FAIL:", f)
+        return 1
+    print("profcat selftest ok (%d checks)" % 19)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dumps", nargs="*", type=pathlib.Path,
+                        help="folded text, /profile JSON, or bench --json "
+                             "reports")
+    parser.add_argument("--folded", action="store_true",
+                        help="print merged collapsed stacks instead of the "
+                             "cost table")
+    parser.add_argument("--speedscope", type=pathlib.Path, default=None,
+                        help="also write a speedscope.app JSON profile")
+    parser.add_argument("--assert-stages", default=None, metavar="A,B,C",
+                        help="fail unless every named stage recorded cycles")
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.dumps:
+        parser.print_usage(sys.stderr)
+        print("profcat: no dumps given (or --selftest)", file=sys.stderr)
+        return 2
+
+    dumps = []
+    for path in args.dumps:
+        try:
+            dumps.append(load_dump(path))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+            print(f"profcat: cannot parse {path}: {err}", file=sys.stderr)
+            return 1
+    paths, stages = merge(dumps)
+    costs = stage_costs(paths, stages)
+
+    if args.folded:
+        sys.stdout.write(folded_text(paths))
+    else:
+        render_table(costs)
+
+    if args.speedscope is not None:
+        args.speedscope.write_text(
+            json.dumps(speedscope_profile(paths), indent=1) + "\n"
+        )
+        print(f"wrote speedscope profile to {args.speedscope}")
+
+    if args.assert_stages:
+        wanted = [s for s in args.assert_stages.split(",") if s]
+        if not assert_stages(costs, wanted):
+            return 1
+        print(f"profcat: all {len(wanted)} expected stages present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
