@@ -14,6 +14,11 @@
 #   tsan   the `race`-labelled concurrency stress rig (plus chaos and
 #          determinism suites) under ThreadSanitizer. Set CI_TSAN_FULL=1
 #          to run the entire suite under TSan instead (slow).
+#   crash  the `crash`-labelled durability suite (WAL salvage fuzz +
+#          injected kills mid-ingest/mid-WAL-write/mid-snapshot with
+#          byte-identical restore) under AddressSanitizer, so recovery
+#          paths that only run after a simulated crash get leak/UAF
+#          coverage on every CI run.
 #   perf   scripts/ci_perf.sh: benchgate smoke over every bench binary,
 #          gated against the newest committed BENCH_*.json baseline
 #          (wall clock + per-burst alloc budgets), plus the profiler
@@ -31,7 +36,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(lint tidy asan ubsan tsan perf)
+  STAGES=(lint tidy asan ubsan tsan crash perf)
 fi
 
 SUMMARY=()
@@ -112,12 +117,17 @@ for stage in "${STAGES[@]}"; do
       fi
       SUMMARY+=("tsan: OK")
       ;;
+    crash)
+      SANITIZER=address CTEST_LABEL='crash' scripts/ci_sanitize.sh \
+        || fail_stage crash
+      SUMMARY+=("crash: OK")
+      ;;
     perf)
       scripts/ci_perf.sh || fail_stage perf
       SUMMARY+=("perf: OK")
       ;;
     *)
-      echo "unknown stage '${stage}' (valid: lint tidy asan ubsan tsan perf)" >&2
+      echo "unknown stage '${stage}' (valid: lint tidy asan ubsan tsan crash perf)" >&2
       fail_stage "${stage}"
       ;;
   esac

@@ -331,6 +331,19 @@ void ReaderDaemon::attachUplink(net::UplinkLink* tx, net::UplinkLink* ackRx) {
   ackRx_ = ackRx;
 }
 
+void ReaderDaemon::shutdownFlush(double now) {
+  // Graceful shutdown: seal whatever is batching (ignoring the flush
+  // period — the modem wakes one last time) and push it plus any pending
+  // retries at the backend, so a durable backend has every observation
+  // in its WAL before the pole powers down.
+  if (outbox_.openMessages() > 0) outbox_.seal(now);
+  recordEvent("daemon.shutdown_flush",
+              {{"t", now},
+               {"reader_id", config_.readerId},
+               {"pending", outbox_.pendingBatches()}});
+  pumpUplink(now);
+}
+
 void ReaderDaemon::pumpUplink(double now) {
   // Drain acks that arrived over the downlink since the last tick.
   if (ackRx_ != nullptr)

@@ -117,6 +117,11 @@ class ReaderDaemon {
   /// every measurement/uplink/sync due in between.
   void runUntil(double untilTime);
 
+  /// Graceful shutdown: seal the open batch immediately (no waiting for
+  /// the flush period) and transmit everything pending, so a durable
+  /// backend can log the pole's final observations before power-down.
+  void shutdownFlush(double now);
+
   /// Route uplink traffic through a lossy link pair: `tx` carries batch
   /// frames toward the backend, `ackRx` carries acks back. Both pointers
   /// are non-owning and must outlive the daemon (or be detached with

@@ -1,7 +1,11 @@
 #include "net/backend.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "net/outbox.hpp"
 #include "obs/events.hpp"
@@ -42,6 +46,23 @@ struct BackendMetrics {
       obs::globalRegistry().counter("net.backend.speed_samples");
   obs::Counter& speedFixes =
       obs::globalRegistry().counter("net.backend.speed_fixes");
+  // Durability layer (zero unless a durability dir is configured).
+  obs::Counter& walAppends =
+      obs::globalRegistry().counter("net.backend.wal.appends");
+  obs::Counter& walBytes =
+      obs::globalRegistry().counter("net.backend.wal.bytes");
+  obs::Counter& walFsyncs =
+      obs::globalRegistry().counter("net.backend.wal.fsyncs");
+  obs::Counter& walReplayed =
+      obs::globalRegistry().counter("net.backend.wal.replayed");
+  obs::Counter& walSalvaged =
+      obs::globalRegistry().counter("net.backend.wal.salvaged");
+  obs::Counter& snapshotsWritten =
+      obs::globalRegistry().counter("net.backend.snapshots_written");
+  obs::Counter& snapshotsRejected =
+      obs::globalRegistry().counter("net.backend.snapshots_rejected");
+  obs::Counter& restores =
+      obs::globalRegistry().counter("net.backend.restores");
 };
 
 BackendMetrics& backendMetrics() {
@@ -66,6 +87,10 @@ std::vector<std::uint64_t> batchTraceIds(const std::vector<Message>& messages) {
 
 Backend::Backend(BackendConfig config)
     : config_(std::move(config)), flight_(config_.flightCapacity) {
+  // With durability configured the backend starts in `recovering`: no
+  // ingestion (and a 503 /healthz) until restore() replays the log.
+  recovering_.store(!config_.durability.dir.empty(),
+                    std::memory_order_release);
   if (config_.expoPort >= 0) startExposition();
 }
 
@@ -85,7 +110,14 @@ void Backend::startExposition() {
   // Backend metrics live in the process-wide registry (net.backend.*).
   handlers.metricsText = [] { return obs::globalRegistry().expositionText(); };
   handlers.metricsJson = [] { return obs::globalRegistry().jsonText(); };
-  handlers.healthz = [] { return obs::HealthStatus{true, "backend"}; };
+  handlers.healthz = [this] {
+    // Distinct recovering state: the backend is up but must not take
+    // traffic until restore() finishes replaying (503 keeps load
+    // balancers away; readers retry through their outboxes anyway).
+    if (recovering_.load(std::memory_order_acquire))
+      return obs::HealthStatus{false, "recovering"};
+    return obs::HealthStatus{true, "backend"};
+  };
   handlers.flight = [this](const obs::FlightQuery& query) {
     return flight_.jsonLines(query.maxEntries, query.trace);
   };
@@ -157,6 +189,12 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
   // Frame decoding above touched no shared state; the dedup/gap
   // accounting and report buffers below do.
   std::lock_guard<std::mutex> lock(mutex_);
+  if (recovering_.load(std::memory_order_acquire)) {
+    // No ack while replaying: the reader's outbox holds the batch and
+    // retransmits once we're healthy again.
+    backendMetrics().batchErrors.inc();
+    return R::failure("backend recovering: restore() pending");
+  }
   if (batch.hasHeader) {
     stats.readerId = batch.header.readerId;
     stats.seq = batch.header.seq;
@@ -164,12 +202,56 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
     stats.ack = encodeAck({batch.header.readerId, batch.header.seq});
     backendMetrics().acksSent.inc();
 
-    ReaderSeqState& state = seqState_[batch.header.readerId];
-    if (state.seen.count(batch.header.seq) > 0) {
-      // Retransmission of a batch we already have: re-ack, ingest nothing.
+    // Dedup peek before the WAL append: retransmissions are re-acked but
+    // never logged (replay therefore never sees a duplicate, so replay
+    // equivalence needs no idempotence argument). find(), not
+    // operator[], so the peek itself mutates nothing un-logged.
+    const auto it = seqState_.find(batch.header.readerId);
+    if (it != seqState_.end() && it->second.seen.count(batch.header.seq) > 0) {
       stats.deduplicated = true;
       backendMetrics().duplicateBatches.inc();
       return stats;
+    }
+  }
+
+  if (wal_ != nullptr) {
+    // Durability barrier: the frame reaches the log before any state
+    // mutation. A failed append is treated as the process dying — no
+    // ack, no mutation; the reader retransmits after our restart.
+    const std::uint64_t bytesBefore = wal_->bytesWritten();
+    const std::uint64_t fsyncsBefore = wal_->fsyncs();
+    if (!wal_->append(frame)) {
+      backendMetrics().batchErrors.inc();
+      return R::failure("wal append failed");
+    }
+    backendMetrics().walAppends.inc();
+    backendMetrics().walBytes.inc(wal_->bytesWritten() - bytesBefore);
+    backendMetrics().walFsyncs.inc(wal_->fsyncs() - fsyncsBefore);
+  }
+
+  applyBatchLocked(batch, stats);
+  backendMetrics().batches.inc();
+  for (const std::uint64_t traceId : traces)
+    recordEvent("backend.ingest", {{"reader_id", stats.readerId},
+                                   {"seq", stats.seq},
+                                   {"accepted", stats.accepted},
+                                   {"trace", obs::traceHex(traceId)}});
+
+  if (wal_ != nullptr && config_.durability.snapshotEveryAppends > 0 &&
+      ++appendsSinceSnapshot_ >= config_.durability.snapshotEveryAppends)
+    (void)snapshotNowLocked();
+  return stats;
+}
+
+bool Backend::applyBatchLocked(const DecodedBatch& batch,
+                               BatchIngestStats& stats) {
+  if (batch.hasHeader) {
+    ReaderSeqState& state = seqState_[batch.header.readerId];
+    if (state.seen.count(batch.header.seq) > 0) {
+      // Retransmission of a batch we already have: ingest nothing.
+      stats.deduplicated = true;
+      backendMetrics().duplicateBatches.inc();
+      return false;
     }
     state.seen.insert(batch.header.seq);
     if (batch.header.seq > state.maxSeq) {
@@ -182,18 +264,11 @@ caraoke::Result<BatchIngestStats> Backend::ingestBatch(
       backendMetrics().gapsFilled.inc();
     }
   }
-
   for (const auto& message : batch.messages) {
     ingestLocked(message);
     ++stats.accepted;
   }
-  backendMetrics().batches.inc();
-  for (const std::uint64_t traceId : traces)
-    recordEvent("backend.ingest", {{"reader_id", stats.readerId},
-                                   {"seq", stats.seq},
-                                   {"accepted", stats.accepted},
-                                   {"trace", obs::traceHex(traceId)}});
-  return stats;
+  return true;
 }
 
 std::size_t Backend::gapCount(std::uint32_t readerId) const {
@@ -438,6 +513,180 @@ std::vector<SpeedFix> Backend::pairSpeeds(double now) {
   }
   speedSamples_ = std::move(keepSamples);
   return fixes;
+}
+
+std::string Backend::walPath() const {
+  return config_.durability.dir + "/backend.wal";
+}
+
+BackendSnapshot Backend::buildSnapshotLocked() const {
+  BackendSnapshot snap;
+  for (const auto& [readerId, state] : seqState_) {
+    ReaderSeqRecord record;
+    record.readerId = readerId;
+    record.maxSeq = state.maxSeq;
+    record.seen.assign(state.seen.begin(), state.seen.end());
+    snap.seq.push_back(std::move(record));
+  }
+  snap.sightings = sightings_;
+  snap.counts = counts_;
+  snap.decodes = decodes_;
+  snap.speedSamples.reserve(speedSamples_.size());
+  for (const SpeedSample& s : speedSamples_)
+    snap.speedSamples.push_back(
+        {s.readerId, s.timestamp, s.cfoHz, s.cosAlpha, s.traceId});
+  return snap;
+}
+
+void Backend::applySnapshotLocked(const BackendSnapshot& snapshot) {
+  seqState_.clear();
+  for (const ReaderSeqRecord& record : snapshot.seq) {
+    ReaderSeqState& state = seqState_[record.readerId];
+    state.maxSeq = record.maxSeq;
+    state.seen.insert(record.seen.begin(), record.seen.end());
+  }
+  sightings_ = snapshot.sightings;
+  counts_ = snapshot.counts;
+  decodes_ = snapshot.decodes;
+  speedSamples_.clear();
+  speedSamples_.reserve(snapshot.speedSamples.size());
+  for (const SpeedSampleRecord& s : snapshot.speedSamples)
+    speedSamples_.push_back(
+        {s.readerId, s.timestamp, s.cfoHz, s.cosAlpha, s.traceId});
+}
+
+std::vector<std::uint8_t> Backend::stateBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BackendSnapshot snap = buildSnapshotLocked();
+  snap.walOffset = 0;  // Position in the log is not state.
+  return encodeSnapshot(snap);
+}
+
+bool Backend::durable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wal_ != nullptr && wal_->ok();
+}
+
+bool Backend::snapshotNow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshotNowLocked();
+}
+
+bool Backend::snapshotNowLocked() {
+  if (wal_ == nullptr || !wal_->ok()) return false;
+  // The snapshot claims durable coverage of every log byte below its
+  // offset, so flush first (this is the kOnSnapshot policy's flush
+  // point; under the stricter policies it is nearly free).
+  const std::uint64_t fsyncsBefore = wal_->fsyncs();
+  if (!wal_->sync()) return false;
+  backendMetrics().walFsyncs.inc(wal_->fsyncs() - fsyncsBefore);
+
+  BackendSnapshot snap = buildSnapshotLocked();
+  snap.walOffset = wal_->offset();
+  const std::uint64_t seq = nextSnapshotSeq_;
+  const std::vector<std::uint8_t> bytes = encodeSnapshot(snap);
+
+  if (config_.durability.tearSnapshotAtSeq == seq) {
+    // Chaos: die after writing the tmp file, before the rename — the
+    // classic mid-snapshot crash. The loader must never surface this
+    // file; the previous snapshot (or none) plus the WAL still covers
+    // everything.
+    const std::string tmpPath =
+        config_.durability.dir + "/" + snapshotFileName(seq) + ".tmp";
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size() / 2));
+    wal_->kill();
+    return false;
+  }
+
+  if (!writeSnapshotFile(config_.durability.dir, seq, bytes)) return false;
+  ++nextSnapshotSeq_;
+  appendsSinceSnapshot_ = 0;
+  backendMetrics().snapshotsWritten.inc();
+  recordEvent("backend.snapshot", {{"seq", seq},
+                                   {"bytes", bytes.size()},
+                                   {"wal_offset", snap.walOffset}});
+  return true;
+}
+
+caraoke::Result<RestoreStats> Backend::restore(const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_.durability.dir = dir;
+  }
+  recovering_.store(true, std::memory_order_release);
+  return restore();
+}
+
+caraoke::Result<RestoreStats> Backend::restore() {
+  using R = caraoke::Result<RestoreStats>;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.durability.dir.empty())
+    return R::failure("durability not configured (empty dir)");
+  obs::ObsSpan span("net.backend.restore");
+  std::error_code ec;
+  std::filesystem::create_directories(config_.durability.dir, ec);
+
+  RestoreStats out;
+  LoadedSnapshot snapshot =
+      loadNewestSnapshot(config_.durability.dir, &out.snapshotsRejected);
+  out.snapshotSeq = snapshot.seq;
+  if (out.snapshotsRejected > 0)
+    backendMetrics().snapshotsRejected.inc(out.snapshotsRejected);
+  applySnapshotLocked(snapshot.state);
+
+  // Replay the WAL tail: records entirely covered by the snapshot's
+  // offset are already in the state; everything after is applied in log
+  // order. Damage (torn tail from a crash mid-append, or corruption)
+  // ends the replay at the damage point — those batches were never
+  // acked, so the readers' outboxes still hold them.
+  const std::string path = walPath();
+  const WalReadResult log = readWalFile(path);
+  std::uint64_t cursor = 0;
+  for (const auto& payload : log.payloads) {
+    const std::uint64_t end =
+        cursor + kWalRecordOverheadBytes + payload.size();
+    if (end > snapshot.state.walOffset) {
+      auto decoded = decodeBatch(payload, BatchDecodePolicy::kSalvage);
+      if (decoded.ok()) {
+        BatchIngestStats replayStats;
+        applyBatchLocked(decoded.value(), replayStats);
+        ++out.replayedRecords;
+      }
+    }
+    cursor = end;
+  }
+  out.corruptRecords = log.corruptRecords;
+  out.salvagedBytes = log.salvagedBytes;
+  backendMetrics().walReplayed.inc(out.replayedRecords);
+  if (out.salvagedBytes > 0)
+    backendMetrics().walSalvaged.inc(out.salvagedBytes);
+
+  // Truncate the torn tail before resuming appends: records written
+  // after un-truncated damage would be unreachable (the parser stops at
+  // the damage) and silently lost on the *next* restore.
+  if (log.salvagedBytes > 0)
+    (void)::truncate(path.c_str(), static_cast<off_t>(log.intactBytes));
+
+  auto writer = std::make_unique<WalWriter>(
+      path, config_.durability.fsyncPolicy, config_.durability.fsyncEveryN);
+  if (!writer->ok()) return R::failure("cannot open wal for append");
+  if (config_.durability.tearWalAtAppend > 0)
+    writer->injectTear(config_.durability.tearWalAtAppend,
+                       config_.durability.tearWalKeepBytes);
+  wal_ = std::move(writer);
+  nextSnapshotSeq_ = newestSnapshotSeq(config_.durability.dir) + 1;
+  appendsSinceSnapshot_ = 0;
+  backendMetrics().restores.inc();
+  recordEvent("backend.restore",
+              {{"snapshot_seq", out.snapshotSeq},
+               {"replayed", out.replayedRecords},
+               {"corrupt_records", out.corruptRecords},
+               {"salvaged_bytes", out.salvagedBytes},
+               {"snapshots_rejected", out.snapshotsRejected}});
+  recovering_.store(false, std::memory_order_release);
+  return out;
 }
 
 }  // namespace caraoke::net

@@ -27,6 +27,8 @@
 #include "core/speed.hpp"
 #include "net/framing.hpp"
 #include "net/message.hpp"
+#include "net/snapshot.hpp"
+#include "net/wal.hpp"
 #include "obs/expo.hpp"
 #include "obs/flight.hpp"
 
@@ -55,6 +57,40 @@ struct SpeedFix {
   std::uint64_t traceId = 0;
 };
 
+/// Crash durability. Off by default (empty dir): the backend keeps its
+/// state in RAM only, exactly as before. With a directory set, every
+/// accepted uplink batch is appended to `<dir>/backend.wal` *before* any
+/// state mutation, snapshots are cut into the same directory, and a
+/// restarted backend must call restore() before ingesting (it reports
+/// `recovering` on /healthz until then).
+struct DurabilityConfig {
+  /// Durability directory (WAL + snapshots). Empty = durability off.
+  std::string dir;
+  /// When appends reach the platter (see net/wal.hpp for the tradeoffs).
+  WalFsyncPolicy fsyncPolicy = WalFsyncPolicy::kEveryAppend;
+  /// Append count between fsyncs under WalFsyncPolicy::kEveryN.
+  std::size_t fsyncEveryN = 8;
+  /// Cut a snapshot every this-many WAL appends (0 = only on explicit
+  /// snapshotNow() calls). Bounds replay length after a crash.
+  std::size_t snapshotEveryAppends = 0;
+  /// Chaos injection (crash suite only): the N-th WAL append (1-based)
+  /// tears mid-record and the backend plays dead from then on. 0 = off.
+  std::uint64_t tearWalAtAppend = 0;
+  std::size_t tearWalKeepBytes = 0;  ///< 0 = half the record.
+  /// Chaos injection: cutting snapshot number N dies after writing the
+  /// tmp file, before the rename — the classic mid-snapshot crash.
+  std::uint64_t tearSnapshotAtSeq = 0;
+};
+
+/// What Backend::restore recovered (for logs, tests, and ops).
+struct RestoreStats {
+  std::uint64_t snapshotSeq = 0;     ///< 0 = no snapshot, replayed from start.
+  std::size_t snapshotsRejected = 0; ///< Corrupt candidates skipped over.
+  std::size_t replayedRecords = 0;   ///< WAL records applied past the snapshot.
+  std::size_t corruptRecords = 0;    ///< Torn/corrupt records salvaged past.
+  std::uint64_t salvagedBytes = 0;   ///< Bytes discarded after the damage.
+};
+
 /// Association/fusion tuning.
 struct BackendConfig {
   /// Sightings within this CFO distance are the same transponder. The
@@ -81,6 +117,8 @@ struct BackendConfig {
   int expoPort = -1;
   /// Flight-ring depth (backend.ingest / backend.speed_fix events).
   std::size_t flightCapacity = 512;
+  /// Crash durability (WAL + snapshots). Off unless dir is set.
+  DurabilityConfig durability{};
 };
 
 /// Outcome of ingesting one uplink batch frame.
@@ -129,6 +167,41 @@ class Backend {
 
   /// Ingest an already-decoded message.
   void ingest(const Message& message);
+
+  /// Recover state from the configured durability directory: load the
+  /// newest valid snapshot, replay the WAL tail past its offset
+  /// (salvaging past a torn/corrupt trailing record), truncate the torn
+  /// tail, and reopen the log for appending. Required before ingesting
+  /// when durability is on — until it completes, /healthz reports
+  /// `recovering` (503) and ingestBatch refuses frames (no ack, so
+  /// readers keep retransmitting). Idempotent state-wise on a fresh
+  /// directory (empty backend). Fails only when the directory cannot be
+  /// used (unwritable WAL).
+  caraoke::Result<RestoreStats> restore();
+
+  /// restore() into `dir` (overrides config.durability.dir; the common
+  /// call when the restarted process learns its directory late).
+  caraoke::Result<RestoreStats> restore(const std::string& dir);
+
+  /// Cut a snapshot now: serialize full state + current WAL offset,
+  /// publish atomically. False when durability is off, the WAL is dead,
+  /// or the write fails. Called automatically every
+  /// durability.snapshotEveryAppends appends when that is non-zero.
+  bool snapshotNow();
+
+  /// Deterministic serialization of the complete mutable state (the
+  /// snapshot codec with the WAL offset zeroed). Two backends with equal
+  /// state produce equal bytes — the crash suite's byte-identity oracle.
+  std::vector<std::uint8_t> stateBytes() const;
+
+  /// True while durability is configured but restore() has not yet
+  /// completed (mirrored by /healthz as a 503 `recovering` state).
+  bool recovering() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
+
+  /// True when the durability layer is armed and the WAL is writable.
+  bool durable() const;
 
   /// Associate + fuse everything currently buffered; consumed sightings
   /// are removed. Unpaired sightings stay buffered until they expire out
@@ -197,6 +270,18 @@ class Backend {
 
   /// ingest() body; assumes mutex_ is held.
   void ingestLocked(const Message& message);
+  /// Dedup/gap/seq accounting + message ingestion for one decoded batch;
+  /// assumes mutex_ is held. Shared by the live ingest path (after the
+  /// WAL append) and WAL replay (which must mutate state identically).
+  /// False when the batch seq was already seen (nothing ingested).
+  bool applyBatchLocked(const DecodedBatch& batch, BatchIngestStats& stats);
+  /// Flatten current state into the snapshot form; assumes mutex_ held.
+  BackendSnapshot buildSnapshotLocked() const;
+  /// Replace current state with a decoded snapshot; assumes mutex_ held.
+  void applySnapshotLocked(const BackendSnapshot& snapshot);
+  /// snapshotNow() body; assumes mutex_ held.
+  bool snapshotNowLocked();
+  std::string walPath() const;
   /// Record into the flight ring (always) and the process event sink
   /// (when attached).
   void recordEvent(const char* type, std::vector<obs::Field> fields);
@@ -211,6 +296,16 @@ class Backend {
   std::vector<CountReport> counts_;
   std::vector<DecodeReport> decodes_;
   std::vector<SpeedSample> speedSamples_;
+  /// Durability: the open WAL (null when durability is off or restore()
+  /// has not run yet). Accessed only under mutex_, which is what keeps
+  /// WAL order identical to state-mutation order.
+  std::unique_ptr<WalWriter> wal_;
+  /// Next snapshot file number (always past every file already on disk).
+  std::uint64_t nextSnapshotSeq_ = 1;
+  std::uint64_t appendsSinceSnapshot_ = 0;
+  /// True from construction (durability configured) until restore()
+  /// completes. Read lock-free by the expo /healthz thread.
+  std::atomic<bool> recovering_{false};
   /// Backend black box; written on every recordEvent, snapshotted by the
   /// expo thread.
   obs::FlightRecorder flight_;

@@ -1,0 +1,323 @@
+#include "net/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "phy/crc.hpp"
+
+namespace caraoke::net {
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".snap";
+
+// Report entry: [len u16][traceId u64][spanId u64][encodeMessage bytes],
+// the same shape a v3 batch envelope gives each message.
+void appendReportEntry(std::vector<std::uint8_t>& out, const Message& message) {
+  const obs::TraceContext trace = messageTrace(message);
+  ByteWriter prefix;
+  const std::vector<std::uint8_t> inner = encodeMessage(message);
+  prefix.u16(static_cast<std::uint16_t>(16 + inner.size()));
+  prefix.u64(trace.traceId);
+  prefix.u64(trace.spanId);
+  out.insert(out.end(), prefix.bytes().begin(), prefix.bytes().end());
+  out.insert(out.end(), inner.begin(), inner.end());
+}
+
+// Bounds-checked cursor reads over the snapshot image.
+struct Cursor {
+  std::span<const std::uint8_t> bytes;
+  std::size_t at = 0;
+
+  bool take(std::size_t n, const std::uint8_t** out) {
+    if (bytes.size() - at < n) return false;
+    *out = bytes.data() + at;
+    at += n;
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    const std::uint8_t* p;
+    if (!take(2, &p)) return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    const std::uint8_t* p;
+    if (!take(4, &p)) return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    const std::uint8_t* p;
+    if (!take(8, &p)) return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+};
+
+bool readReportEntry(Cursor& c, Message& out) {
+  std::uint16_t len = 0;
+  if (!c.u16(len) || len < 16) return false;
+  obs::TraceContext trace;
+  if (!c.u64(trace.traceId) || !c.u64(trace.spanId)) return false;
+  const std::uint8_t* p;
+  if (!c.take(len - 16u, &p)) return false;
+  auto decoded =
+      decodeMessage(std::vector<std::uint8_t>(p, p + (len - 16u)));
+  if (!decoded.ok()) return false;
+  out = decoded.value();
+  setMessageTrace(out, trace);
+  return true;
+}
+
+bool fsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+
+/// Parse `snapshot-<seq>.snap`; false for anything else (tmp files,
+/// the WAL, strangers).
+bool parseSnapshotName(const std::string& name, std::uint64_t& seq) {
+  const std::string prefix = kSnapshotPrefix;
+  const std::string suffix = kSnapshotSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return false;
+  seq = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char ch = name[i];
+    if (ch < '0' || ch > '9') return false;
+    seq = seq * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return true;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> listSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::uint64_t seq = 0;
+    if (parseSnapshotName(entry.path().filename().string(), seq))
+      out.emplace_back(seq, entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string snapshotFileName(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%010llu%s", kSnapshotPrefix,
+                static_cast<unsigned long long>(seq), kSnapshotSuffix);
+  return buf;
+}
+
+std::vector<std::uint8_t> encodeSnapshot(const BackendSnapshot& snapshot) {
+  ByteWriter header;
+  header.u16(kSnapshotMagic);
+  header.u16(kSnapshotVersion);
+  header.u64(snapshot.walOffset);
+  std::vector<std::uint8_t> out = header.bytes();
+
+  {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(snapshot.seq.size()));
+    for (const ReaderSeqRecord& r : snapshot.seq) {
+      w.u32(r.readerId);
+      w.u32(r.maxSeq);
+      w.u32(static_cast<std::uint32_t>(r.seen.size()));
+      for (const std::uint32_t s : r.seen) w.u32(s);
+    }
+    out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+  }
+
+  auto appendSection = [&out](auto const& reports) {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(reports.size()));
+    out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+    for (const auto& report : reports) appendReportEntry(out, Message{report});
+  };
+  appendSection(snapshot.sightings);
+  appendSection(snapshot.counts);
+  appendSection(snapshot.decodes);
+
+  {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(snapshot.speedSamples.size()));
+    for (const SpeedSampleRecord& s : snapshot.speedSamples) {
+      w.u32(s.readerId);
+      w.f64(s.timestamp);
+      w.f64(s.cfoHz);
+      w.f64(s.cosAlpha);
+      w.u64(s.traceId);
+    }
+    out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+  }
+
+  const std::uint32_t crc = phy::crc32(out);
+  ByteWriter trailer;
+  trailer.u32(crc);
+  out.insert(out.end(), trailer.bytes().begin(), trailer.bytes().end());
+  return out;
+}
+
+caraoke::Result<BackendSnapshot> decodeSnapshot(
+    std::span<const std::uint8_t> bytes) {
+  using R = caraoke::Result<BackendSnapshot>;
+  if (bytes.size() < 16) return R::failure("truncated snapshot");
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(bytes[bytes.size() - 4]) |
+      (static_cast<std::uint32_t>(bytes[bytes.size() - 3]) << 8) |
+      (static_cast<std::uint32_t>(bytes[bytes.size() - 2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[bytes.size() - 1]) << 24);
+  const std::uint32_t computed = phy::crc32(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+  if (stored != computed) return R::failure("snapshot crc mismatch");
+
+  Cursor c{bytes.first(bytes.size() - 4)};
+  std::uint16_t magic = 0;
+  std::uint16_t version = 0;
+  BackendSnapshot out;
+  if (!c.u16(magic) || magic != kSnapshotMagic)
+    return R::failure("bad snapshot magic");
+  if (!c.u16(version) || version != kSnapshotVersion)
+    return R::failure("unsupported snapshot version");
+  if (!c.u64(out.walOffset)) return R::failure("truncated snapshot header");
+
+  std::uint32_t readers = 0;
+  if (!c.u32(readers)) return R::failure("truncated snapshot seq section");
+  for (std::uint32_t i = 0; i < readers; ++i) {
+    ReaderSeqRecord r;
+    std::uint32_t n = 0;
+    if (!c.u32(r.readerId) || !c.u32(r.maxSeq) || !c.u32(n))
+      return R::failure("truncated snapshot seq record");
+    r.seen.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      std::uint32_t s = 0;
+      if (!c.u32(s)) return R::failure("truncated snapshot seq record");
+      r.seen.push_back(s);
+    }
+    out.seq.push_back(std::move(r));
+  }
+
+  auto readSection = [&c](auto& reports, const char** error) {
+    using ReportT = typename std::decay_t<decltype(reports)>::value_type;
+    std::uint32_t n = 0;
+    if (!c.u32(n)) {
+      *error = "truncated snapshot section";
+      return false;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Message m;
+      if (!readReportEntry(c, m)) {
+        *error = "bad snapshot report entry";
+        return false;
+      }
+      const auto* report = std::get_if<ReportT>(&m);
+      if (report == nullptr) {
+        *error = "snapshot report entry of unexpected type";
+        return false;
+      }
+      reports.push_back(*report);
+    }
+    return true;
+  };
+  const char* error = nullptr;
+  if (!readSection(out.sightings, &error)) return R::failure(error);
+  if (!readSection(out.counts, &error)) return R::failure(error);
+  if (!readSection(out.decodes, &error)) return R::failure(error);
+
+  std::uint32_t samples = 0;
+  if (!c.u32(samples)) return R::failure("truncated snapshot speed section");
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    SpeedSampleRecord s;
+    if (!c.u32(s.readerId) || !c.f64(s.timestamp) || !c.f64(s.cfoHz) ||
+        !c.f64(s.cosAlpha) || !c.u64(s.traceId))
+      return R::failure("truncated snapshot speed sample");
+    out.speedSamples.push_back(s);
+  }
+  if (c.at != c.bytes.size()) return R::failure("trailing bytes in snapshot");
+  return out;
+}
+
+bool writeSnapshotFile(const std::string& dir, std::uint64_t seq,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string finalPath = dir + "/" + snapshotFileName(seq);
+  const std::string tmpPath = finalPath + ".tmp";
+  {
+    const int fd =
+        ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + written,
+                                bytes.size() - written);
+      if (n < 0) {
+        ::close(fd);
+        return false;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced) return false;
+  }
+  if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) return false;
+  // Publish the rename: fsync the directory so the new name survives a
+  // power cut (best-effort — some filesystems refuse O_RDONLY dir fds).
+  (void)fsyncPath(dir);
+  return true;
+}
+
+LoadedSnapshot loadNewestSnapshot(const std::string& dir,
+                                  std::size_t* rejected) {
+  if (rejected != nullptr) *rejected = 0;
+  auto candidates = listSnapshots(dir);
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    std::ifstream in(it->second, std::ios::binary);
+    if (!in) {
+      if (rejected != nullptr) ++*rejected;
+      continue;
+    }
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    auto decoded = decodeSnapshot(bytes);
+    if (!decoded.ok()) {
+      if (rejected != nullptr) ++*rejected;
+      continue;
+    }
+    return {it->first, std::move(decoded.value())};
+  }
+  return {};
+}
+
+std::uint64_t newestSnapshotSeq(const std::string& dir) {
+  auto candidates = listSnapshots(dir);
+  return candidates.empty() ? 0 : candidates.back().first;
+}
+
+}  // namespace caraoke::net

@@ -1,0 +1,164 @@
+#include "net/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+
+#include "net/message.hpp"
+#include "phy/crc.hpp"
+
+namespace caraoke::net {
+
+const char* walFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kEveryAppend:
+      return "every_append";
+    case WalFsyncPolicy::kEveryN:
+      return "every_n";
+    case WalFsyncPolicy::kOnSnapshot:
+      return "on_snapshot";
+  }
+  return "unknown";
+}
+
+WalWriter::WalWriter(std::string path, WalFsyncPolicy policy,
+                     std::size_t fsyncEveryN)
+    : path_(std::move(path)),
+      policy_(policy),
+      fsyncEveryN_(fsyncEveryN == 0 ? 1 : fsyncEveryN) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ >= 0) {
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0) offset_ = static_cast<std::uint64_t>(st.st_size);
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::injectTear(std::uint64_t atAppend, std::size_t keepBytes) {
+  tearAtAppend_ = atAppend;
+  tearKeepBytes_ = keepBytes;
+}
+
+bool WalWriter::writeAll(const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WalWriter::append(std::span<const std::uint8_t> payload) {
+  if (!ok()) return false;
+
+  ByteWriter header;
+  header.u16(kWalMagic);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> record = header.bytes();
+  record.insert(record.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = phy::crc32(record);
+  ByteWriter trailer;
+  trailer.u32(crc);
+  record.insert(record.end(), trailer.bytes().begin(), trailer.bytes().end());
+
+  ++appends_;
+  if (tearAtAppend_ != 0 && appends_ >= tearAtAppend_) {
+    // Simulated process death mid-write: part of the record lands on
+    // disk, the rest never will, and this writer is gone.
+    std::size_t keep = tearKeepBytes_ != 0 ? tearKeepBytes_ : record.size() / 2;
+    if (keep >= record.size()) keep = record.size() - 1;
+    (void)writeAll(record.data(), keep);
+    offset_ += keep;
+    bytesWritten_ += keep;
+    dead_ = true;
+    return false;
+  }
+
+  if (!writeAll(record.data(), record.size())) {
+    dead_ = true;
+    return false;
+  }
+  offset_ += record.size();
+  bytesWritten_ += record.size();
+
+  bool needSync = policy_ == WalFsyncPolicy::kEveryAppend;
+  if (policy_ == WalFsyncPolicy::kEveryN) {
+    ++sinceFsync_;
+    if (sinceFsync_ >= fsyncEveryN_) {
+      needSync = true;
+      sinceFsync_ = 0;
+    }
+  }
+  if (needSync && !sync()) return false;
+  return true;
+}
+
+bool WalWriter::sync() {
+  if (!ok()) return false;
+  if (::fsync(fd_) != 0) {
+    dead_ = true;
+    return false;
+  }
+  ++fsyncs_;
+  return true;
+}
+
+WalReadResult parseWal(std::span<const std::uint8_t> bytes) {
+  WalReadResult out;
+  std::size_t cursor = 0;
+  const std::size_t size = bytes.size();
+  while (cursor < size) {
+    // Anything that stops this record from parsing cleanly — short
+    // header, bad magic, payload or CRC running off the end, CRC
+    // mismatch — is the damage point: count it, salvage the prefix.
+    if (size - cursor < kWalRecordOverheadBytes) break;
+    const std::uint16_t magic =
+        static_cast<std::uint16_t>(bytes[cursor] | (bytes[cursor + 1] << 8));
+    if (magic != kWalMagic) break;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(bytes[cursor + 2]) |
+        (static_cast<std::uint32_t>(bytes[cursor + 3]) << 8) |
+        (static_cast<std::uint32_t>(bytes[cursor + 4]) << 16) |
+        (static_cast<std::uint32_t>(bytes[cursor + 5]) << 24);
+    if (size - cursor - kWalRecordOverheadBytes < len) break;
+    const std::size_t bodyEnd = cursor + 6 + len;
+    const std::uint32_t stored =
+        static_cast<std::uint32_t>(bytes[bodyEnd]) |
+        (static_cast<std::uint32_t>(bytes[bodyEnd + 1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[bodyEnd + 2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[bodyEnd + 3]) << 24);
+    const std::uint32_t computed = phy::crc32(
+        std::span<const std::uint8_t>(bytes.data() + cursor, 6 + len));
+    if (stored != computed) break;
+    out.payloads.emplace_back(bytes.begin() + static_cast<long>(cursor + 6),
+                              bytes.begin() + static_cast<long>(bodyEnd));
+    cursor = bodyEnd + 4;
+  }
+  out.intactBytes = cursor;
+  if (cursor < size) {
+    out.corruptRecords = 1;
+    out.salvagedBytes = size - cursor;
+  }
+  return out;
+}
+
+WalReadResult readWalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // no log yet: an empty backend, not an error
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return parseWal(bytes);
+}
+
+}  // namespace caraoke::net

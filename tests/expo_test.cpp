@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "apps/reader_daemon.hpp"
 #include "common/rng.hpp"
+#include "net/backend.hpp"
 #include "net/link.hpp"
 #include "obs/events.hpp"
 #include "obs/expo.hpp"
@@ -355,6 +357,31 @@ TEST(ExpoDaemon, ScrapeHealthyThenOutageTo503AndFlightDump) {
   EXPECT_GT(lines, 0u);
   EXPECT_TRUE(sawHealthChange);
   std::remove(dumpPath.c_str());
+}
+
+TEST(ExpoBackend, HealthzReports503RecoveringUntilRestoreCompletes) {
+  // A durable backend boots in the `recovering` state and must advertise
+  // it on /healthz (503) so load balancers hold traffic until restore()
+  // has replayed the log; afterwards it flips to a plain 200.
+  char tmplt[] = "/tmp/caraoke_expo_durXXXXXX";
+  ASSERT_NE(::mkdtemp(tmplt), nullptr);
+  net::BackendConfig config;
+  config.expoPort = 0;
+  config.durability.dir = tmplt;
+  net::Backend backend(config);
+  ASSERT_GT(backend.expoPort(), 0);
+  ASSERT_TRUE(backend.recovering());
+
+  const std::string recovering = httpGet(backend.expoPort(), "/healthz");
+  EXPECT_EQ(statusOf(recovering), 503);
+  EXPECT_NE(bodyOf(recovering).find("recovering"), std::string::npos);
+
+  const auto restored = backend.restore();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(backend.recovering());
+  const std::string healthy = httpGet(backend.expoPort(), "/healthz");
+  EXPECT_EQ(statusOf(healthy), 200);
+  EXPECT_EQ(bodyOf(healthy).find("recovering"), std::string::npos);
 }
 
 TEST(ExpoDaemon, NegativePortKeepsDaemonNetworkSilent) {

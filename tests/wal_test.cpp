@@ -1,0 +1,307 @@
+// Durability-layer unit coverage: WAL framing round-trips, the salvage
+// contract under every-prefix truncation and random byte-flip fuzz
+// (mirroring the malformed-input posture of the parseJsonLine tests —
+// recover every intact record, count the damage, never die), the
+// injected-tear chaos knob, and the snapshot codec's all-or-nothing
+// validation with newest-valid-wins loading.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/snapshot.hpp"
+#include "net/wal.hpp"
+
+namespace caraoke {
+namespace {
+
+std::string makeTempDir(const char* tag) {
+  std::string pattern = ::testing::TempDir() + tag + "XXXXXX";
+  std::vector<char> buf(pattern.begin(), pattern.end());
+  buf.push_back('\0');
+  char* made = ::mkdtemp(buf.data());
+  EXPECT_NE(made, nullptr);
+  return made != nullptr ? std::string(made) : std::string();
+}
+
+std::vector<std::uint8_t> readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::uint8_t> payloadFor(std::size_t i) {
+  std::vector<std::uint8_t> payload;
+  for (std::size_t b = 0; b < 5 + i; ++b)
+    payload.push_back(static_cast<std::uint8_t>(i * 31 + b));
+  return payload;
+}
+
+// A WAL file of `records` payloads, returned as its on-disk byte image.
+std::vector<std::uint8_t> recordedWal(const std::string& dir,
+                                      std::size_t records) {
+  const std::string path = dir + "/recorded.wal";
+  net::WalWriter writer(path, net::WalFsyncPolicy::kOnSnapshot);
+  EXPECT_TRUE(writer.ok());
+  for (std::size_t i = 0; i < records; ++i)
+    EXPECT_TRUE(writer.append(payloadFor(i)));
+  return readFileBytes(path);
+}
+
+// ----------------------------------------------------------------- wal --
+
+TEST(Wal, AppendReadRoundTripAndCounters) {
+  const std::string dir = makeTempDir("wal_rt_");
+  const std::string path = dir + "/backend.wal";
+  {
+    net::WalWriter writer(path, net::WalFsyncPolicy::kEveryAppend);
+    ASSERT_TRUE(writer.ok());
+    std::uint64_t expectBytes = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto payload = payloadFor(i);
+      ASSERT_TRUE(writer.append(payload));
+      expectBytes += net::kWalRecordOverheadBytes + payload.size();
+    }
+    EXPECT_EQ(writer.appends(), 8u);
+    EXPECT_EQ(writer.bytesWritten(), expectBytes);
+    EXPECT_EQ(writer.offset(), expectBytes);
+    EXPECT_EQ(writer.fsyncs(), 8u);  // one per append under kEveryAppend
+  }
+  const auto result = net::readWalFile(path);
+  ASSERT_EQ(result.payloads.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(result.payloads[i], payloadFor(i)) << i;
+  EXPECT_EQ(result.corruptRecords, 0u);
+  EXPECT_EQ(result.salvagedBytes, 0u);
+
+  // Reopening resumes at the existing size (a restored backend keeps
+  // appending to its own log).
+  net::WalWriter resumed(path, net::WalFsyncPolicy::kEveryAppend);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.offset(), result.intactBytes);
+}
+
+TEST(Wal, FsyncPolicyEveryNBatchesSyncs) {
+  const std::string dir = makeTempDir("wal_fsync_");
+  net::WalWriter writer(dir + "/backend.wal", net::WalFsyncPolicy::kEveryN,
+                        4);
+  ASSERT_TRUE(writer.ok());
+  for (std::size_t i = 0; i < 10; ++i) ASSERT_TRUE(writer.append(payloadFor(i)));
+  EXPECT_EQ(writer.fsyncs(), 2u);  // after appends 4 and 8
+  EXPECT_TRUE(writer.sync());      // the on-snapshot flush point
+  EXPECT_EQ(writer.fsyncs(), 3u);
+}
+
+TEST(Wal, MissingFileIsAnEmptyLog) {
+  const std::string dir = makeTempDir("wal_missing_");
+  const auto result = net::readWalFile(dir + "/never_written.wal");
+  EXPECT_TRUE(result.payloads.empty());
+  EXPECT_EQ(result.intactBytes, 0u);
+  EXPECT_EQ(result.corruptRecords, 0u);
+}
+
+// The salvage contract, exhaustively: every possible truncation point of
+// a recorded WAL recovers exactly the fully-contained prefix records and
+// counts a torn tail iff the cut is mid-record. Never fatal.
+TEST(Wal, EveryPrefixTruncationSalvagesIntactRecords) {
+  const std::string dir = makeTempDir("wal_trunc_");
+  constexpr std::size_t kRecords = 6;
+  const std::vector<std::uint8_t> image = recordedWal(dir, kRecords);
+
+  // Record boundaries (byte offset just past record i).
+  std::vector<std::size_t> boundary{0};
+  for (std::size_t i = 0; i < kRecords; ++i)
+    boundary.push_back(boundary.back() + net::kWalRecordOverheadBytes +
+                       payloadFor(i).size());
+  ASSERT_EQ(boundary.back(), image.size());
+
+  for (std::size_t cut = 0; cut <= image.size(); ++cut) {
+    const auto result = net::parseWal(
+        std::span<const std::uint8_t>(image.data(), cut));
+    // How many records fit entirely below the cut?
+    std::size_t whole = 0;
+    while (whole < kRecords && boundary[whole + 1] <= cut) ++whole;
+    ASSERT_EQ(result.payloads.size(), whole) << "cut=" << cut;
+    for (std::size_t i = 0; i < whole; ++i)
+      EXPECT_EQ(result.payloads[i], payloadFor(i)) << "cut=" << cut;
+    EXPECT_EQ(result.intactBytes, boundary[whole]) << "cut=" << cut;
+    const bool torn = cut != boundary[whole];
+    EXPECT_EQ(result.corruptRecords, torn ? 1u : 0u) << "cut=" << cut;
+    EXPECT_EQ(result.salvagedBytes, torn ? cut - boundary[whole] : 0u)
+        << "cut=" << cut;
+  }
+}
+
+// Byte-flip fuzz: corrupting any single byte of record i loses exactly
+// the records from i on (CRC-32 catches every single-byte error), keeps
+// records 0..i-1 intact, and is always counted, never fatal.
+TEST(Wal, ByteFlipFuzzSalvagesPrefixAndCountsCorruption) {
+  const std::string dir = makeTempDir("wal_fuzz_");
+  constexpr std::size_t kRecords = 5;
+  const std::vector<std::uint8_t> image = recordedWal(dir, kRecords);
+
+  std::vector<std::size_t> boundary{0};
+  for (std::size_t i = 0; i < kRecords; ++i)
+    boundary.push_back(boundary.back() + net::kWalRecordOverheadBytes +
+                       payloadFor(i).size());
+
+  Rng rng(2024);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const std::size_t at = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(image.size()) - 1));
+    const auto flip =
+        static_cast<std::uint8_t>(1u << rng.uniformInt(0, 7));
+    auto mutated = image;
+    mutated[at] ^= flip;
+
+    // Which record did the flip land in?
+    std::size_t hit = 0;
+    while (boundary[hit + 1] <= at) ++hit;
+
+    const auto result = net::parseWal(mutated);
+    ASSERT_EQ(result.payloads.size(), hit) << "at=" << at;
+    for (std::size_t i = 0; i < hit; ++i)
+      EXPECT_EQ(result.payloads[i], payloadFor(i));
+    EXPECT_EQ(result.corruptRecords, 1u) << "at=" << at;
+    EXPECT_EQ(result.intactBytes, boundary[hit]) << "at=" << at;
+    EXPECT_EQ(result.salvagedBytes, image.size() - boundary[hit])
+        << "at=" << at;
+  }
+}
+
+TEST(Wal, InjectedTearLeavesARealTornRecord) {
+  const std::string dir = makeTempDir("wal_tear_");
+  const std::string path = dir + "/backend.wal";
+  net::WalWriter writer(path, net::WalFsyncPolicy::kEveryAppend);
+  ASSERT_TRUE(writer.ok());
+  writer.injectTear(3);  // third append dies mid-write
+
+  EXPECT_TRUE(writer.append(payloadFor(0)));
+  EXPECT_TRUE(writer.append(payloadFor(1)));
+  EXPECT_FALSE(writer.append(payloadFor(2)));  // torn: the "crash"
+  EXPECT_FALSE(writer.ok());
+  EXPECT_FALSE(writer.append(payloadFor(3)));  // dead stays dead
+  EXPECT_FALSE(writer.sync());
+
+  const auto result = net::readWalFile(path);
+  ASSERT_EQ(result.payloads.size(), 2u);
+  EXPECT_EQ(result.payloads[0], payloadFor(0));
+  EXPECT_EQ(result.payloads[1], payloadFor(1));
+  EXPECT_EQ(result.corruptRecords, 1u);
+  EXPECT_GT(result.salvagedBytes, 0u);  // the partial record on disk
+}
+
+// ------------------------------------------------------------ snapshot --
+
+net::BackendSnapshot sampleSnapshot() {
+  net::BackendSnapshot snap;
+  snap.walOffset = 1234;
+  snap.seq.push_back({1, 5, {1, 2, 3, 5}});
+  snap.seq.push_back({2, 2, {1, 2}});
+  net::SightingReport sighting{1, 10.5, 600e3, 1, 0.4, 2.5};
+  sighting.traceId = 0xABCD;
+  sighting.spanId = 0x1234;
+  snap.sightings.push_back(sighting);
+  snap.counts.push_back({2, 11.0, 7});
+  net::DecodeReport decode{1, 12.0, 601e3, {}};
+  snap.decodes.push_back(decode);
+  snap.speedSamples.push_back({1, 10.5, 600e3, 0.25, 0xABCD});
+  return snap;
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  const net::BackendSnapshot snap = sampleSnapshot();
+  const auto bytes = net::encodeSnapshot(snap);
+  const auto decoded = net::decodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  const net::BackendSnapshot& out = decoded.value();
+  EXPECT_EQ(out.walOffset, snap.walOffset);
+  ASSERT_EQ(out.seq.size(), 2u);
+  EXPECT_EQ(out.seq[0].readerId, 1u);
+  EXPECT_EQ(out.seq[0].maxSeq, 5u);
+  EXPECT_EQ(out.seq[0].seen, (std::vector<std::uint32_t>{1, 2, 3, 5}));
+  ASSERT_EQ(out.sightings.size(), 1u);
+  EXPECT_EQ(out.sightings[0].traceId, 0xABCDu);  // trace survives the trip
+  EXPECT_EQ(out.sightings[0].spanId, 0x1234u);
+  EXPECT_DOUBLE_EQ(out.sightings[0].cfoHz, 600e3);
+  ASSERT_EQ(out.counts.size(), 1u);
+  EXPECT_EQ(out.counts[0].count, 7u);
+  ASSERT_EQ(out.decodes.size(), 1u);
+  ASSERT_EQ(out.speedSamples.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.speedSamples[0].cosAlpha, 0.25);
+  EXPECT_EQ(out.speedSamples[0].traceId, 0xABCDu);
+
+  // Deterministic: equal state, equal bytes.
+  EXPECT_EQ(bytes, net::encodeSnapshot(sampleSnapshot()));
+}
+
+// Unlike the WAL (prefix salvage), a snapshot is all-or-nothing: any
+// single-byte corruption must fail the decode so the loader falls back
+// to an older complete file.
+TEST(Snapshot, AnySingleByteCorruptionRejected) {
+  const auto bytes = net::encodeSnapshot(sampleSnapshot());
+  Rng rng(7);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    auto mutated = bytes;
+    const std::size_t at = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    mutated[at] ^= static_cast<std::uint8_t>(1u << rng.uniformInt(0, 7));
+    EXPECT_FALSE(net::decodeSnapshot(mutated).ok()) << "at=" << at;
+  }
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const auto truncated =
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(net::decodeSnapshot(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Snapshot, LoaderPicksNewestValidAndSkipsCorrupt) {
+  const std::string dir = makeTempDir("snap_load_");
+  auto older = sampleSnapshot();
+  older.walOffset = 100;
+  auto newer = sampleSnapshot();
+  newer.walOffset = 200;
+  ASSERT_TRUE(net::writeSnapshotFile(dir, 1, net::encodeSnapshot(older)));
+  ASSERT_TRUE(net::writeSnapshotFile(dir, 2, net::encodeSnapshot(newer)));
+  EXPECT_EQ(net::newestSnapshotSeq(dir), 2u);
+
+  std::size_t rejected = 9;
+  auto loaded = net::loadNewestSnapshot(dir, &rejected);
+  EXPECT_EQ(loaded.seq, 2u);
+  EXPECT_EQ(loaded.state.walOffset, 200u);
+  EXPECT_EQ(rejected, 0u);
+
+  // Corrupt the newest on disk: the loader falls back to seq 1 and
+  // counts the rejection. A stray .tmp (crash before rename) is ignored.
+  const std::string newest = dir + "/" + net::snapshotFileName(2);
+  {
+    auto bytes = readFileBytes(newest);
+    bytes[bytes.size() / 2] ^= 0xFF;
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    std::ofstream tmp(dir + "/" + net::snapshotFileName(3) + ".tmp",
+                      std::ios::binary);
+    tmp << "half a snapshot";
+  }
+  loaded = net::loadNewestSnapshot(dir, &rejected);
+  EXPECT_EQ(loaded.seq, 1u);
+  EXPECT_EQ(loaded.state.walOffset, 100u);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_EQ(net::newestSnapshotSeq(dir), 2u);  // numbering never reused
+
+  // Empty directory: a fresh backend.
+  const std::string fresh = makeTempDir("snap_fresh_");
+  loaded = net::loadNewestSnapshot(fresh, &rejected);
+  EXPECT_EQ(loaded.seq, 0u);
+  EXPECT_EQ(rejected, 0u);
+  EXPECT_TRUE(loaded.state.sightings.empty());
+}
+
+}  // namespace
+}  // namespace caraoke

@@ -203,13 +203,14 @@ def check_wiremagic(files, rel, findings):
 
 
 # The structs that ride inside batch envelopes, with the field counts and
-# envelope-version-magic count (kMagic/kMagicV2/kMagicV3 + kAckMagic)
-# current as of wire v3. A PR that grows a wire struct must mint a new
-# version magic AND update this baseline — the second half is the
-# explicit acknowledgement that old decoders were considered.
+# frame-magic count (kMagic/kMagicV2/kMagicV3 + kAckMagic, plus the
+# durability layer's kWalMagic + kSnapshotMagic) current as of wire v3.
+# A PR that grows a wire struct must mint a new version magic AND update
+# this baseline — the second half is the explicit acknowledgement that
+# old decoders were considered.
 WIREVERSION_BASELINE = {
     "structs": {"CountReport": 5, "SightingReport": 8, "DecodeReport": 6},
-    "magics": 4,
+    "magics": 6,
 }
 
 WIRE_STRUCT_RE_TEMPLATE = r"struct\s+%s\s*\{(?P<body>.*?)\n\};"
@@ -451,13 +452,16 @@ def check_units(files, rel, findings):
 # Build-tree artifacts that must never be tracked: anything inside a
 # build*/ directory, plus CMake caches and compiled objects wherever
 # they sit (a generated tree renamed to dodge the directory pattern
-# still trips on its CMakeCache.txt / *.o contents).
+# still trips on its CMakeCache.txt / *.o contents), plus *.tmp.json —
+# benchgate's scratch outputs (only reviewed BENCH_PRn.json baselines
+# belong in history).
 BUILD_TREE_RE = re.compile(
     r"(^|/)build[^/]*/"
     r"|(^|/)CMakeCache\.txt$"
     r"|(^|/)CMakeFiles/"
     r"|(^|/)cmake_install\.cmake$"
     r"|(^|/)CTestTestfile\.cmake$"
+    r"|\.tmp\.json$"
     r"|\.(?:o|obj|a|so|gcda|gcno)$")
 
 
@@ -682,9 +686,12 @@ def selftest():
             ("docs/build/index.html", True),
             ("tools/out/CMakeFiles/3.25.1/CMakeSystem.cmake", True),
             ("src/core/counter.o", True),
+            ("BENCH_PR6.tmp.json", True),
+            ("tools/scratch.tmp.json", True),
             ("bench/fig11_counting_accuracy.cpp", False),
             ("scripts/ci_perf.sh", False),
-            ("BENCH_PR4.json", False)]:
+            ("BENCH_PR4.json", False),
+            ("BENCH_PR7.json", False)]:
         if is_build_tree_path(path) != should_flag:
             verb = "should have flagged" if should_flag else "wrongly flagged"
             failures.append(f"selftest [buildtree] {verb}: {path!r}")
