@@ -3,12 +3,22 @@
 #
 #   lint   tools/caraoke_lint.py (repo invariants: determinism, wire
 #          magics + CRC pairing, metric-name grammar, profiler stage
-#          registry, units discipline) plus the benchgate.py and
-#          profcat.py selftests
+#          registry, units discipline, mutex-annotation ownership) plus
+#          tools/lockcheck.py (lock-discipline analysis: CARAOKE_*
+#          capability annotations vs. actual lock scopes + the DESIGN.md
+#          §10 lock-order table) and the benchgate.py and profcat.py
+#          selftests. Runs on every image — no clang required.
 #   tidy   clang-tidy over src/ against the checked-in .clang-tidy,
 #          using the CMake-exported compilation database. Skipped (with
 #          a loud SKIP line) when clang-tidy is not installed — the
 #          baked-in toolchain here is gcc-only.
+#   tsa    Clang thread-safety analysis: clang++ -fsyntax-only
+#          -Wthread-safety -Werror over every src/ TU, compile flags
+#          taken from the CMake-exported compilation database. The
+#          CARAOKE_* macros expand to the real attributes only under
+#          clang, so this is the compiler-grade second opinion on the
+#          same annotations lockcheck.py enforces. Skipped (loud SKIP)
+#          when clang++ is not installed.
 #   asan   full test suite under AddressSanitizer
 #   ubsan  full test suite under UndefinedBehaviorSanitizer
 #   tsan   the `race`-labelled concurrency stress rig (plus chaos and
@@ -36,7 +46,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(lint tidy asan ubsan tsan crash perf)
+  STAGES=(lint tidy tsa asan ubsan tsan crash perf)
 fi
 
 SUMMARY=()
@@ -57,8 +67,55 @@ fail_stage() {
 
 run_lint() {
   python3 tools/caraoke_lint.py --root . --selftest || return 1
+  python3 tools/lockcheck.py --root . --selftest || return 1
   python3 tools/benchgate.py --selftest || return 1
   python3 tools/profcat.py --selftest || return 1
+}
+
+# Clang thread-safety analysis over every src/ TU. Pulls per-file flags
+# out of the compile database so include paths / standards match the
+# real build, swaps the compiler for clang++, and adds the TSA flags.
+# -Wno-thread-safety-attributes: libstdc++'s std::mutex is not annotated
+# capability("mutex"), which otherwise drowns the build in attribute
+# noise (the analysis itself still runs on our CARAOKE_* annotations).
+run_tsa() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    return 2  # skip: tool not in this toolchain image
+  fi
+  cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
+    || return 1
+  python3 - <<'EOF' || return 1
+import json, pathlib, shlex, subprocess, sys
+
+entries = json.loads(pathlib.Path("build-tidy/compile_commands.json").read_text())
+failed = 0
+checked = 0
+for entry in entries:
+    src = entry["file"]
+    if "/src/" not in src and not src.startswith("src/"):
+        continue
+    argv = shlex.split(entry["command"])
+    # keep everything but the compiler, -c/-o pairs and the input file
+    flags, skip = [], False
+    for a in argv[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-c", src):
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        flags.append(a)
+    cmd = ["clang++", "-fsyntax-only", "-Wthread-safety",
+           "-Wno-thread-safety-attributes", "-Werror", *flags, src]
+    proc = subprocess.run(cmd, cwd=entry["directory"])
+    checked += 1
+    if proc.returncode != 0:
+        failed += 1
+print(f"tsa: {checked} TUs checked, {failed} failed")
+sys.exit(1 if failed else 0)
+EOF
 }
 
 run_tidy() {
@@ -100,6 +157,19 @@ for stage in "${STAGES[@]}"; do
         *) fail_stage tidy ;;
       esac
       ;;
+    tsa)
+      run_tsa
+      case $? in
+        0) SUMMARY+=("tsa: OK") ;;
+        2)
+          echo "clang++ not installed; stage skipped" \
+               "(lockcheck.py in the lint stage still enforces the" \
+               "annotations on this image)"
+          SUMMARY+=("tsa: SKIP (clang++ not installed)")
+          ;;
+        *) fail_stage tsa ;;
+      esac
+      ;;
     asan)
       SANITIZER=address scripts/ci_sanitize.sh || fail_stage asan
       SUMMARY+=("asan: OK")
@@ -127,7 +197,7 @@ for stage in "${STAGES[@]}"; do
       SUMMARY+=("perf: OK")
       ;;
     *)
-      echo "unknown stage '${stage}' (valid: lint tidy asan ubsan tsan crash perf)" >&2
+      echo "unknown stage '${stage}' (valid: lint tidy tsa asan ubsan tsan crash perf)" >&2
       fail_stage "${stage}"
       ;;
   esac

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/aoa.hpp"
 #include "core/counter.hpp"
 #include "core/decoder.hpp"
@@ -198,7 +199,9 @@ class ReaderDaemon {
   net::UplinkLink* uplinkTx_ = nullptr;
   net::UplinkLink* ackRx_ = nullptr;
   /// Written by the daemon loop, read by the expo /healthz thread.
-  std::atomic<UplinkHealth> health_{UplinkHealth::kHealthy};
+  /// Lock-free by design: a single enum word with no cross-field
+  /// invariant to protect.
+  std::atomic<UplinkHealth> health_ CARAOKE_LOCKFREE{UplinkHealth::kHealthy};
   std::vector<std::vector<std::uint8_t>> uplink_;
   std::vector<net::DecodeReport> decoded_;
   /// Per-track decode state: tracks already identified (by track id).

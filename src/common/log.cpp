@@ -6,10 +6,14 @@
 #include <iostream>
 #include <mutex>
 
+#include "common/thread_annotations.hpp"
+
 namespace caraoke {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Lock-free by design: the level gate is a single word read on every
+// logging call; only line emission/sink swaps need logMutex().
+std::atomic<LogLevel> g_level CARAOKE_LOCKFREE{LogLevel::kWarn};
 
 // Serializes sink replacement and emission so concurrent loggers never
 // interleave characters or race a sink swap.

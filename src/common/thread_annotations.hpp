@@ -1,0 +1,63 @@
+#pragma once
+
+/// Concurrency capability annotations.
+///
+/// Under clang these expand to the thread-safety-analysis attributes
+/// so `-Wthread-safety` can prove lock discipline at compile time.
+/// Under gcc they expand to nothing — but they are still load-bearing:
+/// `tools/lockcheck.py` parses the macro names directly and enforces
+/// the same discipline on every CI image, clang or not.
+///
+/// Conventions (see DESIGN.md §10 "Lock discipline"):
+///  - Every `std::mutex` member must be named by at least one
+///    CARAOKE_GUARDED_BY / CARAOKE_REQUIRES in its class
+///    (caraoke_lint rule `mutexowner`).
+///  - Every `std::atomic` member is either CARAOKE_GUARDED_BY(m) or
+///    explicitly CARAOKE_LOCKFREE — intentional lock-freedom is
+///    declared, never implied.
+///  - `*Locked` helper methods carry CARAOKE_REQUIRES(mutex_).
+///
+/// libstdc++'s std::mutex is not declared `capability("mutex")`, so
+/// clang emits -Wthread-safety-attributes noise for these annotations;
+/// the `tsa` CI stage compiles with -Wno-thread-safety-attributes and
+/// keeps the rest of -Wthread-safety as errors.
+
+#if defined(__clang__)
+#define CARAOKE_TSA_ATTR(x) __attribute__((x))
+#else
+#define CARAOKE_TSA_ATTR(x)
+#endif
+
+/// Declares that a type is a lock-like capability.
+#define CARAOKE_CAPABILITY(x) CARAOKE_TSA_ATTR(capability(x))
+
+/// Member is protected by the given mutex: every read/write must
+/// happen while the mutex is held.
+#define CARAOKE_GUARDED_BY(x) CARAOKE_TSA_ATTR(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define CARAOKE_PT_GUARDED_BY(x) CARAOKE_TSA_ATTR(pt_guarded_by(x))
+
+/// Method may only be called while the given mutex is already held
+/// (the repo's `*Locked` helper convention).
+#define CARAOKE_REQUIRES(...) CARAOKE_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/// Method acquires the given mutex and leaves it held on return.
+#define CARAOKE_ACQUIRE(...) CARAOKE_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Method releases the given mutex.
+#define CARAOKE_RELEASE(...) CARAOKE_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/// Method must NOT be called with the given mutex held (deadlock
+/// guard for methods that acquire it themselves).
+#define CARAOKE_EXCLUDES(...) CARAOKE_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Opt a function out of clang's analysis. Use sparingly and pair
+/// with a `// lockcheck: allow(...)` marker carrying the reason.
+#define CARAOKE_NO_TSA CARAOKE_TSA_ATTR(no_thread_safety_analysis)
+
+/// Marker (expands to nothing under every compiler): this atomic is
+/// *intentionally* lock-free — concurrent access without a mutex is
+/// by design, not an oversight. Read by tools/lockcheck.py, which
+/// flags any std::atomic member that is neither guarded nor marked.
+#define CARAOKE_LOCKFREE

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/aoa.hpp"
 #include "core/localizer.hpp"
 #include "core/speed.hpp"
@@ -229,14 +230,20 @@ class Backend {
 
   /// Count time series per reader (traffic monitoring feed). Requires
   /// quiesced ingestion (see class comment).
-  const std::vector<CountReport>& counts() const { return counts_; }
+  const std::vector<CountReport>& counts() const CARAOKE_NO_TSA {
+    return counts_;  // lockcheck: allow(guard): audit API; caller quiesces ingestion (class contract)
+  }
 
   /// Decoded identities seen so far. Requires quiesced ingestion.
-  const std::vector<DecodeReport>& decodes() const { return decodes_; }
+  const std::vector<DecodeReport>& decodes() const CARAOKE_NO_TSA {
+    return decodes_;  // lockcheck: allow(guard): audit API; caller quiesces ingestion (class contract)
+  }
 
   /// Sightings currently buffered (not yet fused or expired). Requires
   /// quiesced ingestion.
-  const std::vector<SightingReport>& sightings() const { return sightings_; }
+  const std::vector<SightingReport>& sightings() const CARAOKE_NO_TSA {
+    return sightings_;  // lockcheck: allow(guard): audit API; caller quiesces ingestion (class contract)
+  }
 
   std::size_t pendingSightings() const;
   /// Count/decode report totals, safe under concurrent ingestion.
@@ -269,43 +276,51 @@ class Backend {
   };
 
   /// ingest() body; assumes mutex_ is held.
-  void ingestLocked(const Message& message);
+  void ingestLocked(const Message& message) CARAOKE_REQUIRES(mutex_);
   /// Dedup/gap/seq accounting + message ingestion for one decoded batch;
   /// assumes mutex_ is held. Shared by the live ingest path (after the
   /// WAL append) and WAL replay (which must mutate state identically).
   /// False when the batch seq was already seen (nothing ingested).
-  bool applyBatchLocked(const DecodedBatch& batch, BatchIngestStats& stats);
+  bool applyBatchLocked(const DecodedBatch& batch, BatchIngestStats& stats)
+      CARAOKE_REQUIRES(mutex_);
   /// Flatten current state into the snapshot form; assumes mutex_ held.
-  BackendSnapshot buildSnapshotLocked() const;
+  BackendSnapshot buildSnapshotLocked() const CARAOKE_REQUIRES(mutex_);
   /// Replace current state with a decoded snapshot; assumes mutex_ held.
-  void applySnapshotLocked(const BackendSnapshot& snapshot);
+  void applySnapshotLocked(const BackendSnapshot& snapshot)
+      CARAOKE_REQUIRES(mutex_);
   /// snapshotNow() body; assumes mutex_ held.
-  bool snapshotNowLocked();
+  bool snapshotNowLocked() CARAOKE_REQUIRES(mutex_);
   std::string walPath() const;
   /// Record into the flight ring (always) and the process event sink
-  /// (when attached).
-  void recordEvent(const char* type, std::vector<obs::Field> fields);
+  /// (when attached). Called under mutex_ — the source of the
+  /// Backend -> FlightRecorder/EventSink lock-order edges (DESIGN.md §10).
+  void recordEvent(const char* type, std::vector<obs::Field> fields)
+      CARAOKE_REQUIRES(mutex_);
   void startExposition();
 
   /// Guards all mutable state below (flight_ has its own lock).
+  /// Lock order (DESIGN.md §10): while mutex_ is held the backend may
+  /// acquire FlightRecorder/EventSink/TraceSink/Registry locks (events,
+  /// spans, metric resolution); it never acquires an Outbox lock.
   mutable std::mutex mutex_;
   BackendConfig config_;
-  std::map<std::uint32_t, core::ArrayGeometry> readers_;
-  std::map<std::uint32_t, ReaderSeqState> seqState_;
-  std::vector<SightingReport> sightings_;
-  std::vector<CountReport> counts_;
-  std::vector<DecodeReport> decodes_;
-  std::vector<SpeedSample> speedSamples_;
+  std::map<std::uint32_t, core::ArrayGeometry> readers_
+      CARAOKE_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, ReaderSeqState> seqState_ CARAOKE_GUARDED_BY(mutex_);
+  std::vector<SightingReport> sightings_ CARAOKE_GUARDED_BY(mutex_);
+  std::vector<CountReport> counts_ CARAOKE_GUARDED_BY(mutex_);
+  std::vector<DecodeReport> decodes_ CARAOKE_GUARDED_BY(mutex_);
+  std::vector<SpeedSample> speedSamples_ CARAOKE_GUARDED_BY(mutex_);
   /// Durability: the open WAL (null when durability is off or restore()
   /// has not run yet). Accessed only under mutex_, which is what keeps
   /// WAL order identical to state-mutation order.
-  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<WalWriter> wal_ CARAOKE_GUARDED_BY(mutex_);
   /// Next snapshot file number (always past every file already on disk).
-  std::uint64_t nextSnapshotSeq_ = 1;
-  std::uint64_t appendsSinceSnapshot_ = 0;
+  std::uint64_t nextSnapshotSeq_ CARAOKE_GUARDED_BY(mutex_) = 1;
+  std::uint64_t appendsSinceSnapshot_ CARAOKE_GUARDED_BY(mutex_) = 0;
   /// True from construction (durability configured) until restore()
   /// completes. Read lock-free by the expo /healthz thread.
-  std::atomic<bool> recovering_{false};
+  std::atomic<bool> recovering_ CARAOKE_LOCKFREE{false};
   /// Backend black box; written on every recordEvent, snapshotted by the
   /// expo thread.
   obs::FlightRecorder flight_;

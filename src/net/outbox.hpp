@@ -40,6 +40,7 @@
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/framing.hpp"
 #include "obs/metrics.hpp"
 
@@ -152,20 +153,27 @@ class Outbox {
   };
 
   // Mutators that assume mutex_ is already held by the caller.
-  void rebuildFrame(PendingBatch& batch);
-  void enforceBudget();
-  void updateGauge();
-  bool onAckLocked(std::uint32_t seq, double now);
+  void rebuildFrame(PendingBatch& batch) CARAOKE_REQUIRES(mutex_);
+  void enforceBudget() CARAOKE_REQUIRES(mutex_);
+  void updateGauge() CARAOKE_REQUIRES(mutex_);
+  bool onAckLocked(std::uint32_t seq, double now) CARAOKE_REQUIRES(mutex_);
 
-  /// Guards every field below; all public members lock it on entry.
+  /// Guards every mutable field below; all public members lock it on
+  /// entry. config_ is immutable after construction and deliberately
+  /// unguarded (onAckFrame reads readerId before taking the lock).
+  /// Lock order: Outbox acquires nothing while mutex_ is held — see
+  /// DESIGN.md §10.
   mutable std::mutex mutex_;
   OutboxConfig config_;
-  Rng rng_;
-  std::vector<Message> open_;
-  std::deque<PendingBatch> pending_;
-  std::size_t bufferedBytes_ = 0;
-  std::uint32_t nextSeq_ = 1;
-  std::size_t consecutiveFailures_ = 0;
+  Rng rng_ CARAOKE_GUARDED_BY(mutex_);
+  std::vector<Message> open_ CARAOKE_GUARDED_BY(mutex_);
+  std::deque<PendingBatch> pending_ CARAOKE_GUARDED_BY(mutex_);
+  std::size_t bufferedBytes_ CARAOKE_GUARDED_BY(mutex_) = 0;
+  std::uint32_t nextSeq_ CARAOKE_GUARDED_BY(mutex_) = 1;
+  std::size_t consecutiveFailures_ CARAOKE_GUARDED_BY(mutex_) = 0;
+
+  // Metric handles resolved once at construction; Counter/Gauge are
+  // internally atomic (see obs/metrics.hpp), so no guard is needed.
 
   obs::Counter& sealedCtr_;
   obs::Counter& transmissionsCtr_;

@@ -60,7 +60,10 @@ const char* walFsyncPolicyName(WalFsyncPolicy policy);
 /// restored backend continues its own log).
 ///
 /// Not internally locked: Backend calls it under its state mutex, which
-/// is also what keeps WAL order identical to state-mutation order.
+/// is also what keeps WAL order identical to state-mutation order. The
+/// capability annotation lives at the owning side — `Backend::wal_` is
+/// CARAOKE_GUARDED_BY(mutex_) (see net/backend.hpp and DESIGN.md §10) —
+/// so every append/offset call is still statically tied to that mutex.
 class WalWriter {
  public:
   WalWriter(std::string path, WalFsyncPolicy policy,

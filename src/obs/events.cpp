@@ -12,7 +12,8 @@ namespace caraoke::obs {
 
 namespace {
 
-std::atomic<EventSink*> g_sink{nullptr};
+// Lock-free by design: non-owning sink pointer swapped whole.
+std::atomic<EventSink*> g_sink CARAOKE_LOCKFREE{nullptr};
 
 void appendEscaped(std::ostringstream& os, const std::string& s) {
   os << '"';

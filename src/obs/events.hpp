@@ -19,6 +19,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace caraoke::obs {
 
 using FieldValue = std::variant<std::int64_t, double, bool, std::string>;
@@ -78,7 +80,7 @@ class MemoryEventSink : public EventSink {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  std::vector<Event> events_ CARAOKE_GUARDED_BY(mutex_);
 };
 
 /// JSON-lines file sink; each emit writes (and flushes) one line.
@@ -87,13 +89,19 @@ class JsonLinesFileSink : public EventSink {
   explicit JsonLinesFileSink(const std::string& path);
   ~JsonLinesFileSink() override;
   void emit(const Event& event) override;
-  bool ok() const { return file_ != nullptr; }
-  std::size_t linesWritten() const { return lines_; }
+  bool ok() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return file_ != nullptr;
+  }
+  std::size_t linesWritten() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
 
  private:
-  std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  std::size_t lines_ = 0;
+  mutable std::mutex mutex_;
+  std::FILE* file_ CARAOKE_GUARDED_BY(mutex_) = nullptr;
+  std::size_t lines_ CARAOKE_GUARDED_BY(mutex_) = 0;
 };
 
 /// Attach/detach the process-wide sink (non-owning; nullptr detaches).

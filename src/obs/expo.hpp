@@ -32,6 +32,8 @@
 #include <string>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
+
 namespace caraoke::obs {
 
 /// Server configuration. Port 0 binds an OS-assigned ephemeral port
@@ -106,10 +108,12 @@ class ExpoServer {
 
   ExpoOptions options_;
   ExpoHandlers handlers_;
-  std::atomic<bool> running_{false};
-  std::atomic<std::uint16_t> port_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  int listenFd_ = -1;
+  // Lock-free by design: flags/counters shared between the serving
+  // thread and the owner, with no multi-word invariants between them.
+  std::atomic<bool> running_ CARAOKE_LOCKFREE{false};
+  std::atomic<std::uint16_t> port_ CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> requests_ CARAOKE_LOCKFREE{0};
+  int listenFd_ = -1;  ///< Written before the thread spawns.
   std::thread thread_;
 };
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/events.hpp"
 #include "obs/trace.hpp"
 
@@ -69,10 +70,12 @@ class FlightRecorder : public EventSink, public TraceSink {
 
  private:
   mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::vector<Event> ring_;     ///< Grows to capacity_, then cycles.
-  std::size_t next_ = 0;        ///< Slot the next record lands in.
-  std::uint64_t total_ = 0;
+  std::size_t capacity_;  ///< Immutable after construction.
+  /// Grows to capacity_, then cycles.
+  std::vector<Event> ring_ CARAOKE_GUARDED_BY(mutex_);
+  /// Slot the next record lands in.
+  std::size_t next_ CARAOKE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_ CARAOKE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace caraoke::obs

@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace caraoke::obs {
 
 /// Monotonically increasing event count.
@@ -37,7 +39,7 @@ class Counter {
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> value_ CARAOKE_LOCKFREE{0};
 };
 
 /// Last-written (or accumulated) scalar, e.g. an energy ledger or a queue
@@ -55,7 +57,7 @@ class Gauge {
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<double> value_{0.0};
+  std::atomic<double> value_ CARAOKE_LOCKFREE{0.0};
 };
 
 /// Fixed-bucket histogram with Prometheus semantics: `upperBounds` are the
@@ -76,10 +78,10 @@ class Histogram {
   void reset();
 
  private:
-  std::vector<double> bounds_;
-  std::vector<std::atomic<std::uint64_t>> buckets_;
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
+  std::vector<double> bounds_;  ///< Immutable after construction.
+  std::vector<std::atomic<std::uint64_t>> buckets_ CARAOKE_LOCKFREE;
+  std::atomic<std::uint64_t> count_ CARAOKE_LOCKFREE{0};
+  std::atomic<double> sum_ CARAOKE_LOCKFREE{0.0};
 };
 
 /// Log-spaced latency buckets, 1 us .. 1 s — the default for span timers.
@@ -158,8 +160,11 @@ class Registry {
   Entry& lookup(std::string_view name, Kind kind,
                 const std::vector<double>* upperBounds);
 
+  /// Guards the name->entry map; metric *values* behind the returned
+  /// handles are atomics and never need it. lookup() takes the lock
+  /// itself — callers must not hold it (non-recursive).
   mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, Entry, std::less<>> entries_ CARAOKE_GUARDED_BY(mutex_);
 };
 
 /// Process-wide default registry: the one static instrumentation

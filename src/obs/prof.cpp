@@ -9,6 +9,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/thread_annotations.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>
 #endif
@@ -41,19 +43,19 @@ inline std::uint64_t readCycles() noexcept {
 struct Node {
   std::uint32_t stageId = kNoStage;
   std::uint32_t parent = kNoNode;
-  std::atomic<std::uint32_t> firstChild{kNoNode};
-  std::atomic<std::uint32_t> nextSibling{kNoNode};
-  std::atomic<std::uint64_t> calls{0};
-  std::atomic<std::uint64_t> selfCycles{0};
-  std::atomic<std::uint64_t> totalCycles{0};
-  std::atomic<std::uint64_t> allocs{0};
-  std::atomic<std::uint64_t> allocBytes{0};
+  std::atomic<std::uint32_t> firstChild CARAOKE_LOCKFREE{kNoNode};
+  std::atomic<std::uint32_t> nextSibling CARAOKE_LOCKFREE{kNoNode};
+  std::atomic<std::uint64_t> calls CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> selfCycles CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> totalCycles CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> allocs CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> allocBytes CARAOKE_LOCKFREE{0};
 };
 
 // Per-stage aggregate that cannot be derived from the trie: the log2
 // histogram of per-call total cycles behind the p50/p99 estimates.
 struct StageHist {
-  std::atomic<std::uint64_t> buckets[kCycleBuckets]{};
+  std::atomic<std::uint64_t> buckets[kCycleBuckets] CARAOKE_LOCKFREE{};
 };
 
 // Static storage: the hot path must never allocate, and fixed arrays

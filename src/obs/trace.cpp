@@ -9,7 +9,8 @@ namespace caraoke::obs {
 
 namespace {
 
-std::atomic<TraceSink*> g_traceSink{nullptr};
+// Lock-free by design: non-owning sink pointer swapped whole.
+std::atomic<TraceSink*> g_traceSink CARAOKE_LOCKFREE{nullptr};
 
 thread_local int t_spanDepth = 0;
 thread_local TraceContext t_traceContext{};

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 
 namespace caraoke::obs {
@@ -133,12 +134,16 @@ class SpanTreeSink : public TraceSink {
   void clear();
 
  private:
-  Node* findOrAdd(std::vector<Node>& level, const std::string& name) const;
+  /// Walks/extends a level of the tree rooted at roots_; the caller
+  /// already holds mutex_.
+  Node* findOrAdd(std::vector<Node>& level, const std::string& name) const
+      CARAOKE_REQUIRES(mutex_);
 
   mutable std::mutex mutex_;
-  std::vector<Node> roots_;
+  std::vector<Node> roots_ CARAOKE_GUARDED_BY(mutex_);
   // Per-thread open-span path; keyed by an opaque thread token.
-  std::map<unsigned long long, std::vector<std::string>> openPaths_;
+  std::map<unsigned long long, std::vector<std::string>> openPaths_
+      CARAOKE_GUARDED_BY(mutex_);
 };
 
 }  // namespace caraoke::obs

@@ -7,6 +7,14 @@
 // race detection they assert conservation invariants (no update lost,
 // no message ingested twice) that a broken lock would violate even
 // without TSan watching.
+//
+// Static counterpart: every class hammered here carries CARAOKE_*
+// capability annotations (src/common/thread_annotations.hpp) enforced
+// by tools/lockcheck.py and clang -Wthread-safety (DESIGN.md §10). The
+// per-section comments below name the annotated state each test
+// exercises, so dynamic (TSan) and static (lockcheck) coverage stay
+// auditable against each other: a class annotated but not hammered
+// here, or hammered but unannotated, is a coverage hole.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -42,6 +50,10 @@ void runThreads(std::size_t count, const std::function<void(std::size_t)>& fn) {
 }
 
 // ------------------------------------------------------------- metrics --
+// Static coverage: obs/metrics.hpp — Registry::entries_
+// CARAOKE_GUARDED_BY(mutex_); Counter/Gauge/Histogram cells are
+// CARAOKE_LOCKFREE atomics (single-word updates, no cross-field
+// invariant).
 
 TEST(Race, MetricsRegistryConcurrentChurn) {
   // Every thread resolves the same small name set by string (exercising
@@ -116,6 +128,9 @@ TEST(Race, MetricsExpositionDuringMutation) {
 }
 
 // ------------------------------------------------------------- tracing --
+// Static coverage: obs/trace.hpp — SpanTreeSink::{roots_, openPaths_}
+// CARAOKE_GUARDED_BY(mutex_), findOrAdd CARAOKE_REQUIRES(mutex_);
+// obs/trace.cpp g_traceSink is a CARAOKE_LOCKFREE atomic pointer.
 
 TEST(Race, SpanTracingConcurrentNesting) {
   // Nested RAII spans on every thread, all feeding one SpanTreeSink and
@@ -150,6 +165,9 @@ TEST(Race, SpanTracingConcurrentNesting) {
 }
 
 // -------------------------------------------------------------- logger --
+// Static coverage: common/log.cpp — g_level is a CARAOKE_LOCKFREE
+// atomic; sink storage + emission serialize on the function-local
+// logMutex() (exempt from the mutexowner lint: not a member).
 
 TEST(Race, LoggerConcurrentEmissionAndSinkSwap) {
   // Loggers on 8 threads while the main thread hot-swaps the sink
@@ -188,6 +206,9 @@ TEST(Race, LoggerConcurrentEmissionAndSinkSwap) {
 }
 
 // -------------------------------------------------------------- events --
+// Static coverage: obs/events.hpp — MemoryEventSink::events_ and
+// JsonLinesFileSink::{file_, lines_} CARAOKE_GUARDED_BY(mutex_);
+// obs/events.cpp g_sink is a CARAOKE_LOCKFREE atomic pointer.
 
 TEST(Race, StructuredEventsConcurrentEmission) {
   obs::MemoryEventSink sink;
@@ -205,6 +226,10 @@ TEST(Race, StructuredEventsConcurrentEmission) {
 }
 
 // -------------------------------------------------------------- outbox --
+// Static coverage: net/outbox.hpp — pending_/open_/seq + budget state
+// CARAOKE_GUARDED_BY(mutex_), the *Locked helpers
+// CARAOKE_REQUIRES(mutex_). Outbox acquires nothing while holding
+// mutex_ (lockorder table: forbid Outbox.mutex_ <-> Backend.mutex_).
 
 net::Message raceCountMsg(std::uint32_t readerId, double t, std::uint32_t n) {
   return net::Message{net::CountReport{readerId, t, n}};
@@ -297,6 +322,11 @@ TEST(Race, OutboxConcurrentProducersCollectorAcker) {
 }
 
 // ------------------------------------------------------------- backend --
+// Static coverage: net/backend.hpp — readers_/seqState_/reports + wal_
+// CARAOKE_GUARDED_BY(mutex_), ingest/apply/snapshot *Locked helpers
+// CARAOKE_REQUIRES(mutex_); recovering_ is CARAOKE_LOCKFREE. The
+// under-lock observability calls are the declared Backend.mutex_ ->
+// {FlightRecorder,EventSink,TraceSink,Registry}.mutex_ edges.
 
 TEST(Race, BackendConcurrentBatchIngest) {
   // 8 reader streams ingest v2 batches concurrently, with every third
@@ -423,6 +453,9 @@ TEST(Race, OutboxAgainstBackendEndToEnd) {
 }
 
 // ----------------------------------------------------- flight recorder --
+// Static coverage: obs/flight.hpp — FlightRecorder::{ring_, next_,
+// total_} CARAOKE_GUARDED_BY(mutex_); a leaf lock in the lockorder
+// table (acquires nothing downstream).
 
 TEST(Race, FlightRecorderConcurrentRecordAndSnapshot) {
   // Writers churn the ring past its capacity while readers pull

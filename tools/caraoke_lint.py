@@ -40,6 +40,12 @@ This linter enforces the ones the architecture depends on:
                common/units.hpp helpers (MHz(915.0), usec(512)) instead
                of raw scientific notation — the 914.3–915.5 MHz CFO
                math is exactly where a silent kHz/MHz slip hides.
+  mutexowner   Every `std::mutex` member declared in src/ is referenced
+               by at least one CARAOKE_GUARDED_BY annotation in the
+               same file — an unreferenced mutex is a lock that guards
+               nothing the analyzer (tools/lockcheck.py) can check.
+               Function-local `static std::mutex` is exempt (no member
+               to annotate).
   buildtree    No generated build tree is ever committed: a tracked path
                living under a build*/ directory (or a CMake cache /
                object-file artifact anywhere) fails the lint. Added
@@ -449,6 +455,44 @@ def check_units(files, rel, findings):
             "readable and greppable"))
 
 
+# A std::mutex member nobody annotates against is a guard with no duty
+# roster — lockcheck.py (the lock-discipline analyzer) can only verify
+# accesses for members tied to a mutex via CARAOKE_GUARDED_BY. `static`
+# declarations (function-local mutexes like log.cpp's logMutex()) are
+# not members and are exempt.
+MUTEXOWNER_DECL_RE = re.compile(
+    r"(?:\bmutable\s+)?std::(?:recursive_)?mutex\s+(\w+)\s*;")
+
+
+def check_mutexowner(files, rel, findings):
+    """Member mutexes in src/ must be referenced by CARAOKE_GUARDED_BY."""
+    for path in files:
+        rp = rel(path)
+        if not rp.startswith("src/"):
+            continue
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            continue
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            code = strip_line_comment(line)
+            m = MUTEXOWNER_DECL_RE.search(code)
+            if not m or re.search(r"\bstatic\b", code):
+                continue
+            name = m.group(1)
+            if re.search(
+                    rf"CARAOKE_GUARDED_BY\(\s*{re.escape(name)}\s*\)", text):
+                continue
+            if allowed(line, "mutexowner", findings, rp, lineno):
+                continue
+            findings.append(Finding(
+                "mutexowner", rp, lineno,
+                f"std::mutex member '{name}' has no CARAOKE_GUARDED_BY "
+                "referencing it — annotate the state it protects "
+                "(src/common/thread_annotations.hpp) so lockcheck.py "
+                "can enforce the discipline"))
+
+
 # Build-tree artifacts that must never be tracked: anything inside a
 # build*/ directory, plus CMake caches and compiled objects wherever
 # they sit (a generated tree renamed to dodge the directory pattern
@@ -508,6 +552,7 @@ RULES = {
     "metricnames": check_metricnames,
     "profstage": check_profstage,
     "units": check_units,
+    "mutexowner": check_mutexowner,
     "buildtree": check_buildtree,
 }
 
@@ -538,6 +583,16 @@ SELFTEST_CASES = [
     ("units", "src/phy/foo.cpp", "double f = MHz(914.3);", False),
     ("units", "src/dsp/foo.cpp", "double eps = 1e-12;", False),
     ("units", "src/net/foo.cpp", "double f = 914.3e6;", False),
+    ("mutexowner", "src/net/foo.hpp", "mutable std::mutex mutex_;", True),
+    ("mutexowner", "src/net/foo.hpp",
+     "std::mutex mutex_;\n  int hits_ CARAOKE_GUARDED_BY(mutex_) = 0;",
+     False),
+    ("mutexowner", "src/common/foo.cpp", "static std::mutex m;", False),
+    ("mutexowner", "tests/foo.cpp", "std::mutex mutex_;", False),
+    ("mutexowner", "src/net/foo.hpp",
+     "std::mutex mu_;  // caraoke-lint: allow(mutexowner): handed to "
+     "std::condition_variable only",
+     False),
 ]
 
 
