@@ -6,8 +6,9 @@
 #          registry, units discipline, mutex-annotation ownership) plus
 #          tools/lockcheck.py (lock-discipline analysis: CARAOKE_*
 #          capability annotations vs. actual lock scopes + the DESIGN.md
-#          §10 lock-order table) and the benchgate.py and profcat.py
-#          selftests. Runs on every image — no clang required.
+#          §10 lock-order table) and the benchgate.py, profcat.py and
+#          fleetcat.py selftests. Runs on every image — no clang
+#          required.
 #   tidy   clang-tidy over src/ against the checked-in .clang-tidy,
 #          using the CMake-exported compilation database. Skipped (with
 #          a loud SKIP line) when clang-tidy is not installed — the
@@ -70,6 +71,7 @@ run_lint() {
   python3 tools/lockcheck.py --root . --selftest || return 1
   python3 tools/benchgate.py --selftest || return 1
   python3 tools/profcat.py --selftest || return 1
+  python3 tools/fleetcat.py --selftest || return 1
 }
 
 # Clang thread-safety analysis over every src/ TU. Pulls per-file flags

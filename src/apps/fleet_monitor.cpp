@@ -1,0 +1,173 @@
+#include "apps/fleet_monitor.hpp"
+
+#include <utility>
+
+#include "net/scrape.hpp"
+#include "sim/fleet_scenario.hpp"
+
+namespace caraoke::apps {
+
+namespace {
+
+void trimTrailingNewlines(std::string& s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- monitor --
+
+FleetMonitor::FleetMonitor(FleetMonitorConfig config)
+    : config_(std::move(config)), collector_(config_.fleet) {
+  if (config_.expoPort >= 0) startExposition();
+}
+
+FleetMonitor::~FleetMonitor() = default;
+
+void FleetMonitor::addTarget(FleetTarget target) {
+  targets_.push_back(std::move(target));
+}
+
+void FleetMonitor::setTargetPort(std::uint32_t readerId, std::uint16_t port) {
+  for (auto& target : targets_)
+    if (target.readerId == readerId) target.port = port;
+}
+
+void FleetMonitor::scrapeAll(double now) {
+  lastScrapeTime_.store(now, std::memory_order_release);
+  for (const auto& target : targets_) {
+    obs::ReaderScrape scrape;
+    // Port 0 = the daemon never bound (or was killed before we learned
+    // its port): indistinguishable from a dead pole, count it missed.
+    if (target.port != 0) {
+      const net::HttpResponse metrics = net::httpGet(
+          target.host, target.port, "/metrics", config_.scrapeTimeoutMs);
+      if (metrics.ok && metrics.status == 200) {
+        scrape.ok = true;
+        scrape.metricsText = metrics.body;
+        const net::HttpResponse healthz = net::httpGet(
+            target.host, target.port, "/healthz", config_.scrapeTimeoutMs);
+        // The daemon answered /metrics but not /healthz: still a live
+        // scrape, but the health verdict is the failure itself.
+        scrape.healthzOk = healthz.ok && healthz.status == 200;
+        scrape.healthzBody = healthz.ok ? healthz.body : "unreachable";
+        trimTrailingNewlines(scrape.healthzBody);
+      }
+    }
+    collector_.ingestScrape(target.readerId, now, scrape);
+  }
+}
+
+void FleetMonitor::startExposition() {
+  obs::ExpoOptions options;
+  options.port = static_cast<std::uint16_t>(config_.expoPort);
+  obs::ExpoHandlers handlers;
+  // Everything served here reads the internally-locked collector, so
+  // the server thread never races the scrape driver.
+  handlers.metricsText = [this] { return collector_.fleetMetricsText(); };
+  handlers.metricsJson = [this] { return collector_.fleetMetricsJson(); };
+  handlers.healthz = [this] { return collector_.fleetHealthz(); };
+  handlers.flight = [this](const obs::FlightQuery& query) {
+    return collector_.flight().jsonLines(query.maxEntries, query.trace);
+  };
+  handlers.routes = {
+      {"/fleet/metrics",
+       [this](const std::string&) {
+         obs::ExpoResponse response;
+         response.body = collector_.fleetMetricsText();
+         return response;
+       }},
+      {"/fleet/metrics.json",
+       [this](const std::string&) {
+         obs::ExpoResponse response;
+         response.contentType = "application/json";
+         response.body = collector_.fleetMetricsJson();
+         return response;
+       }},
+      {"/fleet/healthz",
+       [this](const std::string&) {
+         const obs::HealthStatus health = collector_.fleetHealthz();
+         obs::ExpoResponse response;
+         response.status = health.ok ? 200 : 503;
+         response.body = health.body + "\n";
+         return response;
+       }},
+      {"/fleet/readers",
+       [this](const std::string&) {
+         obs::ExpoResponse response;
+         response.contentType = "application/x-ndjson";
+         response.body = collector_.readersJsonLines(
+             lastScrapeTime_.load(std::memory_order_acquire));
+         return response;
+       }},
+  };
+  auto server = std::make_unique<obs::ExpoServer>(std::move(options),
+                                                  std::move(handlers));
+  // A failed bind leaves the monitor headless but still collecting —
+  // same resilience contract as the reader daemon's exposition.
+  if (server->start()) expo_ = std::move(server);
+}
+
+// ----------------------------------------------------------- harness --
+
+FleetHarness::FleetHarness(FleetHarnessConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      scene_(sim::corridorScene(config_.corridor, rng_)),
+      monitor_(config_.monitor) {
+  const std::size_t n = config_.corridor.readers;
+  daemons_.reserve(n);
+  uplinks_.reserve(n);
+  downlinks_.reserve(n);
+  alive_.assign(n, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    ReaderDaemonConfig daemonConfig = config_.daemon;
+    daemonConfig.readerId = static_cast<std::uint32_t>(i + 1);
+    daemonConfig.expoPort = 0;  // ephemeral: suites never fight over ports
+    uplinks_.push_back(
+        std::make_unique<net::UplinkLink>(config_.link, rng_.fork()));
+    downlinks_.push_back(
+        std::make_unique<net::UplinkLink>(config_.link, rng_.fork()));
+    auto daemon =
+        std::make_unique<ReaderDaemon>(daemonConfig, scene_, i, rng_.fork());
+    daemon->attachUplink(uplinks_.back().get(), downlinks_.back().get());
+    monitor_.addTarget(
+        {daemonConfig.readerId, "127.0.0.1", daemon->expoPort()});
+    daemons_.push_back(std::move(daemon));
+  }
+}
+
+void FleetHarness::setFaultPlan(std::size_t index, const net::FaultPlan& plan) {
+  uplinks_[index]->plan() = plan;
+  downlinks_[index]->plan() = plan;
+}
+
+void FleetHarness::killReader(std::size_t index) {
+  alive_[index] = false;
+  daemons_[index]->stopExposition();
+}
+
+void FleetHarness::stepTo(double t) {
+  while (now_ + 1.0 <= t + 1e-9) {
+    now_ += 1.0;
+    // Tick order matters for the conservation audit: daemons advance,
+    // then frames land at the backend (acks riding the downlinks), then
+    // the monitor scrapes — so a scrape round always sees each live
+    // daemon's registry as of *this* tick.
+    for (std::size_t i = 0; i < daemons_.size(); ++i)
+      if (alive_[i]) daemons_[i]->runUntil(now_);
+    for (std::size_t i = 0; i < daemons_.size(); ++i) {
+      for (const auto& frame : uplinks_[i]->deliver(now_)) {
+        const auto result = backend_.ingestBatch(frame);
+        if (result.ok() && result.value().hasAck)
+          downlinks_[i]->send(result.value().ack, now_);
+      }
+    }
+    if (now_ + 1e-9 >= nextScrape_) {
+      monitor_.scrapeAll(now_);
+      nextScrape_ = now_ + config_.scrapePeriodSec;
+    }
+  }
+}
+
+}  // namespace caraoke::apps

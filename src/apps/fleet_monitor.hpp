@@ -1,0 +1,156 @@
+// Fleet monitor: the process that watches the city.
+//
+// FleetMonitor owns an obs::FleetCollector, a target table of reader
+// daemons (host:port of each daemon's obs::ExpoServer), and its own
+// exposition server mounting the fleet surfaces:
+//
+//   GET /fleet/metrics       city-wide rollup registry (fleet.*) as
+//                            Prometheus text
+//   GET /fleet/metrics.json  the same snapshot as JSON
+//   GET /fleet/healthz       200 until more than the configured
+//                            fraction of readers is unhealthy, then 503
+//   GET /fleet/readers       per-reader status as JSON lines
+//                            (staleness, health state, totals) —
+//                            fleetcat.py renders this
+//   GET /metrics[.json]      the collector's own registry (so the
+//                            monitor is scrapeable like any daemon)
+//   GET /healthz             alias of the fleet health verdict
+//   GET /flight              the fleet flight ring (state transitions)
+//
+// scrapeAll(now) runs one scrape round: every target's /metrics +
+// /healthz over net::httpGet, failures fed to the collector as missed
+// scrapes. The driver (FleetHarness, a cron loop in a deployment) owns
+// the cadence and the clock — the monitor never reads one.
+//
+// FleetHarness is the simulated-city driver the tests/bench/example
+// share: a corridor scene, N ReaderDaemons with live exposition on
+// ephemeral ports, per-reader lossy uplinks into one backend, and a
+// FleetMonitor scraping on a fixed period — with kill and fault-plan
+// hooks for chaos scenarios.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/reader_daemon.hpp"
+#include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
+#include "net/backend.hpp"
+#include "net/link.hpp"
+#include "obs/expo.hpp"
+#include "obs/fleet.hpp"
+#include "sim/fleet_scenario.hpp"
+
+namespace caraoke::apps {
+
+/// One reader daemon to scrape.
+struct FleetTarget {
+  std::uint32_t readerId = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct FleetMonitorConfig {
+  obs::FleetConfig fleet{};
+  /// Like ReaderDaemonConfig::expoPort: >= 0 serves the /fleet/* routes
+  /// on 127.0.0.1:<port> (0 = ephemeral), negative = no exposition.
+  int expoPort = -1;
+  /// Per-request scrape timeout (connect + read).
+  int scrapeTimeoutMs = 1000;
+};
+
+/// The collector process (see file header). Single-threaded driver
+/// contract: addTarget/setTargetPort/scrapeAll are called from one
+/// thread; the exposition routes only touch the internally-locked
+/// collector, so serving during a scrape round is race-free.
+class FleetMonitor {
+ public:
+  explicit FleetMonitor(FleetMonitorConfig config = {});
+  ~FleetMonitor();
+
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  void addTarget(FleetTarget target);
+  /// Re-point an existing target (a daemon that rebound its port).
+  void setTargetPort(std::uint32_t readerId, std::uint16_t port);
+
+  /// One scrape round at time `now`: GET /metrics + /healthz from every
+  /// target, feeding successes and failures to the collector.
+  void scrapeAll(double now);
+
+  obs::FleetCollector& collector() { return collector_; }
+  const obs::FleetCollector& collector() const { return collector_; }
+  std::size_t targetCount() const { return targets_.size(); }
+  /// Bound exposition port; 0 when exposition is off or failed to bind.
+  std::uint16_t expoPort() const {
+    return expo_ != nullptr ? expo_->port() : 0;
+  }
+
+ private:
+  void startExposition();
+
+  FleetMonitorConfig config_;
+  obs::FleetCollector collector_;
+  std::vector<FleetTarget> targets_;
+  /// Last scrapeAll time; the exposition thread reads it to stamp
+  /// staleness in /fleet/readers. Lock-free: one double, no cross-field
+  /// invariant.
+  std::atomic<double> lastScrapeTime_ CARAOKE_LOCKFREE{0.0};
+  std::unique_ptr<obs::ExpoServer> expo_;
+};
+
+/// Simulated-city driver (see file header).
+struct FleetHarnessConfig {
+  sim::CorridorSpec corridor{};
+  /// Template daemon config; readerId/expoPort are overridden per
+  /// daemon (readerId = index + 1, expoPort = 0 for ephemeral).
+  ReaderDaemonConfig daemon{};
+  FleetMonitorConfig monitor{};
+  double scrapePeriodSec = 1.0;
+  /// Drive/ack link impairments (applied to every reader's pair).
+  net::LinkConfig link{};
+  std::uint64_t seed = 1;
+};
+
+class FleetHarness {
+ public:
+  explicit FleetHarness(FleetHarnessConfig config);
+
+  /// Apply a scripted outage to reader `index`'s uplink + downlink
+  /// (the flap hook). Takes effect for frames sent after the call.
+  void setFaultPlan(std::size_t index, const net::FaultPlan& plan);
+
+  /// Simulate a dead pole: stop driving the daemon and tear down its
+  /// exposition server, so the next scrape round fails to connect.
+  void killReader(std::size_t index);
+  bool alive(std::size_t index) const { return alive_[index]; }
+
+  /// Advance simulated time to `t` in 1 s ticks: run live daemons,
+  /// pump links into the backend (acking back), scrape on the period.
+  void stepTo(double t);
+
+  double now() const { return now_; }
+  std::size_t readerCount() const { return daemons_.size(); }
+  ReaderDaemon& daemon(std::size_t index) { return *daemons_[index]; }
+  FleetMonitor& monitor() { return monitor_; }
+  net::Backend& backend() { return backend_; }
+  sim::Scene& scene() { return scene_; }
+
+ private:
+  FleetHarnessConfig config_;
+  Rng rng_;
+  sim::Scene scene_;
+  net::Backend backend_;
+  FleetMonitor monitor_;
+  std::vector<std::unique_ptr<ReaderDaemon>> daemons_;
+  std::vector<std::unique_ptr<net::UplinkLink>> uplinks_;
+  std::vector<std::unique_ptr<net::UplinkLink>> downlinks_;
+  std::vector<bool> alive_;
+  double now_ = 0.0;
+  double nextScrape_ = 0.0;
+};
+
+}  // namespace caraoke::apps

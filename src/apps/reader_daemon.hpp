@@ -156,6 +156,14 @@ class ReaderDaemon {
     return expo_ != nullptr ? expo_->port() : 0;
   }
 
+  /// Tear down the exposition server (idempotent; no-op when none is
+  /// running). Fleet chaos tests use this to simulate a dead pole: the
+  /// daemon's listen socket closes, so collector scrapes start failing
+  /// the way they would against a powered-off reader.
+  void stopExposition() {
+    if (expo_ != nullptr) expo_->stop();
+  }
+
   /// Cumulative stats, materialized from the telemetry registry on each
   /// call (see DaemonStats).
   const DaemonStats& stats() const;

@@ -1,0 +1,148 @@
+#include "net/scrape.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace caraoke::net {
+
+namespace {
+
+HttpResponse fail(const char* what) {
+  HttpResponse r;
+  r.error = what;
+  if (errno != 0) {
+    r.error += ": ";
+    r.error += std::strerror(errno);
+  }
+  return r;
+}
+
+// Non-blocking connect with a poll() deadline, then back to blocking
+// mode: a reader whose pole lost power leaves a SYN hanging — the
+// scraper must move on to the next reader within the timeout.
+int connectWithTimeout(const sockaddr_in& addr, int timeoutMs) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    if (::poll(&pfd, 1, timeoutMs) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+        soError != 0) {
+      errno = soError != 0 ? soError : errno;
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+}  // namespace
+
+HttpResponse httpGet(const std::string& host, std::uint16_t port,
+                     const std::string& target, int timeoutMs) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  errno = 0;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return fail("bad host literal");
+
+  const int fd = connectWithTimeout(addr, timeoutMs);
+  if (fd < 0) return fail("connect failed");
+
+  timeval tv{};
+  tv.tv_sec = timeoutMs / 1000;
+  tv.tv_usec = (timeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return fail("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // HTTP/1.0, Connection: close — the reply is everything until EOF.
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      return fail("recv failed");
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > (8u << 20)) break;  // runaway peer: 8 MiB cap
+  }
+  ::close(fd);
+
+  const std::size_t headerEnd = raw.find("\r\n\r\n");
+  if (headerEnd == std::string::npos) return fail("truncated response");
+  const std::size_t lineEnd = raw.find("\r\n");
+  // Status line: "HTTP/1.x NNN Reason".
+  const std::string statusLine = raw.substr(0, lineEnd);
+  const std::size_t sp = statusLine.find(' ');
+  if (sp == std::string::npos || sp + 4 > statusLine.size())
+    return fail("malformed status line");
+  int status = 0;
+  for (std::size_t i = sp + 1; i < statusLine.size() && statusLine[i] != ' ';
+       ++i) {
+    if (statusLine[i] < '0' || statusLine[i] > '9')
+      return fail("malformed status code");
+    status = status * 10 + (statusLine[i] - '0');
+  }
+
+  HttpResponse response;
+  response.ok = true;
+  response.status = status;
+  response.body = raw.substr(headerEnd + 4);
+  // Pull Content-Type out of the header block (case-sensitive match is
+  // fine: the only peer is obs::ExpoServer, which emits it verbatim).
+  std::size_t pos = lineEnd + 2;
+  while (pos < headerEnd) {
+    std::size_t end = raw.find("\r\n", pos);
+    if (end == std::string::npos || end > headerEnd) end = headerEnd;
+    const std::string header = raw.substr(pos, end - pos);
+    const std::string key = "Content-Type:";
+    if (header.rfind(key, 0) == 0) {
+      std::size_t v = key.size();
+      while (v < header.size() && header[v] == ' ') ++v;
+      response.contentType = header.substr(v);
+    }
+    pos = end + 2;
+  }
+  return response;
+}
+
+}  // namespace caraoke::net

@@ -1,0 +1,37 @@
+// Minimal blocking HTTP/1.0 GET client: the fleet collector's ingest
+// path. Pulls /metrics and /healthz off each reader daemon's
+// obs::ExpoServer over loopback (or the backhaul, in a real deployment)
+// with the same no-dependency POSIX-socket discipline the server uses.
+//
+// Scope is deliberately tiny — exactly what a scraper needs: one
+// request per connection (`Connection: close` framing), bounded
+// connect/recv/send timeouts so one dead reader cannot stall a fleet
+// scrape round, status + Content-Type + body parsed out, everything
+// else ignored. Not a general HTTP client and not trying to be.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace caraoke::net {
+
+/// Result of one GET. `ok` means transport succeeded AND the status was
+/// parseable — a 503 reply still has ok == true (the caller reads
+/// `status`); connection refused / timeout / garbage set ok == false
+/// and put the reason in `error`.
+struct HttpResponse {
+  bool ok = false;
+  int status = 0;
+  std::string contentType;
+  std::string body;
+  std::string error;
+};
+
+/// Blocking GET http://<host>:<port><target> with per-phase timeouts
+/// (connect, then SO_RCVTIMEO/SO_SNDTIMEO on the socket). `host` must
+/// be a dotted-quad IPv4 literal — readers are addressed by IP in the
+/// fleet table; no resolver needed or wanted here.
+HttpResponse httpGet(const std::string& host, std::uint16_t port,
+                     const std::string& target, int timeoutMs = 2000);
+
+}  // namespace caraoke::net

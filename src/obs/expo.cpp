@@ -82,6 +82,17 @@ std::string parseProfileFormat(const std::string& query) {
   return "json";
 }
 
+// Reason phrase for the statuses extra routes actually return.
+const char* reasonFor(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
 void sendAll(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -238,10 +249,28 @@ void ExpoServer::handleConnection(int fd) {
                                                 : "application/json",
                              handlers_.profile(format)));
   } else {
-    sendAll(fd, httpResponse(404, "Not Found", "text/plain",
-                             "routes: /metrics /metrics.json /healthz "
-                             "/flight[?n=K&trace=ID] /trace/<id> "
-                             "/profile[?format=folded]\n"));
+    for (const auto& route : handlers_.routes) {
+      if (route.path == path && route.handler) {
+        const ExpoResponse response = route.handler(query);
+        sendAll(fd, httpResponse(response.status, reasonFor(response.status),
+                                 response.contentType, response.body));
+        return;
+      }
+    }
+    // 404 contract: text/plain; charset=utf-8, body names the unknown
+    // path and lists every route this server actually serves (fixed +
+    // extra), newline-terminated. Regression-tested in expo_test.cpp.
+    std::string body = "404 not found: " + path +
+                       "\nroutes: /metrics /metrics.json /healthz "
+                       "/flight[?n=K&trace=ID] /trace/<id> "
+                       "/profile[?format=folded]";
+    for (const auto& route : handlers_.routes) {
+      body += ' ';
+      body += route.path;
+    }
+    body += '\n';
+    sendAll(fd, httpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                             body));
   }
 }
 

@@ -15,6 +15,12 @@
 //                       ?format=folded returns collapsed-stack lines
 //                       ready for flamegraph.pl / profcat.py
 //
+// Callers can extend the route table with exact-match ExpoRoutes (the
+// fleet monitor mounts /fleet/* this way). Any other path gets a
+// well-formed 404: `text/plain; charset=utf-8`, a body naming the
+// unknown path and listing every served route, Content-Length set —
+// scrapers and curl pipelines can rely on that shape.
+//
 // Design constraints, in order: no third-party dependencies (POSIX
 // sockets only), thread-safety the TSan rig can verify (all content
 // comes from caller-supplied handlers that snapshot under their own
@@ -31,6 +37,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/thread_annotations.hpp"
 
@@ -63,6 +70,22 @@ struct FlightQuery {
   std::string trace;
 };
 
+/// One fully-specified response from an extra route handler.
+struct ExpoResponse {
+  int status = 200;
+  std::string contentType = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// An extra exact-match route (e.g. the fleet monitor's /fleet/metrics).
+/// The handler receives the raw query string (may be empty) and runs on
+/// the server thread under the same thread-safety contract as the fixed
+/// handlers.
+struct ExpoRoute {
+  std::string path;
+  std::function<ExpoResponse(const std::string& query)> handler;
+};
+
 /// Content callbacks. Unset handlers 404 their route. Handlers run on
 /// the server thread — they must be thread-safe against whoever mutates
 /// the underlying data (registry snapshots and the flight recorder
@@ -78,6 +101,10 @@ struct ExpoHandlers {
   /// GET /profile: receives the requested format ("json" or "folded");
   /// returns the serialized profiler dump in that format.
   std::function<std::string(const std::string&)> profile;
+  /// Extra exact-path routes, consulted after the fixed ones. First
+  /// match wins; null handlers are skipped (and 404 like unset fixed
+  /// handlers).
+  std::vector<ExpoRoute> routes;
 };
 
 /// Blocking HTTP/1.0 exposition server on its own thread.

@@ -1,0 +1,636 @@
+#include "obs/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace caraoke::obs {
+
+// ------------------------------------------------------ text ingestion --
+
+namespace {
+
+// Parse a non-negative decimal integer; false on anything else (sign,
+// fraction, overflow past 2^63).
+bool parseUint(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (std::uint64_t{1} << 62)) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parseDouble(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+// In-progress histogram reconstruction: cumulative bucket lines in
+// emission order, then _sum/_count.
+struct HistogramBuild {
+  std::vector<double> upperBounds;       // finite edges, in order
+  std::vector<std::uint64_t> cumulative; // parallel to upperBounds
+  std::uint64_t infCumulative = 0;
+  bool sawInf = false;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+}  // namespace
+
+ExpositionSample parsePrometheusText(const std::string& text) {
+  ExpositionSample sample;
+  std::map<std::string, char> kinds;  // name -> 'c' | 'g' | 'h'
+  std::map<std::string, HistogramBuild> builds;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // `# TYPE <name> <kind>` declares the kind; other comments skip.
+      std::istringstream is(line);
+      std::string hash, keyword, name, kind;
+      is >> hash >> keyword >> name >> kind;
+      if (keyword == "TYPE" && !name.empty() && !kind.empty())
+        kinds[name] = kind[0] == 'c' ? 'c' : (kind[0] == 'g' ? 'g' : 'h');
+      continue;
+    }
+
+    // Value line: `<name-or-bucket> <value>`.
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      ++sample.parseErrors;
+      continue;
+    }
+    const std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      // Histogram bucket: `<base>_bucket{le="<edge>"} <cumulative>`.
+      const std::string prefix = name.substr(0, brace);
+      const std::string kBucket = "_bucket";
+      if (prefix.size() <= kBucket.size() ||
+          prefix.compare(prefix.size() - kBucket.size(), kBucket.size(),
+                         kBucket) != 0) {
+        ++sample.parseErrors;
+        continue;
+      }
+      const std::string base = prefix.substr(0, prefix.size() - kBucket.size());
+      const std::size_t leStart = name.find("le=\"", brace);
+      const std::size_t leEnd =
+          leStart == std::string::npos ? std::string::npos
+                                       : name.find('"', leStart + 4);
+      std::uint64_t cumulative = 0;
+      if (leStart == std::string::npos || leEnd == std::string::npos ||
+          !parseUint(value, cumulative)) {
+        ++sample.parseErrors;
+        continue;
+      }
+      const std::string le = name.substr(leStart + 4, leEnd - leStart - 4);
+      HistogramBuild& build = builds[base];
+      if (le == "+Inf") {
+        build.infCumulative = cumulative;
+        build.sawInf = true;
+      } else {
+        double edge = 0.0;
+        if (!parseDouble(le, edge)) {
+          ++sample.parseErrors;
+          continue;
+        }
+        build.upperBounds.push_back(edge);
+        build.cumulative.push_back(cumulative);
+      }
+      continue;
+    }
+
+    const auto kind = kinds.find(name);
+    if (kind != kinds.end() && kind->second == 'c') {
+      std::uint64_t v = 0;
+      if (parseUint(value, v))
+        sample.counters[name] = v;
+      else
+        ++sample.parseErrors;
+      continue;
+    }
+    if (kind != kinds.end() && kind->second == 'g') {
+      double v = 0.0;
+      if (parseDouble(value, v))
+        sample.gauges[name] = v;
+      else
+        ++sample.parseErrors;
+      continue;
+    }
+    // Histogram tails: `<base>_sum` / `<base>_count`.
+    const auto suffixed = [&](const char* suffix, std::string& base) {
+      const std::string s = suffix;
+      if (name.size() <= s.size() ||
+          name.compare(name.size() - s.size(), s.size(), s) != 0)
+        return false;
+      base = name.substr(0, name.size() - s.size());
+      const auto it = kinds.find(base);
+      return it != kinds.end() && it->second == 'h';
+    };
+    std::string base;
+    if (suffixed("_sum", base)) {
+      double v = 0.0;
+      if (parseDouble(value, v))
+        builds[base].sum = v;
+      else
+        ++sample.parseErrors;
+      continue;
+    }
+    if (suffixed("_count", base)) {
+      std::uint64_t v = 0;
+      if (parseUint(value, v))
+        builds[base].count = v;
+      else
+        ++sample.parseErrors;
+      continue;
+    }
+    ++sample.parseErrors;
+  }
+
+  for (auto& [name, build] : builds) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.sum = build.sum;
+    snap.count = build.sawInf ? build.infCumulative : build.count;
+    snap.upperBounds = build.upperBounds;
+    snap.bucketCounts.reserve(build.upperBounds.size() + 1);
+    std::uint64_t previous = 0;
+    bool monotone = true;
+    for (std::uint64_t cumulative : build.cumulative) {
+      if (cumulative < previous) {
+        monotone = false;
+        break;
+      }
+      snap.bucketCounts.push_back(cumulative - previous);
+      previous = cumulative;
+    }
+    const std::uint64_t total = std::max(build.infCumulative, build.count);
+    if (!monotone || total < previous) {
+      ++sample.parseErrors;
+      continue;
+    }
+    snap.bucketCounts.push_back(total - previous);  // +Inf bucket
+    snap.count = total;
+    sample.histograms.emplace(name, std::move(snap));
+  }
+  return sample;
+}
+
+// ------------------------------------------------------- time series --
+
+TieredSeries::Ring::Ring(std::size_t cap)
+    : capacity(std::max<std::size_t>(cap, 1)) {
+  slots.reserve(capacity);
+}
+
+void TieredSeries::Ring::push(RollupPoint p) {
+  if (slots.size() < capacity) {
+    slots.push_back(p);
+    next = slots.size() % capacity;
+    full = slots.size() == capacity;
+    return;
+  }
+  slots[next] = p;
+  next = (next + 1) % capacity;
+}
+
+RollupPoint* TieredSeries::Ring::newest() {
+  if (slots.empty()) return nullptr;
+  if (!full) return &slots.back();
+  return &slots[(next + capacity - 1) % capacity];
+}
+
+std::vector<RollupPoint> TieredSeries::Ring::snapshot() const {
+  std::vector<RollupPoint> out;
+  out.reserve(slots.size());
+  if (!full) {
+    out = slots;
+    return out;
+  }
+  for (std::size_t i = 0; i < capacity; ++i)
+    out.push_back(slots[(next + i) % capacity]);
+  return out;
+}
+
+std::size_t TieredSeries::Ring::size() const { return slots.size(); }
+
+TieredSeries::TieredSeries(const SeriesConfig& config)
+    : config_(config),
+      raw_(config.rawCapacity),
+      mid_(config.midCapacity),
+      long_(config.longCapacity) {}
+
+void TieredSeries::fold(Ring& ring, double period, double t, double v) {
+  const double bucket =
+      period > 0.0 ? std::floor(t / period) * period : t;
+  RollupPoint* newest = ring.newest();
+  if (newest != nullptr && newest->t0 == bucket) {
+    newest->min = std::min(newest->min, v);
+    newest->max = std::max(newest->max, v);
+    newest->sum += v;
+    newest->last = v;
+    newest->count += 1;
+    return;
+  }
+  RollupPoint p;
+  p.t0 = bucket;
+  p.min = p.max = p.sum = p.last = v;
+  p.count = 1;
+  ring.push(p);
+}
+
+void TieredSeries::observe(double t, double v) {
+  fold(raw_, 0.0, t, v);
+  fold(mid_, config_.midPeriodSec, t, v);
+  fold(long_, config_.longPeriodSec, t, v);
+}
+
+std::vector<RollupPoint> TieredSeries::points(RollupTier tier) const {
+  switch (tier) {
+    case RollupTier::kRaw: return raw_.snapshot();
+    case RollupTier::kTenSec: return mid_.snapshot();
+    case RollupTier::kMinute: return long_.snapshot();
+  }
+  return {};
+}
+
+std::size_t TieredSeries::size(RollupTier tier) const {
+  switch (tier) {
+    case RollupTier::kRaw: return raw_.size();
+    case RollupTier::kTenSec: return mid_.size();
+    case RollupTier::kMinute: return long_.size();
+  }
+  return 0;
+}
+
+double TieredSeries::last() const {
+  const auto points = raw_.snapshot();
+  return points.empty() ? 0.0 : points.back().last;
+}
+
+double TieredSeries::ratePerSec(double now, double windowSec) const {
+  const auto points = raw_.snapshot();
+  const RollupPoint* first = nullptr;
+  const RollupPoint* lastPoint = nullptr;
+  for (const auto& p : points) {
+    if (p.t0 < now - windowSec) continue;
+    if (first == nullptr) first = &p;
+    lastPoint = &p;
+  }
+  if (first == nullptr || lastPoint == nullptr || lastPoint->t0 <= first->t0)
+    return 0.0;
+  return (lastPoint->last - first->last) / (lastPoint->t0 - first->t0);
+}
+
+// --------------------------------------------------- health inference --
+
+const char* readerStateName(ReaderState state) {
+  switch (state) {
+    case ReaderState::kHealthy: return "healthy";
+    case ReaderState::kDegraded: return "degraded";
+    case ReaderState::kFlapping: return "flapping";
+    case ReaderState::kSilent: return "silent";
+  }
+  return "unknown";
+}
+
+// -------------------------------------------------------- collector --
+
+namespace {
+
+/// Per-reader counters tracked as time series (ring history, not just
+/// last value).
+const char* const kTrackedSeries[] = {
+    "daemon.sightings_reported",
+    "daemon.decoded_ids",
+    "daemon.uplink_retries",
+};
+
+}  // namespace
+
+FleetCollector::FleetCollector(FleetConfig config)
+    : config_(config),
+      fleetSightings_(config.series),
+      scrapesOkCtr_(registry_.counter("fleet.scrapes.ok")),
+      scrapesFailedCtr_(registry_.counter("fleet.scrapes.failed")),
+      parseErrorsCtr_(registry_.counter("fleet.scrapes.parse_errors")),
+      transitionsCtr_(registry_.counter("fleet.health.transitions")),
+      fleetFlipsCtr_(registry_.counter("fleet.health.fleet_flips")),
+      readersTotalG_(registry_.gauge("fleet.readers.total")),
+      readersHealthyG_(registry_.gauge("fleet.readers.healthy")),
+      readersDegradedG_(registry_.gauge("fleet.readers.degraded")),
+      readersFlappingG_(registry_.gauge("fleet.readers.flapping")),
+      readersSilentG_(registry_.gauge("fleet.readers.silent")),
+      unhealthyFractionG_(registry_.gauge("fleet.health.unhealthy_fraction")),
+      sightingsTotalG_(registry_.gauge("fleet.rollup.sightings_total")),
+      countsTotalG_(registry_.gauge("fleet.rollup.counts_total")),
+      decodedTotalG_(registry_.gauge("fleet.rollup.decoded_total")),
+      measurementsTotalG_(registry_.gauge("fleet.rollup.measurements_total")),
+      queriesTotalG_(registry_.gauge("fleet.rollup.queries_total")),
+      retriesTotalG_(registry_.gauge("fleet.rollup.uplink_retries_total")),
+      flushesTotalG_(registry_.gauge("fleet.rollup.uplink_flushes_total")),
+      uplinkBytesTotalG_(registry_.gauge("fleet.rollup.uplink_bytes_total")),
+      sightingsPerSecG_(registry_.gauge("fleet.rollup.sightings_per_sec")),
+      decodeRateG_(registry_.gauge("fleet.rollup.decode_rate")),
+      retransmitRateG_(registry_.gauge("fleet.rollup.retransmit_rate")),
+      windowP50G_(registry_.gauge("fleet.rollup.window_p50_sec")),
+      windowP99G_(registry_.gauge("fleet.rollup.window_p99_sec")),
+      flight_(config.flightCapacity) {}
+
+void FleetCollector::recordEventLocked(double now, const char* type,
+                                       std::vector<Field> fields) {
+  // The flight ring records unconditionally (fleet post-mortems); the
+  // process sink only sees the event when a test/tool attached one.
+  Event event;
+  event.ts = now;
+  event.type = type;
+  event.fields = fields;
+  flight_.record(std::move(event));
+  if (eventsAttached()) emitEvent(type, std::move(fields));
+}
+
+ReaderState FleetCollector::inferStateLocked(const ReaderCell& cell) const {
+  if (cell.missed >= config_.silentAfterMissed) return ReaderState::kSilent;
+  const std::size_t flips = static_cast<std::size_t>(
+      std::count(cell.flips.begin(), cell.flips.end(), true));
+  if (flips >= config_.flapTransitions) return ReaderState::kFlapping;
+  if (cell.hasHealthz && !cell.healthzOk) return ReaderState::kDegraded;
+  return ReaderState::kHealthy;
+}
+
+double FleetCollector::unhealthyFractionLocked() const {
+  if (readers_.empty()) return 0.0;
+  std::size_t unhealthy = 0;
+  for (const auto& [id, cell] : readers_)
+    if (cell.state != ReaderState::kHealthy) ++unhealthy;
+  return static_cast<double>(unhealthy) /
+         static_cast<double>(readers_.size());
+}
+
+void FleetCollector::updateRollupsLocked(double now) {
+  std::size_t byState[4] = {0, 0, 0, 0};
+  std::uint64_t sightings = 0, counts = 0, decoded = 0, measurements = 0;
+  std::uint64_t queries = 0, retries = 0, flushes = 0, bytes = 0;
+  std::vector<HistogramSnapshot> windows;
+  windows.reserve(readers_.size());
+  const auto counterOf = [](const ReaderCell& cell, const char* name) {
+    const auto it = cell.counters.find(name);
+    return it == cell.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  for (const auto& [id, cell] : readers_) {
+    byState[static_cast<int>(cell.state)] += 1;
+    sightings += counterOf(cell, "daemon.sightings_reported");
+    counts += counterOf(cell, "daemon.counts_reported");
+    decoded += counterOf(cell, "daemon.decoded_ids");
+    measurements += counterOf(cell, "daemon.measurements");
+    queries += counterOf(cell, "daemon.queries_sent");
+    retries += counterOf(cell, "daemon.uplink_retries");
+    flushes += counterOf(cell, "daemon.uplink_flushes");
+    bytes += counterOf(cell, "daemon.uplink_bytes");
+    const auto h = cell.histograms.find("daemon.measurement_window.seconds");
+    if (h != cell.histograms.end()) windows.push_back(h->second);
+  }
+
+  readersTotalG_.set(static_cast<double>(readers_.size()));
+  readersHealthyG_.set(static_cast<double>(byState[0]));
+  readersDegradedG_.set(static_cast<double>(byState[1]));
+  readersFlappingG_.set(static_cast<double>(byState[2]));
+  readersSilentG_.set(static_cast<double>(byState[3]));
+  unhealthyFractionG_.set(unhealthyFractionLocked());
+
+  sightingsTotalG_.set(static_cast<double>(sightings));
+  countsTotalG_.set(static_cast<double>(counts));
+  decodedTotalG_.set(static_cast<double>(decoded));
+  measurementsTotalG_.set(static_cast<double>(measurements));
+  queriesTotalG_.set(static_cast<double>(queries));
+  retriesTotalG_.set(static_cast<double>(retries));
+  flushesTotalG_.set(static_cast<double>(flushes));
+  uplinkBytesTotalG_.set(static_cast<double>(bytes));
+
+  fleetSightings_.observe(now, static_cast<double>(sightings));
+  sightingsPerSecG_.set(fleetSightings_.ratePerSec(now, 60.0));
+  decodeRateG_.set(queries > 0 ? static_cast<double>(decoded) /
+                                     static_cast<double>(queries)
+                               : 0.0);
+  retransmitRateG_.set(flushes > 0 ? static_cast<double>(retries) /
+                                         static_cast<double>(flushes)
+                                   : 0.0);
+  windowP50G_.set(mergedQuantile(windows, 0.50));
+  windowP99G_.set(mergedQuantile(windows, 0.99));
+
+  // Fleet-level healthz flip: one structured event per edge, so the
+  // post-mortem can see exactly when the city crossed the threshold.
+  const bool healthy = unhealthyFractionLocked() <= config_.maxUnhealthyFraction;
+  if (healthy != fleetHealthy_) {
+    fleetHealthy_ = healthy;
+    fleetFlipsCtr_.inc();
+    recordEventLocked(
+        now, "fleet.healthz",
+        {{"ok", healthy},
+         {"unhealthy_fraction", unhealthyFractionLocked()},
+         {"threshold", config_.maxUnhealthyFraction},
+         {"readers", readers_.size()}});
+  }
+}
+
+void FleetCollector::ingestScrape(std::uint32_t readerId, double now,
+                                  const ReaderScrape& scrape) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = readers_.find(readerId);
+  if (it == readers_.end()) {
+    it = readers_.emplace(readerId, ReaderCell{}).first;
+    it->second.readerId = readerId;
+    for (const char* name : kTrackedSeries)
+      it->second.series.emplace(name, TieredSeries(config_.series));
+    recordEventLocked(now, "fleet.reader_discovered",
+                      {{"reader_id", readerId}, {"t", now}});
+  }
+  ReaderCell& cell = it->second;
+
+  if (!scrape.ok) {
+    scrapesFailedCtr_.inc();
+    cell.missed += 1;
+  } else {
+    scrapesOkCtr_.inc();
+    cell.missed = 0;
+    cell.lastSeen = now;
+    const bool flipped = cell.hasHealthz && scrape.healthzOk != cell.healthzOk;
+    if (flipped) cell.transitions += 1;
+    cell.flips.push_back(flipped);
+    while (cell.flips.size() > config_.flapWindowScrapes)
+      cell.flips.pop_front();
+    cell.hasHealthz = true;
+    cell.healthzOk = scrape.healthzOk;
+    cell.healthzBody = scrape.healthzBody;
+
+    ExpositionSample sample = parsePrometheusText(scrape.metricsText);
+    if (sample.parseErrors > 0)
+      parseErrorsCtr_.inc(static_cast<std::uint64_t>(sample.parseErrors));
+    for (auto& [name, value] : sample.counters) cell.counters[name] = value;
+    for (auto& [name, value] : sample.gauges) cell.gauges[name] = value;
+    for (auto& [name, snap] : sample.histograms)
+      cell.histograms[name] = std::move(snap);
+    for (auto& [name, series] : cell.series) {
+      const auto counter = cell.counters.find(name);
+      if (counter != cell.counters.end())
+        series.observe(now, static_cast<double>(counter->second));
+    }
+  }
+
+  const ReaderState next = inferStateLocked(cell);
+  if (next != cell.state) {
+    transitionsCtr_.inc();
+    recordEventLocked(now, "fleet.reader_state",
+                      {{"reader_id", readerId},
+                       {"from", readerStateName(cell.state)},
+                       {"to", readerStateName(next)},
+                       {"missed", cell.missed},
+                       {"transitions", cell.transitions},
+                       {"t", now}});
+    cell.state = next;
+  }
+  updateRollupsLocked(now);
+}
+
+std::string FleetCollector::fleetMetricsText() const {
+  // The registry snapshots under its own mutex — never ours, so a
+  // scrape of /fleet/metrics cannot contend with ingest more than one
+  // atomic load at a time.
+  return registry_.expositionText();
+}
+
+std::string FleetCollector::fleetMetricsJson() const {
+  return registry_.jsonText();
+}
+
+HealthStatus FleetCollector::fleetHealthz() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double fraction = unhealthyFractionLocked();
+  HealthStatus status;
+  status.ok = fraction <= config_.maxUnhealthyFraction;
+  std::ostringstream body;
+  body << (status.ok ? "healthy" : "degraded_fleet") << " unhealthy_fraction="
+       << fraction << " threshold=" << config_.maxUnhealthyFraction
+       << " readers=" << readers_.size();
+  status.body = body.str();
+  return status;
+}
+
+std::vector<ReaderStatusView> FleetCollector::readers(double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ReaderStatusView> out;
+  out.reserve(readers_.size());
+  for (const auto& [id, cell] : readers_) {
+    ReaderStatusView view;
+    view.readerId = id;
+    view.state = cell.state;
+    view.lastSeenSec = cell.lastSeen;
+    view.staleSec = cell.lastSeen < 0.0 ? now : now - cell.lastSeen;
+    view.missedScrapes = cell.missed;
+    view.healthTransitions = cell.transitions;
+    view.healthzOk = cell.healthzOk;
+    view.healthzBody = cell.healthzBody;
+    const auto counterOf = [&cell](const char* name) {
+      const auto it = cell.counters.find(name);
+      return it == cell.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    view.sightings = counterOf("daemon.sightings_reported");
+    view.decoded = counterOf("daemon.decoded_ids");
+    view.uplinkRetries = counterOf("daemon.uplink_retries");
+    const auto series = cell.series.find("daemon.sightings_reported");
+    if (series != cell.series.end())
+      view.sightingsPerSec = series->second.ratePerSec(now, 60.0);
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+std::string FleetCollector::readersJsonLines(double now) const {
+  const std::vector<ReaderStatusView> views = readers(now);
+  std::string out;
+  std::uint64_t sightings = 0, decoded = 0, retries = 0;
+  std::size_t unhealthy = 0;
+  for (const auto& view : views) {
+    Event line;
+    line.ts = now;
+    line.type = "fleet.reader";
+    line.fields = {{"reader_id", view.readerId},
+                   {"state", readerStateName(view.state)},
+                   {"healthz", view.healthzBody.empty() ? "unknown"
+                                                        : view.healthzBody},
+                   {"stale_sec", view.staleSec},
+                   {"missed", view.missedScrapes},
+                   {"transitions", view.healthTransitions},
+                   {"sightings", view.sightings},
+                   {"decoded", view.decoded},
+                   {"uplink_retries", view.uplinkRetries},
+                   {"rate_per_sec", view.sightingsPerSec}};
+    out += toJsonLine(line);
+    out += '\n';
+    sightings += view.sightings;
+    decoded += view.decoded;
+    retries += view.uplinkRetries;
+    if (view.state != ReaderState::kHealthy) ++unhealthy;
+  }
+  Event rollup;
+  rollup.ts = now;
+  rollup.type = "fleet.rollup";
+  const double fraction =
+      views.empty() ? 0.0
+                    : static_cast<double>(unhealthy) /
+                          static_cast<double>(views.size());
+  rollup.fields = {{"readers", views.size()},
+                   {"unhealthy", unhealthy},
+                   {"unhealthy_fraction", fraction},
+                   {"sightings_total", sightings},
+                   {"decoded_total", decoded},
+                   {"uplink_retries_total", retries}};
+  out += toJsonLine(rollup);
+  out += '\n';
+  return out;
+}
+
+ReaderState FleetCollector::readerState(std::uint32_t readerId) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = readers_.find(readerId);
+  return it == readers_.end() ? ReaderState::kHealthy : it->second.state;
+}
+
+std::uint64_t FleetCollector::rollupTotal(std::string_view counterName) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [id, cell] : readers_) {
+    const auto it = cell.counters.find(std::string(counterName));
+    if (it != cell.counters.end()) total += it->second;
+  }
+  return total;
+}
+
+std::vector<RollupPoint> FleetCollector::seriesPoints(
+    std::uint32_t readerId, std::string_view counterName,
+    RollupTier tier) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto reader = readers_.find(readerId);
+  if (reader == readers_.end()) return {};
+  const auto series = reader->second.series.find(std::string(counterName));
+  if (series == reader->second.series.end()) return {};
+  return series->second.points(tier);
+}
+
+}  // namespace caraoke::obs

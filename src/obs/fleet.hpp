@@ -1,0 +1,324 @@
+// Fleet observability plane: the city-scale aggregation layer over the
+// per-daemon exposition surfaces.
+//
+// Caraoke's premise is hundreds of cheap readers on lamp posts (§1,
+// §10); each one already serves /metrics + /healthz + /flight locally
+// (obs::expo), but a deployment is operated at *fleet* scope: how many
+// sightings/sec is the city producing, what fraction of decode attempts
+// succeed, which pole silently stopped reporting last night? This
+// module is the collector side of that question:
+//
+//   parsePrometheusText  re-reads the exact wire format
+//                        RegistrySnapshot::expositionText emits
+//                        (counters as integers, gauges as doubles,
+//                        histograms as cumulative `_bucket{le=...}`
+//                        lines) back into typed samples.
+//   TieredSeries         per-reader fixed-capacity time-series rings
+//                        with downsampling: every scrape lands in the
+//                        raw tier, and is folded into 10 s and 1 m
+//                        aggregate tiers (min/max/sum/count/last per
+//                        bucket) so a day of history fits in a few KB.
+//   FleetCollector       ingests one scrape result per reader per
+//                        round, maintains per-reader health state
+//                        (healthy / degraded / flapping / silent),
+//                        computes city-wide rollups into a `fleet.*`
+//                        registry (totals, rates, cross-reader merged
+//                        latency quantiles via HistogramSnapshot::
+//                        mergeFrom), and emits a structured event into
+//                        its flight recorder on every state transition
+//                        so fleet post-mortems have a trail.
+//
+// Health inference rules (also documented in DESIGN.md §12):
+//   silent    >= silentAfterMissed consecutive failed scrapes — the
+//             reader stopped answering entirely.
+//   flapping  >= flapTransitions healthz flips within the last
+//             flapWindowScrapes successful scrapes — up/down cycling
+//             that a single degraded flag would understate.
+//   degraded  the reader's own /healthz reports not-ok.
+//   healthy   none of the above.
+// Fleet healthz is 503 when unhealthyFraction(readers) exceeds
+// FleetConfig::maxUnhealthyFraction.
+//
+// Threading: ingestScrape is called by the scrape driver; every view
+// (fleetMetricsText, fleetHealthz, readersJsonLines, accessors) may be
+// called concurrently from an exposition server thread. One internal
+// mutex guards the reader table; the rollup registry's values are
+// atomics behind handles resolved at construction. Time is the
+// caller's clock (sim time in tests, wall time in a deployment) — the
+// collector never reads a clock itself.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "obs/events.hpp"
+#include "obs/expo.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace caraoke::obs {
+
+// ------------------------------------------------------ text ingestion --
+
+/// One scraped exposition, parsed back into typed samples. Counter
+/// values stay integral so fleet rollups can be audited for *exact*
+/// conservation against per-reader ground truth.
+struct ExpositionSample {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::size_t parseErrors = 0;  ///< Lines that failed to parse (skipped).
+};
+
+/// Parse RegistrySnapshot::expositionText output (`# TYPE` comments,
+/// `name value` lines, histogram `_bucket{le="..."}` / `_sum` /
+/// `_count` expansions). Tolerant: unparsable lines are counted in
+/// parseErrors and skipped, everything else is ingested.
+ExpositionSample parsePrometheusText(const std::string& text);
+
+// ------------------------------------------------------- time series --
+
+/// Downsampling tiers of a TieredSeries.
+enum class RollupTier { kRaw = 0, kTenSec = 1, kMinute = 2 };
+
+/// One aggregated sample bucket.
+struct RollupPoint {
+  double t0 = 0.0;  ///< Bucket start time (raw tier: the sample time).
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double last = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Ring capacities / bucket periods for a TieredSeries.
+struct SeriesConfig {
+  std::size_t rawCapacity = 256;
+  std::size_t midCapacity = 128;
+  std::size_t longCapacity = 128;
+  double midPeriodSec = 10.0;   ///< The "10 s" tier.
+  double longPeriodSec = 60.0;  ///< The "1 m" tier.
+};
+
+/// Fixed-capacity, three-tier time series: raw samples plus 10 s and
+/// 1 m downsampled buckets, each in a ring that overwrites the oldest
+/// bucket when full. Not internally locked — the FleetCollector guards
+/// its series with the reader-table mutex.
+class TieredSeries {
+ public:
+  explicit TieredSeries(const SeriesConfig& config = {});
+
+  /// Record value `v` at time `t`. Equal-timestamp raw observations
+  /// fold into one point; aggregate tiers bucket by floor(t / period).
+  void observe(double t, double v);
+
+  /// Ring contents, oldest first.
+  std::vector<RollupPoint> points(RollupTier tier) const;
+  std::size_t size(RollupTier tier) const;
+  /// Most recent raw value (0 when empty).
+  double last() const;
+
+  /// Rate of change per second of `last` across the raw tier, using
+  /// only points with t0 >= now - windowSec. Built for monotonic
+  /// counter totals; 0 when fewer than two points span the window.
+  double ratePerSec(double now, double windowSec) const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity);
+    void push(RollupPoint p);
+    RollupPoint* newest();
+    std::vector<RollupPoint> snapshot() const;  // oldest first
+    std::size_t size() const;
+
+    std::size_t capacity;
+    std::vector<RollupPoint> slots;
+    std::size_t next = 0;
+    bool full = false;
+  };
+
+  void fold(Ring& ring, double period, double t, double v);
+
+  SeriesConfig config_;
+  Ring raw_;
+  Ring mid_;
+  Ring long_;
+};
+
+// --------------------------------------------------- health inference --
+
+/// Inferred per-reader health state (ordering: increasing severity).
+enum class ReaderState {
+  kHealthy = 0,
+  kDegraded = 1,  ///< The reader's own /healthz says not-ok.
+  kFlapping = 2,  ///< Healthz cycling within the flap window.
+  kSilent = 3,    ///< K consecutive scrapes went unanswered.
+};
+
+const char* readerStateName(ReaderState state);
+
+/// Collector tuning.
+struct FleetConfig {
+  /// Nominal scrape cadence; staleness in /fleet/readers is reported in
+  /// seconds but "silent" counts missed *intervals* against this.
+  double scrapePeriodSec = 1.0;
+  /// K: consecutive failed scrapes before a reader is flagged silent.
+  std::size_t silentAfterMissed = 3;
+  /// Healthz flips within the window that flag a reader flapping.
+  std::size_t flapTransitions = 4;
+  std::size_t flapWindowScrapes = 16;
+  /// Fleet healthz trips 503 when strictly more than this fraction of
+  /// known readers is unhealthy (any state but healthy).
+  double maxUnhealthyFraction = 0.25;
+  /// Per-reader time-series ring shape.
+  SeriesConfig series{};
+  /// Fleet flight-recorder depth (state-transition events).
+  std::size_t flightCapacity = 512;
+};
+
+/// What one scrape attempt against one reader yielded. `ok == false`
+/// (connect refused / timeout) counts toward silent detection; the
+/// other fields are only meaningful when ok.
+struct ReaderScrape {
+  bool ok = false;
+  bool healthzOk = false;
+  std::string healthzBody;
+  std::string metricsText;  ///< /metrics body (Prometheus text).
+};
+
+/// Point-in-time per-reader status (what /fleet/readers serializes).
+struct ReaderStatusView {
+  std::uint32_t readerId = 0;
+  ReaderState state = ReaderState::kHealthy;
+  double lastSeenSec = -1.0;  ///< Last successful scrape; -1 = never.
+  double staleSec = 0.0;
+  std::size_t missedScrapes = 0;
+  std::uint64_t healthTransitions = 0;
+  bool healthzOk = false;
+  std::string healthzBody;
+  std::uint64_t sightings = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t uplinkRetries = 0;
+  double sightingsPerSec = 0.0;  ///< Over the last minute of raw samples.
+};
+
+// -------------------------------------------------------- collector --
+
+/// The fleet collector (see file header).
+class FleetCollector {
+ public:
+  explicit FleetCollector(FleetConfig config = {});
+
+  /// Ingest one scrape attempt for `readerId` at time `now`. Creates
+  /// the reader cell on first sight; failed scrapes advance silent
+  /// detection; successful ones update counters, series, histograms
+  /// and the health state machine; every call refreshes the fleet
+  /// rollup gauges.
+  void ingestScrape(std::uint32_t readerId, double now,
+                    const ReaderScrape& scrape);
+
+  // Exposition views (safe from any thread).
+  std::string fleetMetricsText() const;
+  std::string fleetMetricsJson() const;
+  /// 200 while unhealthyFraction <= maxUnhealthyFraction, else 503;
+  /// the body names the fraction either way.
+  HealthStatus fleetHealthz() const;
+  /// JSON lines, one obs::Event-shaped object per reader
+  /// (type "fleet.reader") plus a trailing "fleet.rollup" totals line —
+  /// parseable with obs::parseJsonLine; fleetcat.py renders it.
+  std::string readersJsonLines(double now) const;
+
+  // Introspection (tests, tools).
+  std::vector<ReaderStatusView> readers(double now) const;
+  ReaderState readerState(std::uint32_t readerId) const;
+  /// Sum of the last-scraped value of one per-reader counter across the
+  /// whole fleet — the exact-conservation audit hook.
+  std::uint64_t rollupTotal(std::string_view counterName) const;
+  /// Ring snapshot of one tracked per-reader series (empty when the
+  /// reader or metric is unknown). Tracked: daemon.sightings_reported,
+  /// daemon.decoded_ids, daemon.uplink_retries.
+  std::vector<RollupPoint> seriesPoints(std::uint32_t readerId,
+                                        std::string_view counterName,
+                                        RollupTier tier) const;
+
+  const FleetConfig& config() const { return config_; }
+  const Registry& registry() const { return registry_; }
+  Registry& registry() { return registry_; }
+  const FlightRecorder& flight() const { return flight_; }
+  FlightRecorder& flight() { return flight_; }
+
+ private:
+  struct ReaderCell {
+    std::uint32_t readerId = 0;
+    ReaderState state = ReaderState::kHealthy;
+    double lastSeen = -1.0;
+    std::size_t missed = 0;
+    std::uint64_t transitions = 0;
+    bool hasHealthz = false;
+    bool healthzOk = true;
+    std::string healthzBody;
+    /// Flip history of the last flapWindowScrapes successful scrapes.
+    std::deque<bool> flips;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, TieredSeries> series;
+  };
+
+  ReaderState inferStateLocked(const ReaderCell& cell) const
+      CARAOKE_REQUIRES(mutex_);
+  void updateRollupsLocked(double now) CARAOKE_REQUIRES(mutex_);
+  /// Record a state-transition event into the flight ring and forward
+  /// to the process sink when one is attached.
+  void recordEventLocked(double now, const char* type,
+                         std::vector<Field> fields) CARAOKE_REQUIRES(mutex_);
+  double unhealthyFractionLocked() const CARAOKE_REQUIRES(mutex_);
+
+  FleetConfig config_;
+
+  /// Guards the reader table and the fleet-wide series; the registry's
+  /// metric values are atomics and never need it.
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, ReaderCell> readers_ CARAOKE_GUARDED_BY(mutex_);
+  /// Fleet-wide sightings total over time (drives sightings_per_sec).
+  TieredSeries fleetSightings_ CARAOKE_GUARDED_BY(mutex_);
+  bool fleetHealthy_ CARAOKE_GUARDED_BY(mutex_) = true;
+
+  /// Rollup registry (fleet.* names). Handles resolved once below.
+  Registry registry_;
+  Counter& scrapesOkCtr_;
+  Counter& scrapesFailedCtr_;
+  Counter& parseErrorsCtr_;
+  Counter& transitionsCtr_;
+  Counter& fleetFlipsCtr_;
+  Gauge& readersTotalG_;
+  Gauge& readersHealthyG_;
+  Gauge& readersDegradedG_;
+  Gauge& readersFlappingG_;
+  Gauge& readersSilentG_;
+  Gauge& unhealthyFractionG_;
+  Gauge& sightingsTotalG_;
+  Gauge& countsTotalG_;
+  Gauge& decodedTotalG_;
+  Gauge& measurementsTotalG_;
+  Gauge& queriesTotalG_;
+  Gauge& retriesTotalG_;
+  Gauge& flushesTotalG_;
+  Gauge& uplinkBytesTotalG_;
+  Gauge& sightingsPerSecG_;
+  Gauge& decodeRateG_;
+  Gauge& retransmitRateG_;
+  Gauge& windowP50G_;
+  Gauge& windowP99G_;
+
+  /// Fleet-scope black box: reader/fleet state transitions.
+  FlightRecorder flight_;
+};
+
+}  // namespace caraoke::obs

@@ -96,6 +96,32 @@ double histogramQuantile(const HistogramSnapshot& snapshot, double q) {
   return snapshot.upperBounds.empty() ? 0.0 : snapshot.upperBounds.back();
 }
 
+bool HistogramSnapshot::mergeFrom(const HistogramSnapshot& other) {
+  if (upperBounds.empty() && bucketCounts.empty()) {
+    // Empty accumulator: adopt the other snapshot's shape wholesale.
+    upperBounds = other.upperBounds;
+    bucketCounts = other.bucketCounts;
+    count = other.count;
+    sum = other.sum;
+    return true;
+  }
+  if (upperBounds != other.upperBounds ||
+      bucketCounts.size() != other.bucketCounts.size())
+    return false;
+  for (std::size_t i = 0; i < bucketCounts.size(); ++i)
+    bucketCounts[i] += other.bucketCounts[i];
+  count += other.count;
+  sum += other.sum;
+  return true;
+}
+
+double mergedQuantile(const std::vector<HistogramSnapshot>& snapshots,
+                      double q) {
+  HistogramSnapshot merged;
+  for (const auto& s : snapshots) (void)merged.mergeFrom(s);
+  return histogramQuantile(merged, q);
+}
+
 Registry::Entry& Registry::lookup(std::string_view name, Kind kind,
                                   const std::vector<double>* upperBounds) {
   std::lock_guard<std::mutex> lock(mutex_);

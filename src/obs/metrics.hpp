@@ -102,7 +102,22 @@ struct HistogramSnapshot {
   double sum = 0.0;
   std::vector<double> upperBounds;
   std::vector<std::uint64_t> bucketCounts;  ///< Non-cumulative, +Inf last.
+
+  /// Accumulate `other` into this snapshot bucket-by-bucket. Requires
+  /// identical upperBounds (Prometheus merge semantics: histograms are
+  /// only mergeable when their edges agree); returns false and leaves
+  /// this snapshot untouched on a bound mismatch. An empty snapshot
+  /// (no bounds, no buckets) adopts `other`'s shape — the natural
+  /// accumulator seed for a cross-reader rollup.
+  bool mergeFrom(const HistogramSnapshot& other);
 };
+
+/// Quantile over many readers' histograms of the same metric: merge every
+/// snapshot (skipping bound-mismatched strays) and run histogramQuantile
+/// on the sum. The fleet rollup uses this to turn 32 per-daemon latency
+/// histograms into one city-wide p50/p99.
+double mergedQuantile(const std::vector<HistogramSnapshot>& snapshots,
+                      double q);
 /// Quantile estimate from a bucketed snapshot, Prometheus
 /// `histogram_quantile` style: find the bucket holding the q-th ranked
 /// sample (q in [0, 1]) and interpolate linearly inside it. Conventions

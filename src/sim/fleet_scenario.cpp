@@ -1,0 +1,36 @@
+#include "sim/fleet_scenario.hpp"
+
+#include <memory>
+
+#include "common/units.hpp"
+#include "phy/cfo.hpp"
+#include "sim/medium.hpp"
+#include "sim/mobility.hpp"
+
+namespace caraoke::sim {
+
+Scene corridorScene(const CorridorSpec& spec, Rng& rng) {
+  Scene scene(Road{});
+  for (std::size_t i = 0; i < spec.readers; ++i) {
+    ReaderNode reader;
+    reader.pole.base = {static_cast<double>(i) * spec.spacingMeters,
+                        spec.poleOffsetMeters, 0.0};
+    reader.pole.heightMeters = feet(12.5);
+    scene.addReader(reader);
+  }
+  phy::EmpiricalCfoModel cfoModel;
+  for (std::size_t i = 0; i < spec.readers; ++i) {
+    const double readerX = static_cast<double>(i) * spec.spacingMeters;
+    for (std::size_t j = 0; j < spec.carsPerReader; ++j) {
+      // Parked inside reader i's circle, spread along the curb so two
+      // cars at one pole do not stack on the same spot.
+      const phy::Vec3 spot{readerX + 3.0 + 4.0 * static_cast<double>(j), 2.0,
+                           1.2};
+      scene.addCar(Transponder::random(cfoModel, rng),
+                   std::make_unique<ParkedMobility>(spot));
+    }
+  }
+  return scene;
+}
+
+}  // namespace caraoke::sim

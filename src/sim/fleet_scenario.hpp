@@ -1,0 +1,34 @@
+// Corridor scenario builder for fleet-scale runs: N pole-mounted
+// readers spaced along one road, each with a handful of transponder
+// cars parked in its coverage circle. This is the city-in-miniature
+// the fleet observability plane is exercised against (tests, the
+// fleet_scrape bench driver, and examples/fleet_corridor) — big enough
+// that per-reader tooling is useless and rollups are the only view,
+// small enough to run in a unit-test budget.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "sim/scene.hpp"
+
+namespace caraoke::sim {
+
+/// Corridor shape. The defaults give every reader its own disjoint
+/// coverage circle (spacing > 2x the 100 ft query range is not needed;
+/// one range diameter of separation keeps each car in exactly one
+/// reader's circle).
+struct CorridorSpec {
+  std::size_t readers = 32;
+  double spacingMeters = 40.0;
+  std::size_t carsPerReader = 1;
+  /// Lateral pole offset from the road centerline [m].
+  double poleOffsetMeters = -6.0;
+};
+
+/// Build the corridor: readers at x = i * spacing, cars parked in each
+/// reader's circle. Deterministic given the Rng (transponder identities
+/// and carrier offsets are the only draws).
+Scene corridorScene(const CorridorSpec& spec, Rng& rng);
+
+}  // namespace caraoke::sim

@@ -166,6 +166,74 @@ TEST(ExpoServer, UnsetHandlersReturn404) {
   server.stop();
 }
 
+// The 404 contract: unknown paths answer with a proper Content-Type and
+// a body that names the path and lists the served routes, so a scraper
+// pointed at the wrong endpoint gets a self-explaining reply instead of
+// a bare status line.
+TEST(ExpoServer, UnknownPathGets404WithContentTypeAndBody) {
+  obs::ExpoHandlers handlers;
+  handlers.metricsText = [] { return std::string("x 1\n"); };
+  obs::ExpoServer server({}, handlers);
+  ASSERT_TRUE(server.start());
+
+  const std::string response = httpGet(server.port(), "/fleet/typo");
+  EXPECT_EQ(statusOf(response), 404);
+  EXPECT_NE(response.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; charset=utf-8"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length:"), std::string::npos);
+  const std::string body = bodyOf(response);
+  EXPECT_NE(body.find("404 not found: /fleet/typo"), std::string::npos);
+  EXPECT_NE(body.find("/metrics"), std::string::npos)
+      << "the body lists the served routes";
+  server.stop();
+}
+
+// Extra exact-match routes: the fleet monitor mounts /fleet/* this way.
+// Status, Content-Type, and body come from the route handler verbatim;
+// unknown paths still 404 (now listing the extra route too); a null
+// handler behaves like an unset fixed route.
+TEST(ExpoServer, ExtraRoutesServeAndFailClosed) {
+  obs::ExpoHandlers handlers;
+  handlers.routes.push_back(
+      {"/fleet/healthz", [](const std::string& query) {
+         obs::ExpoResponse response;
+         response.status = query == "force=down" ? 503 : 200;
+         response.body = "fleet\n";
+         return response;
+       }});
+  handlers.routes.push_back(
+      {"/fleet/readers", [](const std::string&) {
+         obs::ExpoResponse response;
+         response.contentType = "application/x-ndjson";
+         response.body = "{\"type\":\"fleet.reader\"}\n";
+         return response;
+       }});
+  handlers.routes.push_back({"/fleet/null", nullptr});
+  obs::ExpoServer server({}, handlers);
+  ASSERT_TRUE(server.start());
+
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/fleet/healthz")), 200);
+  const std::string down =
+      httpGet(server.port(), "/fleet/healthz?force=down");
+  EXPECT_EQ(statusOf(down), 503);
+  EXPECT_NE(down.find("HTTP/1.0 503 Service Unavailable"),
+            std::string::npos);
+  EXPECT_NE(bodyOf(down).find("fleet"), std::string::npos);
+
+  const std::string readers = httpGet(server.port(), "/fleet/readers");
+  EXPECT_EQ(statusOf(readers), 200);
+  EXPECT_NE(readers.find("Content-Type: application/x-ndjson"),
+            std::string::npos);
+
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/fleet/null")), 404);
+  const std::string missing = httpGet(server.port(), "/fleet/nope");
+  EXPECT_EQ(statusOf(missing), 404);
+  EXPECT_NE(bodyOf(missing).find("/fleet/healthz"), std::string::npos)
+      << "extra routes appear in the 404 route listing";
+  server.stop();
+}
+
 TEST(ExpoServer, ProfileRouteSelectsFormatAndContentType) {
   obs::ExpoHandlers handlers;
   std::vector<std::string> formats;

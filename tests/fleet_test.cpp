@@ -1,0 +1,359 @@
+// Fleet observability plane: exposition re-parsing, tiered time-series
+// downsampling, the per-reader health state machine, threshold-gated
+// fleet healthz — and the flagship 32-reader corridor run where one
+// pole dies (silent detection), one rides out a scripted uplink outage
+// (degraded, fleet healthz staged around the unhealthy-fraction
+// threshold), and the city rollups conserve exactly against per-reader
+// ground truth. Runs live sockets + the collector mutex from multiple
+// threads, so the suite carries the race label for the TSan rig.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/fleet_monitor.hpp"
+#include "net/scrape.hpp"
+#include "obs/fleet.hpp"
+#include "obs/metrics.hpp"
+
+using namespace caraoke;
+
+// ------------------------------------------------------ text ingestion --
+
+TEST(FleetParser, RoundTripsRegistryExposition) {
+  obs::Registry registry;
+  registry.counter("daemon.sightings_reported").inc(41);
+  registry.counter("daemon.queries_sent").inc(160);
+  registry.gauge("daemon.energy_joules").set(2.625);
+  obs::Histogram& window =
+      registry.histogram("daemon.measurement_window.seconds");
+  window.observe(0.004);
+  window.observe(0.006);
+  window.observe(100.0);  // lands in the +Inf bucket
+
+  const obs::ExpositionSample sample =
+      obs::parsePrometheusText(registry.expositionText());
+
+  EXPECT_EQ(sample.parseErrors, 0u);
+  ASSERT_TRUE(sample.counters.count("daemon.sightings_reported"));
+  EXPECT_EQ(sample.counters.at("daemon.sightings_reported"), 41u);
+  EXPECT_EQ(sample.counters.at("daemon.queries_sent"), 160u);
+  ASSERT_TRUE(sample.gauges.count("daemon.energy_joules"));
+  EXPECT_NEAR(sample.gauges.at("daemon.energy_joules"), 2.625, 1e-9);
+
+  ASSERT_TRUE(sample.histograms.count("daemon.measurement_window.seconds"));
+  const obs::HistogramSnapshot& parsed =
+      sample.histograms.at("daemon.measurement_window.seconds");
+  EXPECT_EQ(parsed.count, 3u);
+  EXPECT_NEAR(parsed.sum, 100.01, 1e-6);
+  // Edges go through the text formatter, so compare with a relative
+  // tolerance; bucket *counts* must survive exactly.
+  ASSERT_EQ(parsed.upperBounds.size(), window.upperBounds().size());
+  for (std::size_t i = 0; i < parsed.upperBounds.size(); ++i)
+    EXPECT_NEAR(parsed.upperBounds[i], window.upperBounds()[i],
+                1e-9 * window.upperBounds()[i] + 1e-15);
+  EXPECT_EQ(parsed.bucketCounts, window.bucketCounts());
+}
+
+TEST(FleetParser, CountsGarbageLinesWithoutDroppingGoodOnes) {
+  const std::string text =
+      "# TYPE good.counter counter\n"
+      "good.counter 7\n"
+      "no_space_line\n"
+      "# random comment survives\n"
+      "trailing.space.only \n"
+      "# TYPE bad.counter counter\n"
+      "bad.counter notanumber\n";
+  const obs::ExpositionSample sample = obs::parsePrometheusText(text);
+  EXPECT_EQ(sample.counters.at("good.counter"), 7u);
+  EXPECT_GE(sample.parseErrors, 2u);
+  EXPECT_FALSE(sample.counters.count("bad.counter"));
+}
+
+// ------------------------------------------------------- time series --
+
+TEST(TieredSeries, DownsamplesIntoPeriodBuckets) {
+  obs::SeriesConfig config;
+  config.rawCapacity = 8;
+  config.midCapacity = 4;
+  config.longCapacity = 4;
+  config.midPeriodSec = 10.0;
+  config.longPeriodSec = 60.0;
+  obs::TieredSeries series(config);
+
+  for (int t = 1; t <= 25; ++t)
+    series.observe(static_cast<double>(t), static_cast<double>(t * 2));
+
+  // Raw ring keeps only the newest 8 samples.
+  const auto raw = series.points(obs::RollupTier::kRaw);
+  ASSERT_EQ(raw.size(), 8u);
+  EXPECT_DOUBLE_EQ(raw.front().t0, 18.0);
+  EXPECT_DOUBLE_EQ(raw.back().t0, 25.0);
+  EXPECT_DOUBLE_EQ(series.last(), 50.0);
+
+  // 10 s tier: buckets [0,10), [10,20), [20,30) with min/max/count.
+  const auto mid = series.points(obs::RollupTier::kTenSec);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_DOUBLE_EQ(mid[0].t0, 0.0);
+  EXPECT_EQ(mid[0].count, 9u);  // t = 1..9
+  EXPECT_DOUBLE_EQ(mid[0].min, 2.0);
+  EXPECT_DOUBLE_EQ(mid[0].max, 18.0);
+  EXPECT_DOUBLE_EQ(mid[1].t0, 10.0);
+  EXPECT_EQ(mid[1].count, 10u);
+  EXPECT_DOUBLE_EQ(mid[2].last, 50.0);
+
+  // 1 m tier: everything in one bucket.
+  const auto minute = series.points(obs::RollupTier::kMinute);
+  ASSERT_EQ(minute.size(), 1u);
+  EXPECT_EQ(minute[0].count, 25u);
+
+  // Counter slope: value rises 2/s.
+  EXPECT_NEAR(series.ratePerSec(25.0, 10.0), 2.0, 1e-9);
+}
+
+TEST(TieredSeries, RawTierFoldsEqualTimestamps) {
+  obs::TieredSeries series;
+  series.observe(5.0, 1.0);
+  series.observe(5.0, 3.0);
+  const auto raw = series.points(obs::RollupTier::kRaw);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].count, 2u);
+  EXPECT_DOUBLE_EQ(raw[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(raw[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(raw[0].last, 3.0);
+}
+
+// --------------------------------------------------- health inference --
+
+namespace {
+
+obs::ReaderScrape okScrape(bool healthzOk = true,
+                           const std::string& metrics = "") {
+  obs::ReaderScrape scrape;
+  scrape.ok = true;
+  scrape.healthzOk = healthzOk;
+  scrape.healthzBody = healthzOk ? "healthy" : "uplink_down";
+  scrape.metricsText = metrics;
+  return scrape;
+}
+
+}  // namespace
+
+TEST(FleetCollector, FlagsSilentAfterKMissedAndRecovers) {
+  obs::FleetConfig config;
+  config.silentAfterMissed = 3;
+  obs::FleetCollector collector(config);
+
+  collector.ingestScrape(7, 1.0, okScrape());
+  EXPECT_EQ(collector.readerState(7), obs::ReaderState::kHealthy);
+
+  obs::ReaderScrape failed;  // ok = false
+  collector.ingestScrape(7, 2.0, failed);
+  collector.ingestScrape(7, 3.0, failed);
+  EXPECT_EQ(collector.readerState(7), obs::ReaderState::kHealthy)
+      << "two misses are not yet silence";
+  collector.ingestScrape(7, 4.0, failed);
+  EXPECT_EQ(collector.readerState(7), obs::ReaderState::kSilent);
+
+  // The transition left a structured trail in the fleet flight ring.
+  const std::string flight = collector.flight().jsonLines();
+  EXPECT_NE(flight.find("fleet.reader_state"), std::string::npos);
+  EXPECT_NE(flight.find("\"to\":\"silent\""), std::string::npos);
+
+  // One good scrape clears it.
+  collector.ingestScrape(7, 5.0, okScrape());
+  EXPECT_EQ(collector.readerState(7), obs::ReaderState::kHealthy);
+}
+
+TEST(FleetCollector, FlagsHealthzCyclingAsFlapping) {
+  obs::FleetConfig config;
+  config.flapTransitions = 4;
+  config.flapWindowScrapes = 16;
+  obs::FleetCollector collector(config);
+
+  bool up = true;
+  for (int i = 0; i < 8; ++i) {  // 8 scrapes, 7 flips
+    collector.ingestScrape(3, static_cast<double>(i + 1), okScrape(up));
+    up = !up;
+  }
+  EXPECT_EQ(collector.readerState(3), obs::ReaderState::kFlapping);
+
+  // A long stable stretch pushes the flips out of the window.
+  for (int i = 8; i < 30; ++i)
+    collector.ingestScrape(3, static_cast<double>(i + 1), okScrape(true));
+  EXPECT_EQ(collector.readerState(3), obs::ReaderState::kHealthy);
+}
+
+TEST(FleetCollector, FleetHealthzTripsOnlyPastThreshold) {
+  obs::FleetConfig config;
+  config.maxUnhealthyFraction = 0.25;
+  obs::FleetCollector collector(config);
+
+  // Four readers, one degraded: fraction 0.25 == threshold -> still ok.
+  for (std::uint32_t id = 1; id <= 4; ++id)
+    collector.ingestScrape(id, 1.0, okScrape(id != 4));
+  EXPECT_EQ(collector.readerState(4), obs::ReaderState::kDegraded);
+  EXPECT_TRUE(collector.fleetHealthz().ok);
+
+  // Second reader degrades: 0.5 > 0.25 -> 503, with a flip event.
+  collector.ingestScrape(3, 2.0, okScrape(false));
+  const obs::HealthStatus down = collector.fleetHealthz();
+  EXPECT_FALSE(down.ok);
+  EXPECT_NE(down.body.find("degraded_fleet"), std::string::npos);
+  EXPECT_NE(collector.flight().jsonLines().find("fleet.healthz"),
+            std::string::npos);
+  EXPECT_EQ(collector.registry().counter("fleet.health.fleet_flips").value(),
+            1u);
+
+  // Both heal: back to 200 and a second flip event.
+  collector.ingestScrape(3, 3.0, okScrape(true));
+  collector.ingestScrape(4, 3.0, okScrape(true));
+  EXPECT_TRUE(collector.fleetHealthz().ok);
+  EXPECT_EQ(collector.registry().counter("fleet.health.fleet_flips").value(),
+            2u);
+}
+
+TEST(FleetCollector, RollupTotalsConserveSyntheticCounters) {
+  obs::FleetCollector collector;
+  std::uint64_t expected = 0;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    obs::Registry registry;
+    registry.counter("daemon.sightings_reported").inc(10 * id);
+    expected += 10 * id;
+    collector.ingestScrape(id, 1.0, okScrape(true, registry.expositionText()));
+  }
+  EXPECT_EQ(collector.rollupTotal("daemon.sightings_reported"), expected);
+  EXPECT_EQ(collector.registry().counter("fleet.scrapes.parse_errors").value(),
+            0u);
+  // The last-value gauge mirrors the sum.
+  const std::string text = collector.fleetMetricsText();
+  EXPECT_NE(text.find("fleet.rollup.sightings_total 150"), std::string::npos);
+}
+
+// --------------------------------------------------------- the big one --
+
+// The ISSUE's flagship scenario: a 32-reader corridor with live
+// exposition on every pole and a FleetMonitor scraping at 1 Hz. Reader
+// index 1 loses its uplink to a scripted outage (degraded via its own
+// watchdog, surfaced through the fleet plane); reader index 5 is killed
+// mid-run (silent within K scrape intervals). With
+// maxUnhealthyFraction = 0.05, one unhealthy reader (1/32 = 0.03)
+// keeps fleet healthz at 200; the second (2/32 = 0.06) trips 503; the
+// heal brings it back. Rollups must conserve exactly.
+TEST(FleetCorridor, ThirtyTwoReadersSilentFlapAndThreshold) {
+  apps::FleetHarnessConfig config;
+  config.corridor.readers = 32;
+  config.daemon.queriesPerWindow = 2;
+  config.daemon.decodeCollisionsPerWindow = 1;
+  config.daemon.uplinkPeriodSec = 5.0;
+  config.daemon.degradedAfterFailures = 3;
+  config.daemon.outbox.initialBackoffSec = 2.0;
+  config.daemon.outbox.backoffMultiplier = 2.0;
+  config.daemon.outbox.maxBackoffSec = 8.0;
+  config.daemon.outbox.maxAttempts = 0;
+  config.monitor.fleet.silentAfterMissed = 3;
+  config.monitor.fleet.maxUnhealthyFraction = 0.05;
+  config.monitor.expoPort = 0;
+  config.scrapePeriodSec = 1.0;
+  config.seed = 1234;
+
+  apps::FleetHarness fleet(config);
+  ASSERT_EQ(fleet.readerCount(), 32u);
+
+  const std::size_t kFlapper = 1;
+  const std::size_t kVictim = 5;
+  const std::uint32_t kFlapperId = kFlapper + 1;
+  const std::uint32_t kVictimId = kVictim + 1;
+  obs::FleetCollector& collector = fleet.monitor().collector();
+
+  // Scripted outage on the flapper's uplink+downlink for t in [10, 34).
+  net::FaultPlan outage;
+  outage.outages.push_back({10.0, 34.0});
+  fleet.setFaultPlan(kFlapper, outage);
+
+  // Warmup: everything healthy, all 32 discovered.
+  fleet.stepTo(9.0);
+  EXPECT_EQ(collector.readers(fleet.now()).size(), 32u);
+  EXPECT_TRUE(collector.fleetHealthz().ok);
+
+  // Deep into the outage the flapper's own watchdog has tripped and the
+  // fleet view shows it degraded — but 1/32 is under the threshold, so
+  // fleet healthz must still say 200.
+  fleet.stepTo(28.0);
+  EXPECT_NE(fleet.daemon(kFlapper).health(), apps::UplinkHealth::kHealthy);
+  EXPECT_EQ(collector.readerState(kFlapperId), obs::ReaderState::kDegraded);
+  EXPECT_TRUE(collector.fleetHealthz().ok)
+      << "one unhealthy reader of 32 must not trip the fleet";
+
+  // Kill the victim pole. Three missed scrape intervals later it is
+  // silent, and 2/32 unhealthy crosses the 0.05 threshold: 503.
+  fleet.killReader(kVictim);
+  fleet.stepTo(33.0);
+  EXPECT_EQ(collector.readerState(kVictimId), obs::ReaderState::kSilent);
+  EXPECT_EQ(collector.readerState(kFlapperId), obs::ReaderState::kDegraded);
+  const obs::HealthStatus tripped = collector.fleetHealthz();
+  EXPECT_FALSE(tripped.ok);
+  EXPECT_NE(tripped.body.find("degraded_fleet"), std::string::npos);
+
+  // The threshold crossing and both reader transitions left events.
+  const std::string flight = collector.flight().jsonLines();
+  EXPECT_NE(flight.find("fleet.healthz"), std::string::npos);
+  EXPECT_NE(flight.find("\"to\":\"silent\""), std::string::npos);
+  EXPECT_NE(flight.find("\"to\":\"degraded\""), std::string::npos);
+
+  // Outage heals at t=34; the flapper's outbox drains, its watchdog
+  // recovers, and the fleet drops back under the threshold: 200 again,
+  // with the victim still (correctly) silent.
+  fleet.stepTo(48.0);
+  EXPECT_EQ(fleet.daemon(kFlapper).health(), apps::UplinkHealth::kHealthy);
+  EXPECT_EQ(collector.readerState(kFlapperId), obs::ReaderState::kHealthy);
+  EXPECT_EQ(collector.readerState(kVictimId), obs::ReaderState::kSilent);
+  EXPECT_TRUE(collector.fleetHealthz().ok);
+
+  // Exact conservation: dead daemons stop advancing the moment they are
+  // killed and the collector froze them at their last good scrape, so
+  // every per-reader total in the collector must equal that reader's
+  // own registry — and the rollup their sum. Audited for the three
+  // headline counters.
+  for (const char* name : {"daemon.sightings_reported", "daemon.decoded_ids",
+                           "daemon.uplink_retries"}) {
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < fleet.readerCount(); ++i)
+      expected += fleet.daemon(i).registry().counter(name).value();
+    EXPECT_EQ(collector.rollupTotal(name), expected) << name;
+  }
+  EXPECT_EQ(collector.registry().counter("fleet.scrapes.parse_errors").value(),
+            0u)
+      << "the collector must parse real daemon exposition losslessly";
+
+  // Time-series rings populated and downsampled for a live reader.
+  EXPECT_GT(collector
+                .seriesPoints(1, "daemon.sightings_reported",
+                              obs::RollupTier::kRaw)
+                .size(),
+            10u);
+  EXPECT_GE(collector
+                .seriesPoints(1, "daemon.sightings_reported",
+                              obs::RollupTier::kTenSec)
+                .size(),
+            3u);
+
+  // Cross-reader merged latency quantiles made it into the rollup.
+  const std::string metrics = collector.fleetMetricsText();
+  EXPECT_NE(metrics.find("fleet.rollup.window_p50_sec"), std::string::npos);
+
+  // And the whole view is served over real HTTP on /fleet/*.
+  const std::uint16_t port = fleet.monitor().expoPort();
+  ASSERT_NE(port, 0);
+  const net::HttpResponse healthz =
+      net::httpGet("127.0.0.1", port, "/fleet/healthz");
+  ASSERT_TRUE(healthz.ok) << healthz.error;
+  EXPECT_EQ(healthz.status, 200);
+  const net::HttpResponse readers =
+      net::httpGet("127.0.0.1", port, "/fleet/readers");
+  ASSERT_TRUE(readers.ok) << readers.error;
+  EXPECT_EQ(readers.contentType, "application/x-ndjson");
+  EXPECT_NE(readers.body.find("\"type\":\"fleet.rollup\""), std::string::npos);
+  EXPECT_NE(readers.body.find("\"state\":\"silent\""), std::string::npos);
+}

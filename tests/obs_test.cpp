@@ -117,6 +117,66 @@ TEST(ObsMetrics, QuantileExtractionIsMonotoneAcrossBuckets) {
                    obs::histogramQuantile(snap, 1.0));
 }
 
+TEST(ObsMetrics, MergeFromAccumulatesMatchingHistograms) {
+  obs::Registry a, b;
+  obs::Histogram& ha = a.histogram("m.lat", {1.0, 2.0, 4.0});
+  obs::Histogram& hb = b.histogram("m.lat", {1.0, 2.0, 4.0});
+  ha.observe(0.5);
+  ha.observe(1.5);
+  hb.observe(1.5);
+  hb.observe(3.0);
+  hb.observe(9.0);  // +Inf bucket
+
+  obs::HistogramSnapshot merged;  // empty seed adopts the first shape
+  EXPECT_TRUE(merged.mergeFrom(a.snapshot().histograms.at(0)));
+  EXPECT_TRUE(merged.mergeFrom(b.snapshot().histograms.at(0)));
+  EXPECT_EQ(merged.count, 5u);
+  EXPECT_NEAR(merged.sum, 0.5 + 1.5 + 1.5 + 3.0 + 9.0, 1e-9);
+  ASSERT_EQ(merged.bucketCounts.size(), 4u);
+  EXPECT_EQ(merged.bucketCounts[0], 1u);  // (0, 1]
+  EXPECT_EQ(merged.bucketCounts[1], 2u);  // (1, 2]
+  EXPECT_EQ(merged.bucketCounts[2], 1u);  // (2, 4]
+  EXPECT_EQ(merged.bucketCounts[3], 1u);  // +Inf
+}
+
+TEST(ObsMetrics, MergeFromRejectsMismatchedBoundsUntouched) {
+  obs::Registry a, b;
+  a.histogram("m.a", {1.0, 2.0}).observe(0.5);
+  b.histogram("m.b", {1.0, 4.0}).observe(0.5);
+  obs::HistogramSnapshot target = a.snapshot().histograms.at(0);
+  const obs::HistogramSnapshot before = target;
+  EXPECT_FALSE(target.mergeFrom(b.snapshot().histograms.at(0)));
+  EXPECT_EQ(target.count, before.count);
+  EXPECT_EQ(target.bucketCounts, before.bucketCounts)
+      << "a rejected merge must leave the accumulator untouched";
+}
+
+TEST(ObsMetrics, MergedQuantileMatchesPooledSamples) {
+  // Three "readers" observing the same latency metric; the merged p50
+  // must equal the quantile of one histogram holding all the samples.
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  obs::Registry pooledRegistry;
+  obs::Histogram& pooled = pooledRegistry.histogram("m.pooled", bounds);
+  std::vector<obs::HistogramSnapshot> snapshots;
+  for (int reader = 0; reader < 3; ++reader) {
+    obs::Registry registry;
+    obs::Histogram& h = registry.histogram("m.lat", bounds);
+    for (int i = 0; i <= reader * 5; ++i) {
+      const double v = 0.5 + static_cast<double>((i + reader) % 6);
+      h.observe(v);
+      pooled.observe(v);
+    }
+    snapshots.push_back(registry.snapshot().histograms.at(0));
+  }
+  const auto pooledSnap = pooledRegistry.snapshot().histograms.at(0);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(obs::mergedQuantile(snapshots, q),
+                     obs::histogramQuantile(pooledSnap, q))
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(obs::mergedQuantile({}, 0.5), 0.0);
+}
+
 TEST(ObsMetrics, RegistryReturnsSameInstanceAndChecksKind) {
   obs::Registry registry;
   obs::Counter& a = registry.counter("x.calls");

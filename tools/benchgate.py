@@ -4,7 +4,7 @@
 Runs every bench binary N times with ``--json``, aggregates each metric
 across repeats (median / p10 / p90 / relative standard deviation),
 re-runs benches whose wall-clock RSD exceeds the noise threshold, and
-writes one consolidated report (default ``BENCH_PR7.json``) at the repo
+writes one consolidated report (default ``BENCH_PR9.json``) at the repo
 root.  The gate then compares wall-clock medians against the newest other
 ``BENCH_*.json`` baseline and exits non-zero when any bench slowed down by
 more than ``--threshold`` (fractional, default 0.10 = 10%).  A missing or
@@ -25,7 +25,7 @@ worked example lives in EXPERIMENTS.md).
 
 Usage:
   tools/benchgate.py [--build-dir build] [--profile smoke|full]
-                     [--repeats 3] [--threshold 0.10] [--out BENCH_PR7.json]
+                     [--repeats 3] [--threshold 0.10] [--out BENCH_PR9.json]
                      [--baseline FILE] [--filter REGEX]
                      [--counter-gate NAME[:FRAC]] [--trend]
                      [--update-baseline] [--compare-only] [--selftest]
@@ -67,6 +67,7 @@ MANIFEST = [
     ("mac_csma_ablation", [], []),
     ("decoder_ablation", ["2"], ["10"]),
     ("backend_ingest_durable", ["500"], ["5000"]),
+    ("fleet_scrape", ["16", "10"], ["64", "50"]),
     ("dsp_micro", ["--benchmark_min_time=0.01"], ["--benchmark_min_time=0.1"]),
     ("sfft_vs_fft", ["--benchmark_min_time=0.01"], ["--benchmark_min_time=0.1"]),
 ]
@@ -474,7 +475,7 @@ def main(argv=None):
                         help="wall-clock RSD above which a bench is re-run")
     parser.add_argument("--max-extra-runs", type=int, default=2)
     parser.add_argument("--out", type=pathlib.Path,
-                        default=REPO_ROOT / "BENCH_PR7.json")
+                        default=REPO_ROOT / "BENCH_PR9.json")
     parser.add_argument("--baseline", type=pathlib.Path, default=None,
                         help="explicit baseline file (default: newest other "
                              "BENCH_*.json at the repo root)")

@@ -26,7 +26,10 @@ This linter enforces the ones the architecture depends on:
                lowercase grammar (`net.backend.frames_ingested`), and no
                metric name is registered at more than one source
                location or under two different kinds — exposition and
-               dashboards key on exact names.
+               dashboards key on exact names. `fleet.*` names are
+               additionally pinned to src/obs/fleet.* — the fleet
+               rollup registry is the one place city-scope metrics may
+               be minted, so a daemon can never shadow the collector.
   profstage    Hot-path profiler stage names live in one registry
                (src/obs/prof_stages.hpp): each follows the dotted
                lowercase grammar, no two constants share a name (stage
@@ -319,6 +322,14 @@ def check_metricnames(files, rel, findings):
                         "metricnames", rp, lineno,
                         f"metric name '{name}' violates the dotted "
                         "lowercase grammar (e.g. net.backend.frames)"))
+            if (name.startswith("fleet.")
+                    and not rp.startswith("src/obs/fleet.")):
+                if not allowed(line, "metricnames", findings, rp, lineno):
+                    findings.append(Finding(
+                        "metricnames", rp, lineno,
+                        f"fleet-plane metric '{name}' registered outside "
+                        "src/obs/fleet.* — fleet.* names belong to the "
+                        "FleetCollector rollup registry"))
             registrations[name].append((kind, rp, lineno))
         for m in EVENT_EMIT_RE.finditer(code):
             name = m.group("name")
@@ -579,6 +590,10 @@ SELFTEST_CASES = [
      'registry.counter("BadName");', True),
     ("metricnames", "src/core/foo.cpp",
      'registry.counter("good.dotted_name");', False),
+    ("metricnames", "src/apps/foo.cpp",
+     'registry.counter("fleet.rogue.total");', True),
+    ("metricnames", "src/obs/fleet.cpp",
+     'registry_.counter("fleet.scrapes.ok");', False),
     ("units", "src/phy/foo.cpp", "double f = 914.3e6;", True),
     ("units", "src/phy/foo.cpp", "double f = MHz(914.3);", False),
     ("units", "src/dsp/foo.cpp", "double eps = 1e-12;", False),

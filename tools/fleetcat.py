@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""fleetcat.py — render fleet-collector reader dumps.
+
+Consumes the JSON-lines output of the fleet monitor's ``GET
+/fleet/readers`` (one ``fleet.reader`` object per pole plus a trailing
+``fleet.rollup`` totals line, as emitted by
+``obs::FleetCollector::readersJsonLines``).  Multiple concatenated
+dumps — e.g. ``curl`` in a loop appending to one file — are grouped by
+timestamp and rendered as a trend.
+
+Default output is the newest snapshot as a per-reader table (state,
+healthz verdict, staleness, missed scrapes, totals, sightings rate)
+plus the rollup line; with more than one snapshot in the input, a
+trend section shows readers/unhealthy/sightings per timestamp with a
+sparkline over the sightings totals.
+
+``--assert-state ID=STATE[,ID=STATE...]`` exits non-zero unless, in
+the newest snapshot, each named reader is in the named state — what
+the fleet ctest suite and CI smoke scripts use to grep-proof runs.
+
+Usage:
+  tools/fleetcat.py [DUMP ...] [--assert-state 6=silent,2=degraded]
+                    [--selftest]
+
+Reads stdin when no dump is given.  Exit codes: 0 ok, 1 assertion or
+parse failure, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+STATES = ("healthy", "degraded", "flapping", "silent")
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def parse_lines(text):
+    """JSON lines -> (readers, rollups).
+
+    ``readers`` is {ts: {reader_id: fields}}, ``rollups`` is
+    {ts: fields}.  Unknown event types are ignored (the dump may be a
+    whole flight ring); malformed JSON raises ValueError.
+    """
+    readers = {}
+    rollups = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"line {lineno}: not JSON: {line!r}") from err
+        if not isinstance(obj, dict):
+            raise ValueError(f"line {lineno}: not an object: {line!r}")
+        ts = obj.get("ts", 0.0)
+        kind = obj.get("type")
+        if kind == "fleet.reader":
+            readers.setdefault(ts, {})[int(obj.get("reader_id", 0))] = obj
+        elif kind == "fleet.rollup":
+            rollups[ts] = obj
+    return readers, rollups
+
+
+def sparkline(values):
+    """Scale a series into block characters (empty-safe)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK[0] * len(values)
+    scale = (len(SPARK) - 1) / (hi - lo)
+    return "".join(SPARK[int((v - lo) * scale)] for v in values)
+
+
+def fmt_num(value, digits=1):
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.{digits}f}"
+    return str(int(value))
+
+
+def render_snapshot(ts, rows, rollup, echo=print):
+    """One snapshot -> the per-reader table plus the rollup line."""
+    echo(f"fleet @ t={fmt_num(ts)} — {len(rows)} readers")
+    header = ("reader", "state", "healthz", "stale", "missed", "trans",
+              "sightings", "decoded", "retries", "rate/s")
+    table = [header]
+    for reader_id in sorted(rows):
+        r = rows[reader_id]
+        table.append((
+            str(reader_id),
+            r.get("state", "?"),
+            r.get("healthz", "?"),
+            fmt_num(r.get("stale_sec", 0)),
+            fmt_num(r.get("missed", 0)),
+            fmt_num(r.get("transitions", 0)),
+            fmt_num(r.get("sightings", 0)),
+            fmt_num(r.get("decoded", 0)),
+            fmt_num(r.get("uplink_retries", 0)),
+            fmt_num(r.get("rate_per_sec", 0.0), 2),
+        ))
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    for row in table:
+        echo("  " + "  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if rollup:
+        echo("  rollup: readers=%s unhealthy=%s (%.0f%%) sightings=%s "
+             "decoded=%s retries=%s"
+             % (fmt_num(rollup.get("readers", 0)),
+                fmt_num(rollup.get("unhealthy", 0)),
+                100.0 * float(rollup.get("unhealthy_fraction", 0.0)),
+                fmt_num(rollup.get("sightings_total", 0)),
+                fmt_num(rollup.get("decoded_total", 0)),
+                fmt_num(rollup.get("uplink_retries_total", 0))))
+
+
+def render_trend(rollups, echo=print):
+    """Multi-snapshot input -> per-timestamp rollup trend."""
+    stamps = sorted(rollups)
+    echo("trend over %d snapshots:" % len(stamps))
+    for ts in stamps:
+        r = rollups[ts]
+        echo("  t=%-8s readers=%-4s unhealthy=%-4s sightings=%s"
+             % (fmt_num(ts), fmt_num(r.get("readers", 0)),
+                fmt_num(r.get("unhealthy", 0)),
+                fmt_num(r.get("sightings_total", 0))))
+    echo("  sightings: "
+         + sparkline([float(rollups[ts].get("sightings_total", 0))
+                      for ts in stamps]))
+
+
+def parse_assertions(spec):
+    """"6=silent,2=degraded" -> [(6, "silent"), (2, "degraded")]."""
+    wanted = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        reader, sep, state = part.partition("=")
+        if not sep or state not in STATES:
+            raise ValueError(f"bad assertion {part!r} (want ID=STATE with "
+                             f"STATE in {'/'.join(STATES)})")
+        wanted.append((int(reader), state))
+    return wanted
+
+
+def check_states(rows, wanted, echo=print):
+    """Every asserted reader must be in the asserted state."""
+    ok = True
+    for reader_id, state in wanted:
+        actual = rows.get(reader_id, {}).get("state")
+        if actual != state:
+            echo(f"fleetcat: reader {reader_id} is {actual!r}, "
+                 f"expected {state!r}")
+            ok = False
+    return ok
+
+
+def selftest():
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+
+    sink = lambda *_: None
+
+    dump = (
+        '{"ts":10,"type":"fleet.reader","reader_id":1,"state":"healthy",'
+        '"healthz":"healthy","stale_sec":0,"missed":0,"transitions":0,'
+        '"sightings":40,"decoded":3,"uplink_retries":0,"rate_per_sec":2}\n'
+        '{"ts":10,"type":"fleet.reader","reader_id":6,"state":"silent",'
+        '"healthz":"healthy","stale_sec":5,"missed":5,"transitions":0,'
+        '"sightings":18,"decoded":1,"uplink_retries":2,"rate_per_sec":0}\n'
+        '{"ts":10,"type":"fleet.rollup","readers":2,"unhealthy":1,'
+        '"unhealthy_fraction":0.5,"sightings_total":58,"decoded_total":4,'
+        '"uplink_retries_total":2}\n'
+        '{"ts":20,"type":"fleet.reader","reader_id":1,"state":"healthy",'
+        '"healthz":"healthy","stale_sec":0,"missed":0,"transitions":0,'
+        '"sightings":60,"decoded":5,"uplink_retries":0,"rate_per_sec":2}\n'
+        '{"ts":20,"type":"fleet.reader","reader_id":6,"state":"silent",'
+        '"healthz":"healthy","stale_sec":15,"missed":15,"transitions":0,'
+        '"sightings":18,"decoded":1,"uplink_retries":2,"rate_per_sec":0}\n'
+        '{"ts":20,"type":"fleet.rollup","readers":2,"unhealthy":1,'
+        '"unhealthy_fraction":0.5,"sightings_total":78,"decoded_total":6,'
+        '"uplink_retries_total":2}\n'
+        '{"ts":20,"type":"fleet.healthz","ok":false}\n'
+    )
+    readers, rollups = parse_lines(dump)
+    check(sorted(readers) == [10, 20], "snapshots grouped by ts")
+    check(sorted(readers[10]) == [1, 6], "reader rows keyed by id")
+    check(readers[20][6]["state"] == "silent", "state carried through")
+    check(rollups[20]["sightings_total"] == 78, "rollup totals parsed")
+    check(20 not in (k for k in readers[20] if k == 0),
+          "unknown event types ignored")
+
+    try:
+        parse_lines("not json\n")
+        check(False, "malformed lines raise")
+    except ValueError:
+        pass
+
+    newest = max(readers)
+    render_snapshot(newest, readers[newest], rollups.get(newest), sink)
+    render_trend(rollups, sink)
+    check(sparkline([1.0, 1.0]) == SPARK[0] * 2, "flat sparkline")
+    check(sparkline([0.0, 7.0]) == SPARK[0] + SPARK[-1],
+          "sparkline spans the range")
+    check(sparkline([]) == "", "empty sparkline")
+
+    wanted = parse_assertions("6=silent, 1=healthy")
+    check(wanted == [(6, "silent"), (1, "healthy")], "assertion spec parse")
+    check(check_states(readers[newest], wanted, sink),
+          "assert-state passes on matching states")
+    check(not check_states(readers[newest], [(1, "silent")], sink),
+          "assert-state fails on a mismatch")
+    check(not check_states(readers[newest], [(99, "healthy")], sink),
+          "assert-state fails on an unknown reader")
+    try:
+        parse_assertions("1=bogus")
+        check(False, "assertion spec rejects unknown states")
+    except ValueError:
+        pass
+
+    if failures:
+        for f in failures:
+            print("selftest FAIL:", f)
+        return 1
+    print("fleetcat selftest ok (%d checks)" % 14)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="render fleet /fleet/readers dumps")
+    parser.add_argument("dumps", nargs="*", help="dump files (default stdin)")
+    parser.add_argument("--assert-state", default="",
+                        help="ID=STATE[,ID=STATE...] to require in the "
+                             "newest snapshot")
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+
+    if args.dumps:
+        try:
+            text = "".join(pathlib.Path(p).read_text() for p in args.dumps)
+        except OSError as err:
+            print(f"fleetcat: {err}", file=sys.stderr)
+            return 2
+    else:
+        text = sys.stdin.read()
+
+    try:
+        readers, rollups = parse_lines(text)
+        wanted = parse_assertions(args.assert_state)
+    except ValueError as err:
+        print(f"fleetcat: {err}", file=sys.stderr)
+        return 1
+    if not readers:
+        print("fleetcat: no fleet.reader lines in input", file=sys.stderr)
+        return 1
+
+    newest = max(readers)
+    render_snapshot(newest, readers[newest], rollups.get(newest))
+    if len(readers) > 1:
+        print()
+        render_trend(rollups)
+    if wanted and not check_states(readers[newest], wanted):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
