@@ -1,0 +1,253 @@
+// Exposition-plane serving bench: the epoll ExpoServer under a
+// concurrent client storm, plus the fleet sweep that motivated
+// ScrapeSet.
+//
+// Phase 1 — storm: N clients fire GET /metrics at ONE server
+// simultaneously (driven by net::ScrapeSet, itself non-blocking, so the
+// whole storm really is in flight at once), with two slowloris
+// connections parked mid-request for the timer wheel to cut. Every
+// well-behaved client must get a complete 200 — one dropped client
+// fails the bench. p50/p99 request latency comes from the server's own
+// expo.request_latency.metrics histogram (the self-metrics family this
+// PR adds): the bench reads the serving plane the way an operator
+// would.
+//
+// Phase 2 — fleet sweep: 32 mini-servers, each charging ~2 ms of
+// simulated render+RTT cost per request, scraped serially (the old
+// FleetMonitor for-loop) vs concurrently (one ScrapeSet round). The
+// speedup is the figure EXPERIMENTS.md quotes.
+//
+//   ./bench_expo_serve [clients=1000] [sweepReaders=32]
+//
+// benchgate.py gates bench.wall_seconds against the committed baseline.
+#include <sys/resource.h>
+#include <sys/socket.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "net/scrape.hpp"
+#include "obs/expo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace caraoke;
+
+namespace {
+
+/// Raise RLIMIT_NOFILE toward its hard cap (client + server fds both
+/// live in this process) and return the usable soft limit.
+std::size_t raiseFdLimit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return static_cast<std::size_t>(lim.rlim_cur);
+}
+
+int connectAndStall(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  ::send(fd, "GET /met", 8, MSG_NOSIGNAL);  // half a request, then silence
+  return fd;
+}
+
+const obs::HistogramSnapshot* findHistogram(const obs::RegistrySnapshot& snap,
+                                       const std::string& name);
+
+int run(const bench::BenchArgs& args, obs::Registry& results) {
+  const std::size_t requested = args.sizeAt(0, 1000);
+  const std::size_t sweepReaders = args.sizeAt(1, 32);
+
+  // Each in-flight request needs two fds (client end + server end),
+  // plus slack for the servers/epoll/test plumbing.
+  const std::size_t fdLimit = raiseFdLimit();
+  const std::size_t clients =
+      std::min(requested, fdLimit > 512 ? (fdLimit - 256) / 2 : 128);
+  if (clients < requested)
+    std::cout << "fd limit " << fdLimit << ": clamping storm to " << clients
+              << " clients\n";
+
+  // ------------------------------------------------------ phase 1: storm
+  std::string payload;
+  while (payload.size() < 2048) payload += "expo.bench_payload_line 1234\n";
+
+  obs::Registry self;
+  obs::ExpoOptions options;
+  options.maxConnections = clients + 16;
+  options.recvTimeoutMs = 1000;
+  options.sendTimeoutMs = 10000;
+  options.selfRegistry = &self;
+  obs::ExpoHandlers handlers;
+  handlers.metricsText = [&payload] { return payload; };
+  obs::ExpoServer server(options, std::move(handlers));
+  if (!server.start()) {
+    std::cerr << "expo server failed to start\n";
+    return 1;
+  }
+
+  const int slow0 = connectAndStall(server.port());
+  const int slow1 = connectAndStall(server.port());
+
+  net::ScrapeSet storm;
+  for (std::size_t i = 0; i < clients; ++i)
+    storm.add({"127.0.0.1", server.port(), "/metrics"});
+  const double t0 = obs::monotonicSeconds();
+  const std::vector<net::HttpResponse> replies = storm.run(30000);
+  const double stormSec = obs::monotonicSeconds() - t0;
+
+  std::size_t complete = 0;
+  for (const net::HttpResponse& r : replies)
+    if (r.ok && r.status == 200 && r.body.size() == payload.size())
+      ++complete;
+  const std::size_t dropped = clients - complete;
+
+  // Let the wheel cut the slowloris pair (recvTimeoutMs + tick slack).
+  const double slowDeadline = obs::monotonicSeconds() + 5.0;
+  while (server.timeouts() < 2 && obs::monotonicSeconds() < slowDeadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  if (slow0 >= 0) ::close(slow0);
+  if (slow1 >= 0) ::close(slow1);
+
+  const obs::RegistrySnapshot snap = self.snapshot();
+  const obs::HistogramSnapshot* latency =
+      findHistogram(snap, "expo.request_latency.metrics");
+  const double p50Ms =
+      latency != nullptr ? obs::histogramQuantile(*latency, 0.50) * 1e3 : 0.0;
+  const double p99Ms =
+      latency != nullptr ? obs::histogramQuantile(*latency, 0.99) * 1e3 : 0.0;
+
+  Table table({"clients", "complete", "dropped", "storm ms", "req/s",
+               "p50 ms", "p99 ms", "timeouts", "shed"});
+  table.addRow({std::to_string(clients), std::to_string(complete),
+                std::to_string(dropped), Table::num(stormSec * 1e3, 1),
+                Table::num(static_cast<double>(complete) / stormSec, 0),
+                Table::num(p50Ms, 2), Table::num(p99Ms, 2),
+                std::to_string(server.timeouts()),
+                std::to_string(server.shedConnections())});
+  table.print();
+
+  results.gauge("bench.expo.clients").set(static_cast<double>(clients));
+  results.gauge("bench.expo.complete").set(static_cast<double>(complete));
+  results.gauge("bench.expo.dropped").set(static_cast<double>(dropped));
+  results.gauge("bench.expo.requests_per_sec")
+      .set(static_cast<double>(complete) / stormSec);
+  results.gauge("bench.expo.latency_p50_ms").set(p50Ms);
+  results.gauge("bench.expo.latency_p99_ms").set(p99Ms);
+  results.gauge("bench.expo.slow_timeouts")
+      .set(static_cast<double>(server.timeouts()));
+  results.gauge("bench.expo.shed")
+      .set(static_cast<double>(server.shedConnections()));
+  server.stop();
+
+  if (dropped != 0) {
+    std::cerr << dropped << " well-behaved client(s) dropped\n";
+    return 1;
+  }
+  if (server.timeouts() < 2) {
+    std::cerr << "slowloris connections were not timed out\n";
+    return 1;
+  }
+
+  // ------------------------------------------------- phase 2: fleet sweep
+  // Each mini-server charges ~2 ms per request: the render + RTT cost a
+  // real reader daemon exhibits on a corridor backhaul. Serial sweep
+  // pays it 32 times in a row; the concurrent sweep overlaps all of it.
+  std::vector<std::unique_ptr<obs::ExpoServer>> fleet;
+  for (std::size_t i = 0; i < sweepReaders; ++i) {
+    obs::ExpoHandlers h;
+    h.metricsText = [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return std::string("reader.metric 1\n");
+    };
+    auto s = std::make_unique<obs::ExpoServer>(obs::ExpoOptions{},
+                                               std::move(h));
+    if (!s->start()) {
+      std::cerr << "fleet mini-server failed to start\n";
+      return 1;
+    }
+    fleet.push_back(std::move(s));
+  }
+
+  const double s0 = obs::monotonicSeconds();
+  std::size_t serialOk = 0;
+  for (const auto& s : fleet) {
+    const net::HttpResponse r =
+        net::httpGet("127.0.0.1", s->port(), "/metrics", 5000);
+    if (r.ok && r.status == 200) ++serialOk;
+  }
+  const double serialMs = (obs::monotonicSeconds() - s0) * 1e3;
+
+  net::ScrapeSet sweep;
+  for (const auto& s : fleet)
+    sweep.add({"127.0.0.1", s->port(), "/metrics"});
+  const double c0 = obs::monotonicSeconds();
+  const std::vector<net::HttpResponse> sweepReplies = sweep.run(5000);
+  const double concurrentMs = (obs::monotonicSeconds() - c0) * 1e3;
+  std::size_t concurrentOk = 0;
+  for (const net::HttpResponse& r : sweepReplies)
+    if (r.ok && r.status == 200) ++concurrentOk;
+  for (const auto& s : fleet) s->stop();
+
+  const double speedup = concurrentMs > 0.0 ? serialMs / concurrentMs : 0.0;
+  Table sweepTable({"readers", "serial ms", "concurrent ms", "speedup"});
+  sweepTable.addRow({std::to_string(sweepReaders), Table::num(serialMs, 1),
+                     Table::num(concurrentMs, 1), Table::num(speedup, 1)});
+  sweepTable.print();
+
+  results.gauge("bench.expo.sweep_readers")
+      .set(static_cast<double>(sweepReaders));
+  results.gauge("bench.expo.sweep_serial_ms").set(serialMs);
+  results.gauge("bench.expo.sweep_concurrent_ms").set(concurrentMs);
+  results.gauge("bench.expo.sweep_speedup").set(speedup);
+
+  if (serialOk != sweepReaders || concurrentOk != sweepReaders) {
+    std::cerr << "fleet sweep dropped scrapes: serial " << serialOk
+              << ", concurrent " << concurrentOk << "/" << sweepReaders
+              << "\n";
+    return 1;
+  }
+  if (concurrentMs >= serialMs) {
+    std::cerr << "concurrent sweep (" << concurrentMs
+              << " ms) not faster than serial (" << serialMs << " ms)\n";
+    return 1;
+  }
+  std::cout << "\nStorm served with zero dropped clients; slowloris cut by "
+               "the wheel; concurrent sweep " << Table::num(speedup, 1)
+            << "x faster than serial.\n";
+  return 0;
+}
+
+const obs::HistogramSnapshot* findHistogram(const obs::RegistrySnapshot& snap,
+                                       const std::string& name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::benchMain(argc, argv, "expo — event-loop serving plane", run);
+}

@@ -21,7 +21,7 @@
 #   PROFILE     smoke | full                 (default smoke)
 #   REPEATS     runs per bench               (default 3)
 #   THRESHOLD   fractional slowdown gate     (default 0.10)
-#   OUT         consolidated report path     (default BENCH_PR7.tmp.json,
+#   OUT         consolidated report path     (default BENCH_PR10.tmp.json,
 #               gitignored so CI runs never dirty the tree)
 #   GATE_ARGS   extra benchgate.py args (e.g. --update-baseline)
 #   PROF_OFF_CHECK  1 to run the prof-off nm check (default 1)
@@ -33,7 +33,7 @@ BUILD_DIR="${BUILD_DIR:-build-perf}"
 PROFILE="${PROFILE:-smoke}"
 REPEATS="${REPEATS:-3}"
 THRESHOLD="${THRESHOLD:-0.10}"
-OUT="${OUT:-BENCH_PR9.tmp.json}"
+OUT="${OUT:-BENCH_PR10.tmp.json}"
 PROF_OFF_CHECK="${PROF_OFF_CHECK:-1}"
 
 echo "=== ci_perf: building benches (${BUILD_DIR}) ==="
@@ -45,7 +45,7 @@ cmake --build "${BUILD_DIR}" -j --target \
   bench_fig14_multipath_profile bench_fig15_speed_accuracy \
   bench_fig16_identification_time bench_power_budget \
   bench_mac_csma_ablation bench_decoder_ablation \
-  bench_backend_ingest_durable bench_fleet_scrape \
+  bench_backend_ingest_durable bench_fleet_scrape bench_expo_serve \
   bench_dsp_micro bench_sfft_vs_fft >/dev/null
 
 echo "=== ci_perf: benchgate (${PROFILE}, x${REPEATS}, gate ${THRESHOLD}) ==="

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/scrape.hpp"
+#include "obs/trace.hpp"
 #include "sim/fleet_scenario.hpp"
 
 namespace caraoke::apps {
@@ -35,33 +36,63 @@ void FleetMonitor::setTargetPort(std::uint32_t readerId, std::uint16_t port) {
 
 void FleetMonitor::scrapeAll(double now) {
   lastScrapeTime_.store(now, std::memory_order_release);
-  for (const auto& target : targets_) {
-    obs::ReaderScrape scrape;
-    // Port 0 = the daemon never bound (or was killed before we learned
-    // its port): indistinguishable from a dead pole, count it missed.
-    if (target.port != 0) {
-      const net::HttpResponse metrics = net::httpGet(
-          target.host, target.port, "/metrics", config_.scrapeTimeoutMs);
-      if (metrics.ok && metrics.status == 200) {
-        scrape.ok = true;
-        scrape.metricsText = metrics.body;
-        const net::HttpResponse healthz = net::httpGet(
-            target.host, target.port, "/healthz", config_.scrapeTimeoutMs);
-        // The daemon answered /metrics but not /healthz: still a live
-        // scrape, but the health verdict is the failure itself.
-        scrape.healthzOk = healthz.ok && healthz.status == 200;
-        scrape.healthzBody = healthz.ok ? healthz.body : "unreachable";
-        trimTrailingNewlines(scrape.healthzBody);
-      }
+  // Round 1: /metrics from every live target, concurrently under one
+  // deadline. Port 0 = the daemon never bound (or was killed before we
+  // learned its port): indistinguishable from a dead pole, count it
+  // missed without burning a socket on it.
+  net::ScrapeSet set(config_.maxScrapeBodyBytes);
+  std::vector<std::size_t> flightIndex(targets_.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < targets_.size(); ++i)
+    if (targets_[i].port != 0)
+      flightIndex[i] =
+          set.add({targets_[i].host, targets_[i].port, "/metrics"});
+  const std::vector<net::HttpResponse> metricsRound =
+      set.run(config_.scrapeTimeoutMs);
+
+  // Round 2: /healthz, only for the targets whose /metrics answered —
+  // again one concurrent round.
+  std::vector<obs::ReaderScrape> scrapes(targets_.size());
+  std::vector<std::size_t> healthzIndex(targets_.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (flightIndex[i] == SIZE_MAX) continue;
+    const net::HttpResponse& metrics = metricsRound[flightIndex[i]];
+    if (metrics.ok && metrics.status == 200) {
+      scrapes[i].ok = true;
+      scrapes[i].metricsText = metrics.body;
+      healthzIndex[i] =
+          set.add({targets_[i].host, targets_[i].port, "/healthz"});
     }
-    collector_.ingestScrape(target.readerId, now, scrape);
+  }
+  const std::vector<net::HttpResponse> healthzRound =
+      set.run(config_.scrapeTimeoutMs);
+
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (healthzIndex[i] != SIZE_MAX) {
+      const net::HttpResponse& healthz = healthzRound[healthzIndex[i]];
+      // The daemon answered /metrics but not /healthz: still a live
+      // scrape, but the health verdict is the failure itself.
+      scrapes[i].healthzOk = healthz.ok && healthz.status == 200;
+      scrapes[i].healthzBody = healthz.ok ? healthz.body : "unreachable";
+      trimTrailingNewlines(scrapes[i].healthzBody);
+    }
+    collector_.ingestScrape(targets_[i].readerId, now, scrapes[i]);
   }
 }
 
 void FleetMonitor::startExposition() {
   obs::ExpoOptions options;
   options.port = static_cast<std::uint16_t>(config_.expoPort);
+  // The monitor watches its own serving plane through the collector's
+  // registry: expo.* shows up in GET /metrics next to fleet.*.
+  options.selfRegistry = &collector_.registry();
   obs::ExpoHandlers handlers;
+  handlers.slowClient = [this](const char* reason, double ageSec) {
+    obs::Event event;
+    event.ts = obs::monotonicSeconds();
+    event.type = "expo.slow_client";
+    event.fields = {{"reason", reason}, {"age_sec", ageSec}};
+    collector_.flight().record(std::move(event));
+  };
   // Everything served here reads the internally-locked collector, so
   // the server thread never races the scrape driver.
   handlers.metricsText = [this] { return collector_.fleetMetricsText(); };

@@ -17,10 +17,13 @@
 //   GET /healthz             alias of the fleet health verdict
 //   GET /flight              the fleet flight ring (state transitions)
 //
-// scrapeAll(now) runs one scrape round: every target's /metrics +
-// /healthz over net::httpGet, failures fed to the collector as missed
-// scrapes. The driver (FleetHarness, a cron loop in a deployment) owns
-// the cadence and the clock — the monitor never reads one.
+// scrapeAll(now) runs one scrape round: every target's /metrics fired
+// CONCURRENTLY through one net::ScrapeSet under a single deadline (then
+// a second concurrent round of /healthz for the targets that answered),
+// failures fed to the collector as missed scrapes — a 100-reader sweep
+// costs one slow-target RTT, not the sum. The driver (FleetHarness, a
+// cron loop in a deployment) owns the cadence and the clock — the
+// monitor never reads one.
 //
 // FleetHarness is the simulated-city driver the tests/bench/example
 // share: a corridor scene, N ReaderDaemons with live exposition on
@@ -39,6 +42,7 @@
 #include "common/thread_annotations.hpp"
 #include "net/backend.hpp"
 #include "net/link.hpp"
+#include "net/scrape.hpp"
 #include "obs/expo.hpp"
 #include "obs/fleet.hpp"
 #include "sim/fleet_scenario.hpp"
@@ -57,8 +61,14 @@ struct FleetMonitorConfig {
   /// Like ReaderDaemonConfig::expoPort: >= 0 serves the /fleet/* routes
   /// on 127.0.0.1:<port> (0 = ephemeral), negative = no exposition.
   int expoPort = -1;
-  /// Per-request scrape timeout (connect + read).
+  /// Per-round scrape deadline: every target's GET (connect + read)
+  /// must land within this bound — the round is concurrent, so this is
+  /// the whole sweep's budget, not a per-target one.
   int scrapeTimeoutMs = 1000;
+  /// Response-body byte cap per scraped endpoint; a reader emitting a
+  /// larger body is rejected (counted as a missed scrape) so one
+  /// misbehaving daemon can't balloon the monitor's memory.
+  std::size_t maxScrapeBodyBytes = net::kDefaultMaxBodyBytes;
 };
 
 /// The collector process (see file header). Single-threaded driver

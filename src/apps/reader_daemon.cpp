@@ -91,7 +91,16 @@ ReaderDaemon::ReaderDaemon(ReaderDaemonConfig config, sim::Scene& scene,
 void ReaderDaemon::startExposition() {
   obs::ExpoOptions options;
   options.port = static_cast<std::uint16_t>(config_.expoPort);
+  // The serving plane watches itself: expo.* self-metrics land in the
+  // daemon registry, so the same /metrics scrape that reads dsp.* also
+  // shows connection churn, shed counts, and per-route latency.
+  options.selfRegistry = &registry_;
   obs::ExpoHandlers handlers;
+  handlers.slowClient = [this](const char* reason, double ageSec) {
+    recordEvent("expo.slow_client", {{"reason", reason},
+                                     {"age_sec", ageSec},
+                                     {"reader_id", config_.readerId}});
+  };
   // The daemon's private registry first, then the process-wide one
   // (dsp.*, net.link.*, ...): one scrape sees the whole device. Both
   // snapshot under their own mutexes, so serving during a measurement

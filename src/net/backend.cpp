@@ -106,7 +106,17 @@ void Backend::recordEvent(const char* type, std::vector<obs::Field> fields) {
 void Backend::startExposition() {
   obs::ExpoOptions options;
   options.port = static_cast<std::uint16_t>(config_.expoPort);
+  // expo.* self-metrics join net.backend.* in the process registry —
+  // Registry::counter/gauge/histogram are get-or-create, so multiple
+  // exposing backends in one test process share the family.
+  options.selfRegistry = &obs::globalRegistry();
   obs::ExpoHandlers handlers;
+  handlers.slowClient = [this](const char* reason, double ageSec) {
+    // Runs on the expo server thread: ExpoServer.mutex_ is held, so this
+    // is the ExpoServer.mutex_ -> Backend.mutex_ edge in DESIGN.md §10.
+    std::lock_guard<std::mutex> lock(mutex_);
+    recordEvent("expo.slow_client", {{"reason", reason}, {"age_sec", ageSec}});
+  };
   // Backend metrics live in the process-wide registry (net.backend.*).
   handlers.metricsText = [] { return obs::globalRegistry().expositionText(); };
   handlers.metricsJson = [] { return obs::globalRegistry().jsonText(); };

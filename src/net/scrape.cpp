@@ -8,118 +8,48 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace caraoke::net {
 
 namespace {
 
-HttpResponse fail(const char* what) {
+// The header block gets its own (generous) bound so a peer that never
+// sends the blank line can't evade the body cap by padding headers.
+constexpr std::size_t kMaxHeaderBytes = 64u << 10;
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+HttpResponse failWith(std::string what, int err) {
   HttpResponse r;
-  r.error = what;
-  if (errno != 0) {
+  r.error = std::move(what);
+  if (err != 0) {
     r.error += ": ";
-    r.error += std::strerror(errno);
+    r.error += std::strerror(err);
   }
   return r;
 }
 
-// Non-blocking connect with a poll() deadline, then back to blocking
-// mode: a reader whose pole lost power leaves a SYN hanging — the
-// scraper must move on to the next reader within the timeout.
-int connectWithTimeout(const sockaddr_in& addr, int timeoutMs) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                           sizeof(addr));
-  if (rc != 0) {
-    if (errno != EINPROGRESS) {
-      ::close(fd);
-      return -1;
-    }
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLOUT;
-    if (::poll(&pfd, 1, timeoutMs) <= 0) {
-      ::close(fd);
-      return -1;
-    }
-    int soError = 0;
-    socklen_t len = sizeof(soError);
-    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
-        soError != 0) {
-      errno = soError != 0 ? soError : errno;
-      ::close(fd);
-      return -1;
-    }
-  }
-  ::fcntl(fd, F_SETFL, flags);
-  return fd;
-}
-
-}  // namespace
-
-HttpResponse httpGet(const std::string& host, std::uint16_t port,
-                     const std::string& target, int timeoutMs) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  errno = 0;
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-    return fail("bad host literal");
-
-  const int fd = connectWithTimeout(addr, timeoutMs);
-  if (fd < 0) return fail("connect failed");
-
-  timeval tv{};
-  tv.tv_sec = timeoutMs / 1000;
-  tv.tv_usec = (timeoutMs % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-
-  const std::string request =
-      "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      ::close(fd);
-      return fail("send failed");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-
-  // HTTP/1.0, Connection: close — the reply is everything until EOF.
-  std::string raw;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      ::close(fd);
-      return fail("recv failed");
-    }
-    if (n == 0) break;
-    raw.append(buf, static_cast<std::size_t>(n));
-    if (raw.size() > (8u << 20)) break;  // runaway peer: 8 MiB cap
-  }
-  ::close(fd);
-
+// Parse a complete raw HTTP/1.0 reply (status line + headers + body).
+HttpResponse parseRaw(const std::string& raw) {
   const std::size_t headerEnd = raw.find("\r\n\r\n");
-  if (headerEnd == std::string::npos) return fail("truncated response");
+  if (headerEnd == std::string::npos) return failWith("truncated response", 0);
   const std::size_t lineEnd = raw.find("\r\n");
   // Status line: "HTTP/1.x NNN Reason".
   const std::string statusLine = raw.substr(0, lineEnd);
   const std::size_t sp = statusLine.find(' ');
   if (sp == std::string::npos || sp + 4 > statusLine.size())
-    return fail("malformed status line");
+    return failWith("malformed status line", 0);
   int status = 0;
   for (std::size_t i = sp + 1; i < statusLine.size() && statusLine[i] != ' ';
        ++i) {
     if (statusLine[i] < '0' || statusLine[i] > '9')
-      return fail("malformed status code");
+      return failWith("malformed status code", 0);
     status = status * 10 + (statusLine[i] - '0');
   }
 
@@ -143,6 +73,188 @@ HttpResponse httpGet(const std::string& host, std::uint16_t port,
     pos = end + 2;
   }
   return response;
+}
+
+// Per-request state machine driven by ScrapeSet::run's poll loop.
+struct Flight {
+  enum class State { kConnecting, kSending, kReceiving, kDone };
+  State state = State::kDone;
+  int fd = -1;
+  std::string request;       // bytes still to send (consumed from front)
+  std::size_t sent = 0;
+  std::string raw;           // reply bytes accumulated so far
+  std::size_t headerEnd = std::string::npos;
+  HttpResponse result;       // filled when state hits kDone
+};
+
+void finish(Flight& f, HttpResponse result) {
+  if (f.fd >= 0) {
+    ::close(f.fd);
+    f.fd = -1;
+  }
+  f.result = std::move(result);
+  f.state = Flight::State::kDone;
+}
+
+// Launch one request: resolve, non-blocking connect, classify. Failures
+// finish the flight immediately (bad literal, port 0, ENFILE, ...).
+void launch(Flight& f, const ScrapeRequest& req) {
+  errno = 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(req.port);
+  if (req.port == 0) {
+    finish(f, failWith("bad target port", 0));
+    return;
+  }
+  if (::inet_pton(AF_INET, req.host.c_str(), &addr.sin_addr) != 1) {
+    finish(f, failWith("bad host literal", 0));
+    return;
+  }
+  f.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (f.fd < 0) {
+    finish(f, failWith("socket failed", errno));
+    return;
+  }
+  f.request =
+      "GET " + req.target + " HTTP/1.0\r\nHost: " + req.host + "\r\n\r\n";
+  const int rc = ::connect(f.fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc == 0) {
+    f.state = Flight::State::kSending;
+  } else if (errno == EINPROGRESS) {
+    f.state = Flight::State::kConnecting;
+  } else {
+    finish(f, failWith("connect failed", errno));
+  }
+}
+
+// Push request bytes; returns once EAGAIN, completion, or error.
+void driveSend(Flight& f) {
+  while (f.sent < f.request.size()) {
+    const ssize_t n = ::send(f.fd, f.request.data() + f.sent,
+                             f.request.size() - f.sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      f.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    finish(f, failWith("send failed", errno));
+    return;
+  }
+  f.state = Flight::State::kReceiving;
+}
+
+// Pull reply bytes; EOF completes the request (HTTP/1.0 Connection:
+// close framing). Enforces the header and body byte caps as data
+// arrives, so a runaway peer is cut off mid-stream, not after the
+// allocation.
+void driveRecv(Flight& f, std::size_t maxBodyBytes) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(f.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      f.raw.append(buf, static_cast<std::size_t>(n));
+      if (f.headerEnd == std::string::npos) {
+        f.headerEnd = f.raw.find("\r\n\r\n");
+        if (f.headerEnd == std::string::npos &&
+            f.raw.size() > kMaxHeaderBytes) {
+          finish(f, failWith("header block exceeds cap", 0));
+          return;
+        }
+      }
+      if (f.headerEnd != std::string::npos &&
+          f.raw.size() - (f.headerEnd + 4) > maxBodyBytes) {
+        finish(f, failWith("response body exceeds " +
+                               std::to_string(maxBodyBytes) + " byte cap",
+                           0));
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // EOF: reply complete
+      finish(f, parseRaw(f.raw));
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    finish(f, failWith("recv failed", errno));
+    return;
+  }
+}
+
+}  // namespace
+
+std::vector<HttpResponse> ScrapeSet::run(int deadlineMs) {
+  std::vector<ScrapeRequest> requests;
+  requests.swap(requests_);  // consume: the set is reusable
+
+  std::vector<Flight> flights(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    launch(flights[i], requests[i]);
+
+  const double deadline = nowMs() + deadlineMs;
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> owner;  // pfds index -> flights index
+  for (;;) {
+    pfds.clear();
+    owner.clear();
+    for (std::size_t i = 0; i < flights.size(); ++i) {
+      Flight& f = flights[i];
+      if (f.state == Flight::State::kDone) continue;
+      pollfd pfd{};
+      pfd.fd = f.fd;
+      pfd.events = f.state == Flight::State::kReceiving
+                       ? static_cast<short>(POLLIN)
+                       : static_cast<short>(POLLOUT);
+      pfds.push_back(pfd);
+      owner.push_back(i);
+    }
+    if (pfds.empty()) break;  // everything resolved
+
+    const double remaining = deadline - nowMs();
+    if (remaining <= 0.0) break;
+    const int rc =
+        ::poll(pfds.data(), pfds.size(), static_cast<int>(remaining) + 1);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;  // timeout slice or EINTR: re-check deadline
+
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      if (pfds[p].revents == 0) continue;
+      Flight& f = flights[owner[p]];
+      if (f.state == Flight::State::kConnecting) {
+        int soError = 0;
+        socklen_t len = sizeof(soError);
+        if ((pfds[p].revents & (POLLERR | POLLHUP)) != 0 ||
+            ::getsockopt(f.fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+            soError != 0) {
+          finish(f, failWith("connect failed", soError));
+          continue;
+        }
+        f.state = Flight::State::kSending;
+      }
+      if (f.state == Flight::State::kSending) driveSend(f);
+      if (f.state == Flight::State::kReceiving) driveRecv(f, maxBodyBytes_);
+    }
+  }
+
+  std::vector<HttpResponse> results(flights.size());
+  for (std::size_t i = 0; i < flights.size(); ++i) {
+    Flight& f = flights[i];
+    if (f.state != Flight::State::kDone)
+      finish(f, failWith("scrape deadline exceeded", 0));
+    results[i] = std::move(f.result);
+  }
+  return results;
+}
+
+HttpResponse httpGet(const std::string& host, std::uint16_t port,
+                     const std::string& target, int timeoutMs,
+                     std::size_t maxBodyBytes) {
+  ScrapeSet set(maxBodyBytes);
+  set.add({host, port, target});
+  std::vector<HttpResponse> results = set.run(timeoutMs);
+  return results.empty() ? failWith("scrape set empty", 0)
+                         : std::move(results.front());
 }
 
 }  // namespace caraoke::net

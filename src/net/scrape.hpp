@@ -1,24 +1,42 @@
-// Minimal blocking HTTP/1.0 GET client: the fleet collector's ingest
-// path. Pulls /metrics and /healthz off each reader daemon's
-// obs::ExpoServer over loopback (or the backhaul, in a real deployment)
-// with the same no-dependency POSIX-socket discipline the server uses.
+// Minimal HTTP/1.0 GET client: the fleet collector's ingest path.
+// Pulls /metrics and /healthz off each reader daemon's obs::ExpoServer
+// over loopback (or the backhaul, in a real deployment) with the same
+// no-dependency POSIX-socket discipline the server uses.
+//
+// Two entry points share one non-blocking engine:
+//
+//   httpGet()   one blocking GET — convenience wrapper over a
+//               single-request ScrapeSet.
+//   ScrapeSet   N GETs in flight at once under ONE deadline: add() the
+//               targets, run() drives every connection through a
+//               connect -> send -> receive state machine off a single
+//               poll() loop. A 100-reader sweep costs one slow-target
+//               RTT instead of the sum of all of them; a dead reader
+//               burns its slot, not the round.
 //
 // Scope is deliberately tiny — exactly what a scraper needs: one
-// request per connection (`Connection: close` framing), bounded
-// connect/recv/send timeouts so one dead reader cannot stall a fleet
-// scrape round, status + Content-Type + body parsed out, everything
+// request per connection (`Connection: close` framing), one shared
+// deadline so one dead reader cannot stall a fleet scrape round, a
+// response-body byte cap so one misbehaving reader cannot balloon the
+// monitor's memory, status + Content-Type + body parsed out, everything
 // else ignored. Not a general HTTP client and not trying to be.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace caraoke::net {
 
+/// Default response-body cap (8 MiB): far above any real exposition
+/// dump, low enough that a runaway peer cannot exhaust the monitor.
+inline constexpr std::size_t kDefaultMaxBodyBytes = 8u << 20;
+
 /// Result of one GET. `ok` means transport succeeded AND the status was
 /// parseable — a 503 reply still has ok == true (the caller reads
-/// `status`); connection refused / timeout / garbage set ok == false
-/// and put the reason in `error`.
+/// `status`); connection refused / timeout / oversized body / garbage
+/// set ok == false and put the reason in `error`.
 struct HttpResponse {
   bool ok = false;
   int status = 0;
@@ -27,11 +45,47 @@ struct HttpResponse {
   std::string error;
 };
 
-/// Blocking GET http://<host>:<port><target> with per-phase timeouts
-/// (connect, then SO_RCVTIMEO/SO_SNDTIMEO on the socket). `host` must
-/// be a dotted-quad IPv4 literal — readers are addressed by IP in the
-/// fleet table; no resolver needed or wanted here.
+/// One target for a ScrapeSet round. `host` must be a dotted-quad IPv4
+/// literal — readers are addressed by IP in the fleet table; no
+/// resolver needed or wanted here.
+struct ScrapeRequest {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string target = "/metrics";
+};
+
+/// Fire N GETs concurrently and poll them to completion under one
+/// shared deadline. Reusable: run() consumes the added requests and
+/// leaves the set empty for the next round.
+class ScrapeSet {
+ public:
+  explicit ScrapeSet(std::size_t maxBodyBytes = kDefaultMaxBodyBytes)
+      : maxBodyBytes_(maxBodyBytes) {}
+
+  /// Queue one target; returns its index into run()'s result vector.
+  std::size_t add(ScrapeRequest request) {
+    requests_.push_back(std::move(request));
+    return requests_.size() - 1;
+  }
+
+  std::size_t pending() const { return requests_.size(); }
+
+  /// Drive every queued request to completion (or failure) within
+  /// `deadlineMs` TOTAL — the deadline covers the whole round, not each
+  /// target. Returns responses index-aligned with add() order; targets
+  /// still in flight at the deadline fail with a deadline error.
+  std::vector<HttpResponse> run(int deadlineMs);
+
+ private:
+  std::size_t maxBodyBytes_;
+  std::vector<ScrapeRequest> requests_;
+};
+
+/// Blocking GET http://<host>:<port><target>: a one-request ScrapeSet.
+/// `timeoutMs` bounds the whole request (connect + send + receive);
+/// a response body larger than `maxBodyBytes` is rejected (ok == false).
 HttpResponse httpGet(const std::string& host, std::uint16_t port,
-                     const std::string& target, int timeoutMs = 2000);
+                     const std::string& target, int timeoutMs = 2000,
+                     std::size_t maxBodyBytes = kDefaultMaxBodyBytes);
 
 }  // namespace caraoke::net

@@ -2,15 +2,43 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace caraoke::obs {
 
 namespace {
+
+// Timer-wheel geometry: 20 ms ticks x 512 slots = a 10.24 s span, wide
+// enough that the default 2 s deadlines hash without wrapping; a
+// deadline beyond the span simply re-hashes when its slot fires.
+constexpr double kTickSec = 0.020;
+constexpr int kTickMs = 20;
+constexpr std::size_t kWheelSlots = 512;
+
+// A request head larger than this is malformed by fiat (the routes take
+// no body; 4 KiB is generous for a scraper's GET + headers).
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+// Per-route latency-histogram slots (indexes into SelfMetrics::
+// routeLatency). kRouteOther covers extra routes, 404s and errors.
+enum RouteSlot {
+  kRouteMetrics = 0,
+  kRouteMetricsJson,
+  kRouteHealthz,
+  kRouteFlight,
+  kRouteTrace,
+  kRouteProfile,
+  kRouteOther,
+  kRouteSlotCount,
+};
 
 // Serialize one HTTP/1.0 response. Content-Length is always present so
 // clients that ignore EOF framing still parse the body.
@@ -93,27 +121,36 @@ const char* reasonFor(int status) {
   }
 }
 
-void sendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer went away; nothing useful to do
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
 }  // namespace
 
 ExpoServer::ExpoServer(ExpoOptions options, ExpoHandlers handlers)
-    : options_(std::move(options)), handlers_(std::move(handlers)) {}
+    : options_(std::move(options)), handlers_(std::move(handlers)) {
+  if (options_.selfRegistry != nullptr) {
+    Registry& reg = *options_.selfRegistry;
+    metrics_.acceptedCtr = &reg.counter("expo.connections_accepted");
+    metrics_.shedCtr = &reg.counter("expo.connections_shed");
+    metrics_.timeoutsCtr = &reg.counter("expo.timeouts");
+    metrics_.completedCtr = &reg.counter("expo.requests_completed");
+    metrics_.bytesWrittenCtr = &reg.counter("expo.bytes_written");
+    metrics_.activeGauge = &reg.gauge("expo.connections_active");
+    metrics_.routeLatency = {
+        &reg.histogram("expo.request_latency.metrics"),
+        &reg.histogram("expo.request_latency.metrics_json"),
+        &reg.histogram("expo.request_latency.healthz"),
+        &reg.histogram("expo.request_latency.flight"),
+        &reg.histogram("expo.request_latency.trace"),
+        &reg.histogram("expo.request_latency.profile"),
+        &reg.histogram("expo.request_latency.other"),
+    };
+  }
+}
 
 ExpoServer::~ExpoServer() { stop(); }
 
 bool ExpoServer::start() {
   if (running_.load(std::memory_order_acquire)) return true;
 
-  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listenFd_ < 0) return false;
   const int one = 1;
   ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -123,9 +160,25 @@ bool ExpoServer::start() {
   addr.sin_port = htons(options_.port);
   if (::inet_pton(AF_INET, options_.bindAddress.c_str(), &addr.sin_addr) != 1 ||
       ::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listenFd_, 16) != 0) {
+      ::listen(listenFd_, SOMAXCONN) != 0) {
     ::close(listenFd_);
     listenFd_ = -1;
+    return false;
+  }
+
+  epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epollFd_ < 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listenFd_;
+  if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) != 0) {
+    ::close(epollFd_);
+    ::close(listenFd_);
+    epollFd_ = listenFd_ = -1;
     return false;
   }
 
@@ -134,65 +187,236 @@ bool ExpoServer::start() {
   if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
     port_.store(ntohs(bound.sin_port), std::memory_order_release);
 
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wheel_.assign(kWheelSlots, {});
+    wheelTick_ = static_cast<std::uint64_t>(monotonicSeconds() / kTickSec);
+  }
+  stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serveLoop(); });
   return true;
 }
 
 void ExpoServer::stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
+  stopping_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
   if (listenFd_ >= 0) {
     ::close(listenFd_);
     listenFd_ = -1;
   }
+  if (epollFd_ >= 0) {
+    ::close(epollFd_);
+    epollFd_ = -1;
+  }
 }
 
 void ExpoServer::serveLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = listenFd_;
-    pfd.events = POLLIN;
-    // Short poll timeout bounds the shutdown latency without a self-pipe.
-    const int ready = ::poll(&pfd, 1, 50);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    handleConnection(fd);
-    ::close(fd);
+  const double drainTimeoutSec = options_.drainTimeoutMs / 1000.0;
+  epoll_event events[64];
+  double drainDeadline = -1.0;
+  bool done = false;
+  while (!done) {
+    const int n = ::epoll_wait(epollFd_, events, 64, kTickMs);
+    if (n < 0 && errno != EINTR) break;  // epoll fd died: nothing to serve
+    const double now = monotonicSeconds();
+    const bool stopRequested = stopping_.load(std::memory_order_acquire);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == listenFd_) {
+        if (!stopRequested) acceptPendingLocked(now);
+        continue;
+      }
+      if (connections_.find(fd) == connections_.end()) continue;  // stale
+      if (ev & (EPOLLIN | EPOLLRDHUP)) {
+        onReadableLocked(fd, now);
+      } else if (ev & EPOLLOUT) {
+        onWritableLocked(fd, now);
+      } else if (ev & (EPOLLHUP | EPOLLERR)) {
+        closeConnectionLocked(fd);
+      }
+    }
+    expireDueLocked(now);
+
+    if (stopRequested) {
+      if (drainDeadline < 0.0) {
+        // Drain phase: refuse new connections (close the listen socket)
+        // but give in-flight responses drainTimeoutMs to finish.
+        drainDeadline = now + drainTimeoutSec;
+        if (listenFd_ >= 0) {
+          ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+          ::close(listenFd_);
+          listenFd_ = -1;
+        }
+      }
+      if (connections_.empty() || now >= drainDeadline) {
+        while (!connections_.empty())
+          shedOldestLocked(now, "drain");
+        done = true;
+      }
+    }
   }
 }
 
-void ExpoServer::handleConnection(int fd) {
-  // Bound both directions so a stuck client cannot wedge the serving
-  // thread: SO_RCVTIMEO caps how long we wait for the request line,
-  // SO_SNDTIMEO caps a peer that stops draining its receive window.
-  const auto toTimeval = [](int ms) {
-    timeval tv{};
-    tv.tv_sec = ms / 1000;
-    tv.tv_usec = (ms % 1000) * 1000;
-    return tv;
-  };
-  const timeval recvTimeout = toTimeval(options_.recvTimeoutMs);
-  const timeval sendTimeout = toTimeval(options_.sendTimeoutMs);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recvTimeout, sizeof(recvTimeout));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &sendTimeout, sizeof(sendTimeout));
+void ExpoServer::acceptPendingLocked(double now) {
+  for (;;) {
+    const int fd =
+        ::accept4(listenFd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (drained) or transient accept error
+    if (connections_.size() >= options_.maxConnections)
+      shedOldestLocked(now, "shed");
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.acceptedCtr != nullptr) metrics_.acceptedCtr->inc();
 
-  // Read until the header terminator; the routes take no body, so the
-  // request line is all that matters. 4 KiB is generous for a scraper.
-  std::string request;
-  char buf[1024];
-  while (request.size() < 4096 &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find('\n') == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.acceptedAt = now;
+    conn.lastActivity = now;
+    auto [it, inserted] = connections_.emplace(fd, std::move(conn));
+    // The read deadline is absolute from accept — a slowloris client
+    // trickling one byte per tick must NOT keep pushing it out.
+    armDeadlineLocked(fd, it->second, now + options_.recvTimeoutMs / 1000.0);
+    active_.store(connections_.size(), std::memory_order_relaxed);
+    if (metrics_.activeGauge != nullptr)
+      metrics_.activeGauge->set(static_cast<double>(connections_.size()));
   }
+}
 
+void ExpoServer::shedOldestLocked(double now, const char* reason) {
+  if (connections_.empty()) return;
+  auto oldest = connections_.begin();
+  for (auto it = connections_.begin(); it != connections_.end(); ++it)
+    if (it->second.lastActivity < oldest->second.lastActivity) oldest = it;
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.shedCtr != nullptr) metrics_.shedCtr->inc();
+  if (handlers_.slowClient)
+    handlers_.slowClient(reason, now - oldest->second.acceptedAt);
+  closeConnectionLocked(oldest->first);
+}
+
+void ExpoServer::onReadableLocked(int fd, double now) {
+  Connection& conn = connections_.find(fd)->second;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(r));
+      conn.lastActivity = now;
+      if (conn.in.size() >= kMaxRequestBytes) break;  // oversized: 400
+      continue;
+    }
+    if (r == 0) {  // peer EOF before a complete request: nothing to say
+      closeConnectionLocked(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    closeConnectionLocked(fd);
+    return;
+  }
+  // The routes take no body, so one complete line is a complete request.
+  if (conn.in.find('\n') == std::string::npos &&
+      conn.in.size() < kMaxRequestBytes)
+    return;  // keep reading; the wheel enforces the deadline
+
+  conn.out = dispatch(conn.in, &conn.routeIndex);
+  conn.state = Connection::State::kWriting;
+  armDeadlineLocked(fd, conn, now + options_.sendTimeoutMs / 1000.0);
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+  flushWriteLocked(fd, now);
+}
+
+void ExpoServer::onWritableLocked(int fd, double now) {
+  flushWriteLocked(fd, now);
+}
+
+void ExpoServer::flushWriteLocked(int fd, double now) {
+  Connection& conn = connections_.find(fd)->second;
+  while (conn.written < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.written,
+                             conn.out.size() - conn.written, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.written += static_cast<std::size_t>(n);
+      conn.lastActivity = now;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return;  // receive window full: EPOLLOUT resumes, wheel bounds it
+    closeConnectionLocked(fd);  // peer went away mid-response
+    return;
+  }
+  // Response fully written: count it, record latency, close.
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  bytesWritten_.fetch_add(conn.out.size(), std::memory_order_relaxed);
+  if (metrics_.completedCtr != nullptr) metrics_.completedCtr->inc();
+  if (metrics_.bytesWrittenCtr != nullptr)
+    metrics_.bytesWrittenCtr->inc(conn.out.size());
+  if (conn.routeIndex >= 0 &&
+      static_cast<std::size_t>(conn.routeIndex) < metrics_.routeLatency.size())
+    metrics_.routeLatency[conn.routeIndex]->observe(now - conn.acceptedAt);
+  closeConnectionLocked(fd);
+}
+
+void ExpoServer::armDeadlineLocked(int fd, Connection& conn, double deadline) {
+  conn.deadline = deadline;
+  const std::uint64_t tick =
+      static_cast<std::uint64_t>(deadline / kTickSec) + 1;
+  const std::uint64_t slotTick = tick <= wheelTick_ ? wheelTick_ + 1 : tick;
+  wheel_[slotTick % kWheelSlots].push_back(fd);
+}
+
+void ExpoServer::expireDueLocked(double now) {
+  const std::uint64_t targetTick =
+      static_cast<std::uint64_t>(now / kTickSec);
+  // Lazy wheel: a slot's entries are only *candidates* — a connection
+  // whose deadline moved (read -> write transition) re-hashes forward.
+  std::vector<int> due;
+  while (wheelTick_ < targetTick) {
+    ++wheelTick_;
+    auto& slot = wheel_[wheelTick_ % kWheelSlots];
+    due.insert(due.end(), slot.begin(), slot.end());
+    slot.clear();
+  }
+  for (const int fd : due) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;  // already closed
+    Connection& conn = it->second;
+    if (conn.deadline > now) {  // deadline moved: re-hash
+      armDeadlineLocked(fd, conn, conn.deadline);
+      continue;
+    }
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.timeoutsCtr != nullptr) metrics_.timeoutsCtr->inc();
+    if (handlers_.slowClient)
+      handlers_.slowClient("timeout", now - conn.acceptedAt);
+    closeConnectionLocked(fd);
+  }
+}
+
+void ExpoServer::closeConnectionLocked(int fd) {
+  ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(fd);
+  active_.store(connections_.size(), std::memory_order_relaxed);
+  if (metrics_.activeGauge != nullptr)
+    metrics_.activeGauge->set(static_cast<double>(connections_.size()));
+}
+
+std::string ExpoServer::dispatch(const std::string& request,
+                                 int* routeIndex) const {
+  *routeIndex = kRouteOther;
   const std::size_t lineEnd = request.find_first_of("\r\n");
   const std::string line =
       lineEnd == std::string::npos ? request : request.substr(0, lineEnd);
@@ -200,15 +424,12 @@ void ExpoServer::handleConnection(int fd) {
   const std::size_t pathEnd =
       methodEnd == std::string::npos ? std::string::npos
                                      : line.find(' ', methodEnd + 1);
-  if (methodEnd == std::string::npos || pathEnd == std::string::npos) {
-    sendAll(fd, httpResponse(400, "Bad Request", "text/plain",
-                             "malformed request line\n"));
-    return;
-  }
+  if (methodEnd == std::string::npos || pathEnd == std::string::npos)
+    return httpResponse(400, "Bad Request", "text/plain",
+                        "malformed request line\n");
   const std::string method = line.substr(0, methodEnd);
   const std::string target =
       line.substr(methodEnd + 1, pathEnd - methodEnd - 1);
-  requests_.fetch_add(1, std::memory_order_relaxed);
 
   // Split the request target into path and query string.
   const std::size_t queryStart = target.find('?');
@@ -218,60 +439,66 @@ void ExpoServer::handleConnection(int fd) {
       queryStart == std::string::npos ? std::string()
                                       : target.substr(queryStart + 1);
 
-  if (method != "GET") {
-    sendAll(fd, httpResponse(405, "Method Not Allowed", "text/plain",
-                             "only GET is served\n"));
-    return;
-  }
+  if (method != "GET")
+    return httpResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is served\n");
 
   if (path == "/metrics" && handlers_.metricsText) {
-    sendAll(fd, httpResponse(200, "OK", "text/plain; version=0.0.4",
-                             handlers_.metricsText()));
-  } else if (path == "/metrics.json" && handlers_.metricsJson) {
-    sendAll(fd, httpResponse(200, "OK", "application/json",
-                             handlers_.metricsJson()));
-  } else if (path == "/healthz" && handlers_.healthz) {
-    const HealthStatus health = handlers_.healthz();
-    sendAll(fd, health.ok
-                    ? httpResponse(200, "OK", "text/plain", health.body + "\n")
-                    : httpResponse(503, "Service Unavailable", "text/plain",
-                                   health.body + "\n"));
-  } else if (path == "/flight" && handlers_.flight) {
-    sendAll(fd, httpResponse(200, "OK", "application/x-ndjson",
-                             handlers_.flight(parseFlightQuery(query))));
-  } else if (path.rfind("/trace/", 0) == 0 && handlers_.trace) {
-    sendAll(fd, httpResponse(200, "OK", "application/x-ndjson",
-                             handlers_.trace(path.substr(7))));
-  } else if (path == "/profile" && handlers_.profile) {
-    const std::string format = parseProfileFormat(query);
-    sendAll(fd, httpResponse(200, "OK",
-                             format == "folded" ? "text/plain"
-                                                : "application/json",
-                             handlers_.profile(format)));
-  } else {
-    for (const auto& route : handlers_.routes) {
-      if (route.path == path && route.handler) {
-        const ExpoResponse response = route.handler(query);
-        sendAll(fd, httpResponse(response.status, reasonFor(response.status),
-                                 response.contentType, response.body));
-        return;
-      }
-    }
-    // 404 contract: text/plain; charset=utf-8, body names the unknown
-    // path and lists every route this server actually serves (fixed +
-    // extra), newline-terminated. Regression-tested in expo_test.cpp.
-    std::string body = "404 not found: " + path +
-                       "\nroutes: /metrics /metrics.json /healthz "
-                       "/flight[?n=K&trace=ID] /trace/<id> "
-                       "/profile[?format=folded]";
-    for (const auto& route : handlers_.routes) {
-      body += ' ';
-      body += route.path;
-    }
-    body += '\n';
-    sendAll(fd, httpResponse(404, "Not Found", "text/plain; charset=utf-8",
-                             body));
+    *routeIndex = kRouteMetrics;
+    return httpResponse(200, "OK", "text/plain; version=0.0.4",
+                        handlers_.metricsText());
   }
+  if (path == "/metrics.json" && handlers_.metricsJson) {
+    *routeIndex = kRouteMetricsJson;
+    return httpResponse(200, "OK", "application/json",
+                        handlers_.metricsJson());
+  }
+  if (path == "/healthz" && handlers_.healthz) {
+    *routeIndex = kRouteHealthz;
+    const HealthStatus health = handlers_.healthz();
+    return health.ok
+               ? httpResponse(200, "OK", "text/plain", health.body + "\n")
+               : httpResponse(503, "Service Unavailable", "text/plain",
+                              health.body + "\n");
+  }
+  if (path == "/flight" && handlers_.flight) {
+    *routeIndex = kRouteFlight;
+    return httpResponse(200, "OK", "application/x-ndjson",
+                        handlers_.flight(parseFlightQuery(query)));
+  }
+  if (path.rfind("/trace/", 0) == 0 && handlers_.trace) {
+    *routeIndex = kRouteTrace;
+    return httpResponse(200, "OK", "application/x-ndjson",
+                        handlers_.trace(path.substr(7)));
+  }
+  if (path == "/profile" && handlers_.profile) {
+    *routeIndex = kRouteProfile;
+    const std::string format = parseProfileFormat(query);
+    return httpResponse(200, "OK",
+                        format == "folded" ? "text/plain"
+                                           : "application/json",
+                        handlers_.profile(format));
+  }
+  for (const auto& route : handlers_.routes) {
+    if (route.path == path && route.handler) {
+      const ExpoResponse response = route.handler(query);
+      return httpResponse(response.status, reasonFor(response.status),
+                          response.contentType, response.body);
+    }
+  }
+  // 404 contract: text/plain; charset=utf-8, body names the unknown
+  // path and lists every route this server actually serves (fixed +
+  // extra), newline-terminated. Regression-tested in expo_test.cpp.
+  std::string body = "404 not found: " + path +
+                     "\nroutes: /metrics /metrics.json /healthz "
+                     "/flight[?n=K&trace=ID] /trace/<id> "
+                     "/profile[?format=folded]";
+  for (const auto& route : handlers_.routes) {
+    body += ' ';
+    body += route.path;
+  }
+  body += '\n';
+  return httpResponse(404, "Not Found", "text/plain; charset=utf-8", body);
 }
 
 }  // namespace caraoke::obs

@@ -1,6 +1,7 @@
-// Live telemetry exposition: a dependency-free blocking HTTP/1.0 server
-// that lets an operator (or a Prometheus scraper, or `curl`) look inside
-// a running reader daemon:
+// Live telemetry exposition: a dependency-free HTTP/1.0 server built on
+// an epoll event loop, so one serving thread survives thousands of
+// concurrent scrapers (and the slowloris clients that come with exposing
+// a port) without ever blocking on a single peer:
 //
 //   GET /metrics        Prometheus text exposition of the wired registry
 //   GET /metrics.json   the same snapshot as one JSON object
@@ -21,20 +22,43 @@
 // unknown path and listing every served route, Content-Length set —
 // scrapers and curl pipelines can rely on that shape.
 //
+// Event loop (DESIGN.md §13). The listen socket and every accepted
+// connection are non-blocking and registered with one epoll instance.
+// Each connection is a two-state machine — kReading (accumulate the
+// request head) then kWriting (drain the serialized response, resuming
+// after partial writes via EPOLLOUT) — so a peer that trickles its
+// request or drains its receive window one byte at a time costs a table
+// slot, never the thread. Per-connection deadlines are enforced by a
+// hashed timer wheel ticked from the epoll_wait cadence (no
+// SO_RCVTIMEO: a kernel-side timeout would block the loop for everyone
+// else); an expired connection is closed, counted in `expo.timeouts`,
+// and reported through the slow-client hook. When the connection table
+// is full, accepting a new client sheds the oldest-idle connection
+// (`expo.connections_shed`) — fresh scrapers beat wedged ones. stop()
+// drains gracefully: the listen socket closes first, in-flight
+// responses get `drainTimeoutMs` to finish, stragglers are shed.
+//
+// The server watches itself through the registry handed in via
+// ExpoOptions::selfRegistry (`expo.*` metric family: accepted/active/
+// shed connection counts, per-route request-latency histograms,
+// timeouts, bytes written) — so the observability plane is observable
+// through the same /metrics it serves.
+//
 // Design constraints, in order: no third-party dependencies (POSIX
-// sockets only), thread-safety the TSan rig can verify (all content
-// comes from caller-supplied handlers that snapshot under their own
-// locks), and graceful shutdown (the accept loop polls with a short
-// timeout and exits when stop() flips the flag — no dangling thread at
-// daemon teardown). One request per connection, `Connection: close` —
-// scrapers are fine with HTTP/1.0 and it keeps the state machine
-// trivial.
+// sockets + Linux epoll only), thread-safety the TSan rig can verify
+// (all content comes from caller-supplied handlers that snapshot under
+// their own locks; the connection table is guarded by its own mutex),
+// and graceful shutdown (bounded drain, no dangling thread at daemon
+// teardown). One request per connection, `Connection: close` — scrapers
+// are fine with HTTP/1.0 and it keeps the state machine small.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,17 +67,35 @@
 
 namespace caraoke::obs {
 
+class Registry;
+class Counter;
+class Gauge;
+class Histogram;
+
 /// Server configuration. Port 0 binds an OS-assigned ephemeral port
 /// (read it back with port() after start()) — what tests use so two
 /// suites never fight over a fixed number.
 struct ExpoOptions {
   std::string bindAddress = "127.0.0.1";
   std::uint16_t port = 0;
-  /// Per-connection socket timeouts. A client that connects and then
-  /// stalls (or drains its receive window one byte at a time) must not
-  /// wedge the single serving thread past this bound.
+  /// Read-phase deadline: a connection that has not delivered a full
+  /// request head within this bound is timed out (timer wheel, not
+  /// SO_RCVTIMEO — the loop never blocks on one peer).
   int recvTimeoutMs = 2000;
+  /// Write-phase deadline: total time a peer gets to drain its response
+  /// once serialization finished.
   int sendTimeoutMs = 2000;
+  /// Connection-table cap. An accept beyond it sheds the oldest-idle
+  /// connection first, so a fleet of wedged clients can never lock out
+  /// a fresh scraper.
+  std::size_t maxConnections = 1024;
+  /// stop() drain bound: in-flight responses get this long to finish
+  /// before the remaining connections are shed.
+  int drainTimeoutMs = 1000;
+  /// When set, the server registers its expo.* self-metrics here
+  /// (connection counts, per-route latency histograms, timeouts, bytes
+  /// written). Null keeps the server unmetered.
+  Registry* selfRegistry = nullptr;
 };
 
 /// Health handler result: ok -> 200, !ok -> 503; body lands in the
@@ -101,13 +143,19 @@ struct ExpoHandlers {
   /// GET /profile: receives the requested format ("json" or "folded");
   /// returns the serialized profiler dump in that format.
   std::function<std::string(const std::string&)> profile;
+  /// Slow-client hook: called from the server thread whenever a
+  /// connection is timed out or shed (`reason` is "timeout", "shed" or
+  /// "drain"; `ageSec` how long the connection had been open). The
+  /// daemon wires this to an `expo.slow_client` flight event. Must be
+  /// thread-safe; may be null.
+  std::function<void(const char* reason, double ageSec)> slowClient;
   /// Extra exact-path routes, consulted after the fixed ones. First
   /// match wins; null handlers are skipped (and 404 like unset fixed
   /// handlers).
   std::vector<ExpoRoute> routes;
 };
 
-/// Blocking HTTP/1.0 exposition server on its own thread.
+/// Epoll event-loop HTTP/1.0 exposition server on its own thread.
 class ExpoServer {
  public:
   ExpoServer(ExpoOptions options, ExpoHandlers handlers);
@@ -119,28 +167,122 @@ class ExpoServer {
   /// Bind + listen + spawn the serving thread. False when the socket
   /// cannot be bound (port taken, no permission); safe to call once.
   bool start();
-  /// Stop accepting, join the thread, close the socket. Idempotent.
+  /// Stop accepting, drain in-flight responses (bounded by
+  /// drainTimeoutMs), join the thread, close the socket. Idempotent.
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// Actual bound port (resolves ephemeral port 0); 0 before start().
   std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Every request the server disposed of: completed responses PLUS
+  /// connections that were accepted but timed out or were shed. (The
+  /// pre-event-loop server under-reported by counting only parsed
+  /// requests — a wedged scraper fleet looked like silence.)
   std::uint64_t requestsServed() const {
-    return requests_.load(std::memory_order_relaxed);
+    return requestsCompleted() + timeouts() + shedConnections();
+  }
+  /// Responses fully written (any status).
+  std::uint64_t requestsCompleted() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the timer wheel (read or write deadline).
+  std::uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed to make room (cap or drain).
+  std::uint64_t shedConnections() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connectionsAccepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Connections currently in the table (racy snapshot, for tests).
+  std::size_t connectionsActive() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytesWritten() const {
+    return bytesWritten_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// Per-connection state machine (see file header).
+  struct Connection {
+    enum class State { kReading, kWriting };
+    State state = State::kReading;
+    std::string in;            ///< Request bytes accumulated so far.
+    std::string out;           ///< Serialized response.
+    std::size_t written = 0;   ///< Bytes of `out` already sent.
+    double acceptedAt = 0.0;   ///< monotonicSeconds at accept.
+    double lastActivity = 0.0; ///< Last byte in either direction.
+    double deadline = 0.0;     ///< Timer-wheel expiry (monotonic sec).
+    int routeIndex = -1;       ///< Latency-histogram slot; -1 pre-parse.
+  };
+
+  /// Self-metric handles (all aliases into options_.selfRegistry;
+  /// null when unmetered). Resolved once at construction so the event
+  /// loop never takes the registry's name-lookup mutex.
+  struct SelfMetrics {
+    Counter* acceptedCtr = nullptr;
+    Counter* shedCtr = nullptr;
+    Counter* timeoutsCtr = nullptr;
+    Counter* completedCtr = nullptr;
+    Counter* bytesWrittenCtr = nullptr;
+    Gauge* activeGauge = nullptr;
+    std::vector<Histogram*> routeLatency;  ///< Indexed by route slot.
+  };
+
   void serveLoop();
-  void handleConnection(int fd);
+  // Event-loop steps. The connection table, the timer wheel, and every
+  // Connection are guarded by mutex_ (the loop mutates them; accessors
+  // and tests observe via the lock-free counters above).
+  void acceptPendingLocked(double now) CARAOKE_REQUIRES(mutex_);
+  void shedOldestLocked(double now, const char* reason)
+      CARAOKE_REQUIRES(mutex_);
+  void onReadableLocked(int fd, double now) CARAOKE_REQUIRES(mutex_);
+  void onWritableLocked(int fd, double now) CARAOKE_REQUIRES(mutex_);
+  void expireDueLocked(double now) CARAOKE_REQUIRES(mutex_);
+  void armDeadlineLocked(int fd, Connection& conn, double deadline)
+      CARAOKE_REQUIRES(mutex_);
+  void flushWriteLocked(int fd, double now) CARAOKE_REQUIRES(mutex_);
+  void closeConnectionLocked(int fd) CARAOKE_REQUIRES(mutex_);
+  std::size_t tableSizeLocked() const CARAOKE_REQUIRES(mutex_) {
+    return connections_.size();
+  }
+  /// Route a complete request head to a handler; returns the serialized
+  /// HTTP response and sets `routeIndex` for the latency histogram.
+  std::string dispatch(const std::string& request, int* routeIndex) const;
 
   ExpoOptions options_;
   ExpoHandlers handlers_;
+  SelfMetrics metrics_;
+
   // Lock-free by design: flags/counters shared between the serving
   // thread and the owner, with no multi-word invariants between them.
   std::atomic<bool> running_ CARAOKE_LOCKFREE{false};
+  std::atomic<bool> stopping_ CARAOKE_LOCKFREE{false};
   std::atomic<std::uint16_t> port_ CARAOKE_LOCKFREE{0};
-  std::atomic<std::uint64_t> requests_ CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> completed_ CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> timeouts_ CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> shed_ CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> accepted_ CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> active_ CARAOKE_LOCKFREE{0};
+  std::atomic<std::uint64_t> bytesWritten_ CARAOKE_LOCKFREE{0};
+
+  /// Guards the connection table and the timer wheel. Held by the event
+  /// loop across table mutations (including the slow-client hook, which
+  /// is why DESIGN.md §10 declares ExpoServer.mutex_ -> FlightRecorder/
+  /// EventSink edges); never held across epoll_wait.
+  std::mutex mutex_;
+  std::map<int, Connection> connections_ CARAOKE_GUARDED_BY(mutex_);
+  /// Hashed timer wheel: slot -> fds possibly due at that tick. Entries
+  /// are lazy — a connection whose deadline moved is re-hashed when its
+  /// original slot fires.
+  std::vector<std::vector<int>> wheel_ CARAOKE_GUARDED_BY(mutex_);
+  std::uint64_t wheelTick_ CARAOKE_GUARDED_BY(mutex_) = 0;
+
   int listenFd_ = -1;  ///< Written before the thread spawns.
+  int epollFd_ = -1;   ///< Owned by start()/serveLoop().
   std::thread thread_;
 };
 

@@ -1,0 +1,274 @@
+// Event-loop stress: the epoll exposition server under fleets of
+// concurrent scrapers and deliberately hostile clients.
+//
+//  - 64 simultaneous raw-socket clients (plus two slowloris holding
+//    half-written requests) against one server: every well-behaved
+//    client must receive a COMPLETE response, and the slow ones must be
+//    timed out by the wheel within their deadline — not wedge the loop.
+//  - connection-table cap: the oldest-idle connection is shed to make
+//    room, and the fresh scraper still gets its response.
+//  - graceful drain: stop() with in-flight slowloris connections
+//    returns within the drain bound and sheds the stragglers.
+//  - requestsServed() accounting: completed + timed-out + shed, so a
+//    wedged scraper fleet can't under-report as silence.
+//
+// Labeled `obs` and `race`: the whole suite runs under the TSan rig —
+// 64 client threads against the serving thread is exactly the
+// interleaving soup TSan must certify.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/expo.hpp"
+#include "obs/metrics.hpp"
+
+namespace caraoke {
+namespace {
+
+int connectTo(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One full blocking GET; returns the raw response ("" on any error).
+std::string httpGet(std::uint16_t port, const std::string& target) {
+  const int fd = connectTo(port);
+  if (fd < 0) return "";
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0)
+    response.append(buffer, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+/// Spin (with a sleep) until `pred` holds or `timeoutMs` elapses.
+template <typename Pred>
+bool waitUntil(Pred pred, int timeoutMs) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+obs::ExpoHandlers cannedHandlers(const std::string& payload) {
+  obs::ExpoHandlers handlers;
+  handlers.metricsText = [payload] { return payload; };
+  handlers.healthz = [] { return obs::HealthStatus{true, "healthy"}; };
+  return handlers;
+}
+
+TEST(ExpoStress, SixtyFourConcurrentClientsPlusSlowloris) {
+  // A recognizable ~8 KiB payload so a truncated read is detectable.
+  std::string payload;
+  while (payload.size() < 8192) payload += "stress.metric_line 12345\n";
+
+  std::mutex slowMutex;
+  std::vector<std::string> slowReasons;
+  obs::ExpoHandlers handlers = cannedHandlers(payload);
+  handlers.slowClient = [&](const char* reason, double) {
+    std::lock_guard<std::mutex> lock(slowMutex);
+    slowReasons.emplace_back(reason);
+  };
+
+  obs::ExpoOptions options;
+  options.recvTimeoutMs = 400;
+  options.sendTimeoutMs = 2000;
+  obs::ExpoServer server(options, std::move(handlers));
+  ASSERT_TRUE(server.start());
+
+  // Two slowloris connections: half a request line, then silence. They
+  // must be cut by the timer wheel at recvTimeoutMs, not spin forever.
+  const auto slowStart = std::chrono::steady_clock::now();
+  int slow[2];
+  for (int& fd : slow) {
+    fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_GT(::send(fd, "GET /met", 8, MSG_NOSIGNAL), 0);
+  }
+
+  constexpr int kClients = 64;
+  std::vector<std::string> responses(kClients);
+  std::atomic<int> started{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i)
+      clients.emplace_back([&, i] {
+        started.fetch_add(1);
+        responses[i] = httpGet(server.port(), "/metrics");
+      });
+    for (auto& t : clients) t.join();
+  }
+  EXPECT_EQ(started.load(), kClients);
+
+  // Every well-behaved client got the COMPLETE response.
+  const std::string marker = "stress.metric_line 12345";
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(responses[i].empty()) << "client " << i << " got no reply";
+    EXPECT_NE(responses[i].find("200 OK"), std::string::npos) << i;
+    const std::size_t bodyAt = responses[i].find("\r\n\r\n");
+    ASSERT_NE(bodyAt, std::string::npos) << i;
+    EXPECT_EQ(responses[i].size() - bodyAt - 4, payload.size())
+        << "client " << i << " got a truncated body";
+  }
+  EXPECT_GE(server.requestsCompleted(), static_cast<std::uint64_t>(kClients));
+
+  // The slowloris pair is timed out within its deadline (+ generous
+  // scheduling slack) — observed as EOF on the client side.
+  EXPECT_TRUE(waitUntil([&] { return server.timeouts() >= 2; }, 3000));
+  const double slowElapsedMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - slowStart)
+          .count();
+  EXPECT_LT(slowElapsedMs, options.recvTimeoutMs + 3000.0);
+  for (int fd : slow) {
+    char byte;
+    EXPECT_EQ(::read(fd, &byte, 1), 0) << "slowloris fd not closed";
+    ::close(fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(slowMutex);
+    EXPECT_GE(slowReasons.size(), 2u);
+    for (const std::string& reason : slowReasons)
+      EXPECT_EQ(reason, "timeout");
+  }
+
+  // Fixed requestsServed() accounting: completed + timeouts + shed.
+  EXPECT_EQ(server.requestsServed(),
+            server.requestsCompleted() + server.timeouts() +
+                server.shedConnections());
+  EXPECT_GE(server.requestsServed(),
+            static_cast<std::uint64_t>(kClients + 2));
+  server.stop();
+}
+
+TEST(ExpoStress, ConnectionCapShedsOldestIdleAndServesFreshClient) {
+  std::mutex slowMutex;
+  std::vector<std::string> slowReasons;
+  obs::ExpoHandlers handlers = cannedHandlers("capped 1\n");
+  handlers.slowClient = [&](const char* reason, double) {
+    std::lock_guard<std::mutex> lock(slowMutex);
+    slowReasons.emplace_back(reason);
+  };
+
+  obs::ExpoOptions options;
+  options.maxConnections = 4;
+  options.recvTimeoutMs = 5000;  // idle sockets must die by shedding,
+                                 // not by the wheel, in this test
+  obs::ExpoServer server(options, std::move(handlers));
+  ASSERT_TRUE(server.start());
+
+  // Fill the table with idle connections...
+  int idle[4];
+  for (int& fd : idle) {
+    fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+  }
+  ASSERT_TRUE(waitUntil([&] { return server.connectionsActive() >= 4; }, 2000));
+
+  // ...then a real scraper arrives: the oldest idler is shed to make
+  // room and the fresh client still gets its complete response.
+  const std::string response = httpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("capped 1"), std::string::npos);
+  EXPECT_TRUE(waitUntil([&] { return server.shedConnections() >= 1; }, 2000));
+  {
+    std::lock_guard<std::mutex> lock(slowMutex);
+    ASSERT_GE(slowReasons.size(), 1u);
+    EXPECT_EQ(slowReasons.front(), "shed");
+  }
+  for (int fd : idle) ::close(fd);
+  server.stop();
+}
+
+TEST(ExpoStress, StopDrainsGracefullyAndShedsStragglers) {
+  obs::ExpoOptions options;
+  options.recvTimeoutMs = 10000;  // stragglers outlive the drain bound
+  options.drainTimeoutMs = 200;
+  obs::ExpoServer server(options, cannedHandlers("x 1\n"));
+  ASSERT_TRUE(server.start());
+
+  int stuck[2];
+  for (int& fd : stuck) {
+    fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_GT(::send(fd, "GET ", 4, MSG_NOSIGNAL), 0);
+  }
+  ASSERT_TRUE(waitUntil([&] { return server.connectionsActive() >= 2; }, 2000));
+
+  const auto stopStart = std::chrono::steady_clock::now();
+  server.stop();
+  const double stopMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - stopStart)
+                            .count();
+  // Bounded drain: well past drainTimeoutMs means the loop wedged.
+  EXPECT_LT(stopMs, 3000.0);
+  EXPECT_GE(server.shedConnections(), 2u);
+  EXPECT_EQ(server.connectionsActive(), 0u);
+  for (int fd : stuck) ::close(fd);
+}
+
+TEST(ExpoStress, SelfMetricsAppearInServedRegistry) {
+  obs::Registry registry;
+  obs::ExpoOptions options;
+  options.selfRegistry = &registry;
+  obs::ExpoHandlers handlers;
+  handlers.metricsText = [&registry] {
+    return registry.snapshot().expositionText();
+  };
+  obs::ExpoServer server(options, std::move(handlers));
+  ASSERT_TRUE(server.start());
+
+  // First scrape warms the counters; the second must SEE them through
+  // the same /metrics the server serves — the plane watching itself.
+  ASSERT_FALSE(httpGet(server.port(), "/metrics").empty());
+  const std::string scrape = httpGet(server.port(), "/metrics");
+  EXPECT_NE(scrape.find("expo.connections_accepted"), std::string::npos);
+  EXPECT_NE(scrape.find("expo.requests_completed"), std::string::npos);
+  EXPECT_NE(scrape.find("expo.bytes_written"), std::string::npos);
+  EXPECT_NE(scrape.find("expo.request_latency.metrics"), std::string::npos);
+  server.stop();
+
+  EXPECT_GE(registry.counter("expo.connections_accepted").value(), 2.0);
+  EXPECT_GE(registry.counter("expo.requests_completed").value(), 2.0);
+  EXPECT_GE(registry.counter("expo.bytes_written").value(), 1.0);
+}
+
+}  // namespace
+}  // namespace caraoke

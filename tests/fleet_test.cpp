@@ -357,3 +357,82 @@ TEST(FleetCorridor, ThirtyTwoReadersSilentFlapAndThreshold) {
   EXPECT_NE(readers.body.find("\"type\":\"fleet.rollup\""), std::string::npos);
   EXPECT_NE(readers.body.find("\"state\":\"silent\""), std::string::npos);
 }
+
+// ------------------------------------------------------- scrape client --
+
+namespace {
+
+// A canned exposition server returning `payload` on /metrics.
+std::unique_ptr<obs::ExpoServer> cannedServer(const std::string& payload) {
+  obs::ExpoHandlers handlers;
+  handlers.metricsText = [payload] { return payload; };
+  handlers.healthz = [] { return obs::HealthStatus{true, "healthy"}; };
+  auto server = std::make_unique<obs::ExpoServer>(obs::ExpoOptions{},
+                                                  std::move(handlers));
+  EXPECT_TRUE(server->start());
+  return server;
+}
+
+}  // namespace
+
+TEST(ScrapeClient, BodyCapRejectsOversizedResponse) {
+  std::string big;
+  while (big.size() < 64u << 10) big += "huge.metric 1\n";
+  auto server = cannedServer(big);
+
+  // Under the cap: the full body comes through.
+  const net::HttpResponse ok = net::httpGet("127.0.0.1", server->port(),
+                                            "/metrics", 2000, 1u << 20);
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.body.size(), big.size());
+
+  // Over the cap: rejected mid-stream with a named reason, not an OOM.
+  const net::HttpResponse capped = net::httpGet("127.0.0.1", server->port(),
+                                                "/metrics", 2000, 1024);
+  EXPECT_FALSE(capped.ok);
+  EXPECT_NE(capped.error.find("cap"), std::string::npos) << capped.error;
+  server->stop();
+}
+
+TEST(ScrapeSet, ConcurrentRoundIsIndexAlignedAndReusable) {
+  auto alpha = cannedServer("alpha.metric 1\n");
+  auto beta = cannedServer("beta.metric 2\n");
+
+  // A port with nothing behind it: bind, learn the number, close.
+  std::uint16_t deadPort = 0;
+  {
+    obs::ExpoHandlers none;
+    obs::ExpoServer probe({}, std::move(none));
+    ASSERT_TRUE(probe.start());
+    deadPort = probe.port();
+    probe.stop();
+  }
+
+  net::ScrapeSet set;
+  EXPECT_EQ(set.add({"127.0.0.1", alpha->port(), "/metrics"}), 0u);
+  EXPECT_EQ(set.add({"127.0.0.1", beta->port(), "/metrics"}), 1u);
+  EXPECT_EQ(set.add({"127.0.0.1", deadPort, "/metrics"}), 2u);
+  EXPECT_EQ(set.add({"127.0.0.1", 0, "/metrics"}), 3u);
+  const std::vector<net::HttpResponse> round = set.run(2000);
+  ASSERT_EQ(round.size(), 4u);
+
+  // Results line up with add() order, failures fail closed in place.
+  ASSERT_TRUE(round[0].ok) << round[0].error;
+  EXPECT_NE(round[0].body.find("alpha.metric"), std::string::npos);
+  ASSERT_TRUE(round[1].ok) << round[1].error;
+  EXPECT_NE(round[1].body.find("beta.metric"), std::string::npos);
+  EXPECT_FALSE(round[2].ok);
+  EXPECT_FALSE(round[3].ok);
+  EXPECT_NE(round[3].error.find("port"), std::string::npos);
+
+  // run() consumed the batch: the set is empty and reusable.
+  EXPECT_EQ(set.pending(), 0u);
+  set.add({"127.0.0.1", alpha->port(), "/healthz"});
+  const std::vector<net::HttpResponse> second = set.run(2000);
+  ASSERT_EQ(second.size(), 1u);
+  ASSERT_TRUE(second[0].ok) << second[0].error;
+  EXPECT_EQ(second[0].status, 200);
+
+  alpha->stop();
+  beta->stop();
+}

@@ -1,0 +1,22 @@
+# Re-applies the full LABELS list to every test discovered from one gtest
+# binary. gtest_discover_tests flattens list-valued properties while
+# serializing them through its POST_BUILD command line, so only the first
+# label of `caraoke_test(... LABELS obs race)` survives discovery. This file
+# is include()'d at ctest time (via TEST_INCLUDE_FILES, after the generated
+# <name>[1]_tests.cmake has registered the tests) with:
+#   GTEST_LABELS_FILE  path to the generated add_test() script
+#   GTEST_LABELS       the intended label list
+# It parses the bracket-quoted test names back out of the generated script
+# and overwrites LABELS on each. Other discovered properties
+# (WORKING_DIRECTORY, SKIP_REGULAR_EXPRESSION) are untouched.
+if(EXISTS "${GTEST_LABELS_FILE}")
+  file(STRINGS "${GTEST_LABELS_FILE}" _gtest_label_lines REGEX "^add_test\\(")
+  foreach(_gtest_label_line IN LISTS _gtest_label_lines)
+    if(_gtest_label_line MATCHES "^add_test\\(\\[=+\\[([^]]+)\\]")
+      set_tests_properties("${CMAKE_MATCH_1}"
+        PROPERTIES LABELS "${GTEST_LABELS}")
+    endif()
+  endforeach()
+  unset(_gtest_label_lines)
+  unset(_gtest_label_line)
+endif()

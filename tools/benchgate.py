@@ -68,6 +68,7 @@ MANIFEST = [
     ("decoder_ablation", ["2"], ["10"]),
     ("backend_ingest_durable", ["500"], ["5000"]),
     ("fleet_scrape", ["16", "10"], ["64", "50"]),
+    ("expo_serve", ["256", "16"], ["1000", "32"]),
     ("dsp_micro", ["--benchmark_min_time=0.01"], ["--benchmark_min_time=0.1"]),
     ("sfft_vs_fft", ["--benchmark_min_time=0.01"], ["--benchmark_min_time=0.1"]),
 ]

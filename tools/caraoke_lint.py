@@ -330,6 +330,14 @@ def check_metricnames(files, rel, findings):
                         f"fleet-plane metric '{name}' registered outside "
                         "src/obs/fleet.* — fleet.* names belong to the "
                         "FleetCollector rollup registry"))
+            if (name.startswith("expo.")
+                    and not rp.startswith("src/obs/expo.")):
+                if not allowed(line, "metricnames", findings, rp, lineno):
+                    findings.append(Finding(
+                        "metricnames", rp, lineno,
+                        f"exposition self-metric '{name}' registered "
+                        "outside src/obs/expo.* — expo.* names belong to "
+                        "the ExpoServer self-metrics family"))
             registrations[name].append((kind, rp, lineno))
         for m in EVENT_EMIT_RE.finditer(code):
             name = m.group("name")
@@ -594,6 +602,10 @@ SELFTEST_CASES = [
      'registry.counter("fleet.rogue.total");', True),
     ("metricnames", "src/obs/fleet.cpp",
      'registry_.counter("fleet.scrapes.ok");', False),
+    ("metricnames", "src/apps/foo.cpp",
+     'registry.counter("expo.rogue_total");', True),
+    ("metricnames", "src/obs/expo.cpp",
+     'reg.counter("expo.connections_shed");', False),
     ("units", "src/phy/foo.cpp", "double f = 914.3e6;", True),
     ("units", "src/phy/foo.cpp", "double f = MHz(914.3);", False),
     ("units", "src/dsp/foo.cpp", "double eps = 1e-12;", False),
